@@ -1,0 +1,83 @@
+"""Ablation: alternative engines for the same quantities.
+
+DESIGN.md calls out two places where the paper offers more than one route to
+the same result; this benchmark compares them head to head so the design
+choices in the library are backed by numbers:
+
+* **causes** — the n-lineage algorithm of Theorem 3.2 vs the generated
+  Datalog¬ program of Theorem 3.4 (both PTIME; the lineage route avoids the
+  exponential-in-query-size rule set, the Datalog route runs "inside the
+  database");
+* **responsibility** — Algorithm 1 (max-flow) vs the exact hitting-set engine
+  vs definitional brute force on a linear query where all three apply.
+"""
+
+import pytest
+
+from repro.core import (
+    actual_causes,
+    brute_force_responsibility,
+    causes_via_datalog,
+    exact_responsibility,
+    flow_responsibility_value,
+    generate_cause_program,
+)
+from repro.workloads import (
+    chain_query,
+    pick_endogenous_tuple,
+    random_database_for_query,
+)
+
+QUERY = chain_query(3).as_boolean()
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_database_for_query(QUERY, tuples_per_relation=25, domain_size=6, seed=4)
+
+
+@pytest.fixture(scope="module")
+def small_instance():
+    return random_database_for_query(QUERY, tuples_per_relation=6, domain_size=3, seed=4)
+
+
+class TestCauseEngines:
+    def test_engines_agree(self, instance):
+        assert actual_causes(QUERY, instance) == causes_via_datalog(QUERY, instance)
+
+    def test_benchmark_causes_via_lineage(self, benchmark, instance):
+        causes = benchmark(actual_causes, QUERY, instance)
+        assert isinstance(causes, frozenset)
+
+    def test_benchmark_causes_via_datalog(self, benchmark, instance):
+        program = generate_cause_program(QUERY)
+        causes = benchmark(causes_via_datalog, QUERY, instance, program)
+        assert causes == actual_causes(QUERY, instance)
+
+    def test_benchmark_datalog_program_generation(self, benchmark):
+        program = benchmark(generate_cause_program, QUERY)
+        assert program.stratum_count() == 2
+
+
+class TestResponsibilityEngines:
+    def test_engines_agree(self, small_instance):
+        for t in sorted(small_instance.endogenous_tuples()):
+            flow = flow_responsibility_value(QUERY, small_instance, t)
+            exact = exact_responsibility(QUERY, small_instance, t).responsibility
+            brute = brute_force_responsibility(QUERY, small_instance, t)
+            assert flow == exact == brute
+
+    def test_benchmark_flow_engine(self, benchmark, instance):
+        t = pick_endogenous_tuple(instance, "R2", seed=1)
+        rho = benchmark(flow_responsibility_value, QUERY, instance, t)
+        assert 0 <= rho <= 1
+
+    def test_benchmark_exact_engine(self, benchmark, instance):
+        t = pick_endogenous_tuple(instance, "R2", seed=1)
+        result = benchmark(exact_responsibility, QUERY, instance, t)
+        assert result.responsibility == flow_responsibility_value(QUERY, instance, t)
+
+    def test_benchmark_bruteforce_engine(self, benchmark, small_instance):
+        t = pick_endogenous_tuple(small_instance, "R2", seed=1)
+        rho = benchmark(brute_force_responsibility, QUERY, small_instance, t)
+        assert rho == flow_responsibility_value(QUERY, small_instance, t)

@@ -1,0 +1,104 @@
+"""Figure 3 (top half): causality is PTIME for conjunctive queries.
+
+The paper's Fig. 3 states that computing *causality* (the set of actual
+causes) is PTIME for Why-So and Why-No, with and without self-joins — via the
+lineage algorithm (Theorem 3.2, "PTIME (CQ)/(FO)") or the generated Datalog¬
+program (Theorem 3.4).  There is no measured evaluation in the paper, so this
+benchmark reproduces the *shape* of the claim: the running time of both cause
+algorithms grows polynomially with the database size, on queries with and
+without self-joins, for answers and non-answers alike.
+
+The printed table shows the measured growth ratios next to the data-size
+ratios; the assertions check that causes computed by the two algorithms agree
+and that the growth is far from exponential.
+"""
+
+import time
+
+import pytest
+
+from repro.core import actual_causes, causes_via_datalog
+from repro.lineage import build_whyno_instance, candidate_missing_tuples
+from repro.workloads import chain_query, random_database_for_query
+
+SIZES = [20, 40, 80]
+CHAIN = chain_query(3).as_boolean()
+SELF_JOIN = None  # built lazily below
+
+
+def _selfjoin_query():
+    from repro.relational import parse_query
+
+    return parse_query("q :- S(x), R(x, y), S(y)")
+
+
+def _instance(size, seed=0):
+    return random_database_for_query(CHAIN, tuples_per_relation=size, domain_size=max(4, size // 4),
+                                     seed=seed)
+
+
+class TestCausalityScaling:
+    def test_polynomial_shape_of_lineage_causality(self, table_printer):
+        rows = []
+        timings = []
+        for size in SIZES:
+            db = _instance(size)
+            start = time.perf_counter()
+            causes = actual_causes(CHAIN, db)
+            elapsed = time.perf_counter() - start
+            timings.append(elapsed)
+            rows.append((size, db.size(), len(causes), f"{elapsed * 1e3:.2f} ms"))
+        table_printer("Figure 3 (top) — Why-So causality via lineage (PTIME shape)",
+                      ("tuples/relation", "|D|", "#causes", "time"), rows)
+        # Growth between consecutive sizes stays polynomial (well below 2^n blowup):
+        # doubling the data must not blow up the time by more than ~a polynomial factor.
+        assert timings[-1] < max(timings[0], 1e-4) * 200
+
+    def test_datalog_and_lineage_agree_at_every_size(self):
+        for size in SIZES[:2]:
+            db = _instance(size, seed=1)
+            assert causes_via_datalog(CHAIN, db) == actual_causes(CHAIN, db)
+
+    def test_selfjoin_causality_is_ptime_too(self, table_printer):
+        query = _selfjoin_query()
+        rows = []
+        for size in SIZES:
+            db = random_database_for_query(query, tuples_per_relation=size,
+                                           domain_size=max(4, size // 4), seed=2)
+            start = time.perf_counter()
+            causes = actual_causes(query, db)
+            elapsed = time.perf_counter() - start
+            rows.append((size, len(causes), f"{elapsed * 1e3:.2f} ms"))
+        table_printer("Figure 3 (top) — causality with self-joins (still PTIME)",
+                      ("tuples/relation", "#causes", "time"), rows)
+
+    def test_whyno_causality_is_ptime(self, table_printer):
+        rows = []
+        for size in [4, 6, 8]:
+            db = random_database_for_query(CHAIN, tuples_per_relation=size,
+                                           domain_size=4, seed=3)
+            # remove R2 entirely so the query has non-answers to explain
+            for t in db.tuples_of("R2"):
+                db.remove(t)
+            candidates = candidate_missing_tuples(CHAIN, db)
+            combined = build_whyno_instance(db, candidates)
+            start = time.perf_counter()
+            causes = actual_causes(CHAIN, combined)
+            elapsed = time.perf_counter() - start
+            rows.append((size, len(candidates), len(causes), f"{elapsed * 1e3:.2f} ms"))
+        table_printer("Figure 3 (top) — Why-No causality (PTIME)",
+                      ("tuples/relation", "#candidates", "#causes", "time"), rows)
+
+
+class TestCausalityBenchmarks:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_benchmark_lineage_causality(self, benchmark, size):
+        db = _instance(size)
+        result = benchmark(actual_causes, CHAIN, db)
+        assert isinstance(result, frozenset)
+
+    @pytest.mark.parametrize("size", SIZES[:2])
+    def test_benchmark_datalog_causality(self, benchmark, size):
+        db = _instance(size)
+        result = benchmark(causes_via_datalog, CHAIN, db)
+        assert result == actual_causes(CHAIN, db)

@@ -1,0 +1,84 @@
+"""Figure 5 + Theorem 4.13 / Corollary 4.14: the dichotomy classifier.
+
+Fig. 5 contrasts the dual hypergraph of a linear 7-atom query with the
+non-linear ``h∗1``; Sect. 4.1 classifies every named query of the paper as
+linear / weakly linear / NP-hard.  This benchmark runs the classifier over
+the full paper catalog (printing a Fig. 3-style verdict table with the
+certificates) and benchmarks the three ingredients separately: the linearity
+test, the weakening search and the rewriting-based hardness certificate.
+"""
+
+import pytest
+
+from repro.core import (
+    ComplexityCategory,
+    abstract_query,
+    classify,
+    find_weakening,
+    hardness_certificate,
+    is_linear,
+)
+from repro.workloads import chain_query, cycle_query, paper_query_catalog, star_query
+
+
+EXPECTED_TO_CATEGORY = {
+    "linear": {ComplexityCategory.LINEAR},
+    "weakly-linear": {ComplexityCategory.WEAKLY_LINEAR},
+    "np-hard": {ComplexityCategory.NP_HARD},
+    "self-join": {ComplexityCategory.SELF_JOIN},
+}
+
+
+def test_paper_catalog_verdicts(table_printer):
+    """Every named query in the paper gets the classification the paper claims."""
+    rows = []
+    for entry in paper_query_catalog():
+        result = classify(entry.query)
+        rows.append((entry.key, entry.reference, entry.expected,
+                     result.category.value,
+                     (result.hard_query or "-")))
+        assert result.category in EXPECTED_TO_CATEGORY[entry.expected], entry.key
+    table_printer("Figure 3 / Figure 5 — dichotomy verdicts for the paper's queries",
+                  ("query", "paper ref", "paper claim", "classifier", "hard core"), rows)
+
+
+def test_certificates_are_reported(table_printer):
+    rows = []
+    for entry in paper_query_catalog():
+        result = classify(entry.query)
+        rows.append((entry.key, result.describe()[:100]))
+    table_printer("Dichotomy certificates", ("query", "explanation"), rows)
+
+
+@pytest.mark.parametrize("length", [3, 5, 7])
+def test_benchmark_linearity_test(benchmark, length):
+    query = abstract_query(chain_query(length).with_endogenous_relations(
+        [f"R{i + 1}" for i in range(length)]))
+    assert benchmark(is_linear, query)
+
+
+@pytest.mark.parametrize("entry_key", ["example-4.12-a", "example-4.12-b"])
+def test_benchmark_weakening_search(benchmark, entry_key):
+    entry = {e.key: e for e in paper_query_catalog()}[entry_key]
+    query = abstract_query(entry.query)
+    result = benchmark(find_weakening, query)
+    assert result is not None
+
+
+@pytest.mark.parametrize("maker,name", [
+    (lambda: cycle_query(4).with_endogenous_relations(["R1", "R2", "R3", "R4"]), "cycle-4"),
+    (lambda: star_query(3).with_endogenous_relations(["A1", "A2", "A3"]), "star-3"),
+])
+def test_benchmark_hardness_certificate(benchmark, maker, name):
+    query = abstract_query(maker())
+    certificate = benchmark(hardness_certificate, query)
+    assert certificate is not None
+
+
+def test_benchmark_full_classification_of_the_catalog(benchmark):
+    def classify_all():
+        return [classify(entry.query, compute_certificate=False).category
+                for entry in paper_query_catalog()]
+
+    categories = benchmark(classify_all)
+    assert len(categories) == len(paper_query_catalog())

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark module regenerates one figure or table of the paper (see
+DESIGN.md, "Per-experiment index", and EXPERIMENTS.md for the recorded
+outcomes).  Benchmarks are written for ``pytest-benchmark``:
+
+    pytest benchmarks/ --benchmark-only
+
+Each module also *prints* the rows/series the paper reports (ranking tables,
+complexity-shape series), so running the suite with ``-s`` shows the
+reproduced artefacts directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Print a small fixed-width table (used by benches to show paper artefacts)."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+              for i, h in enumerate(headers)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

@@ -1,0 +1,62 @@
+"""Theorem 3.4 in action: computing causes by running a Datalog¬ program.
+
+The paper's practical pitch for Theorem 3.4 is that "one can retrieve all
+causes to a conjunctive query by simply running a certain SQL query".  This
+example shows the generated non-recursive stratified Datalog¬ program for the
+query of Examples 3.3/3.5, evaluates it with the bundled Datalog engine, and
+verifies that it returns exactly the causes of the lineage algorithm — on the
+paper's instance and on a mixed endogenous/exogenous variant that exercises
+the negated redundancy-witness rules.
+
+Run with::
+
+    python examples/causes_in_datalog.py
+"""
+
+from __future__ import annotations
+
+from repro.core import actual_causes, causes_via_datalog, generate_cause_program
+from repro.datalog import evaluate_program
+from repro.relational import Database, Tuple, parse_query
+
+
+def build_example35_database() -> Database:
+    db = Database()
+    db.add_fact("R", "a3", "a3")                       # endogenous
+    db.add_fact("R", "a4", "a3", endogenous=False)     # exogenous
+    db.add_fact("S", "a3")                             # endogenous
+    return db
+
+
+def main() -> None:
+    query = parse_query("q :- R(x, y), S(y)")
+    db = build_example35_database()
+
+    program = generate_cause_program(query)
+    print("Generated cause program (Theorem 3.4):")
+    for rule in program:
+        print(f"  {rule!r}")
+    print(f"\nStrata: {program.strata()}  (two strata, as the theorem promises)")
+
+    result = evaluate_program(program, db)
+    print("\nDerived cause relations:")
+    for relation in sorted(program.idb_relations()):
+        if relation.startswith("Cause_"):
+            rows = sorted(result.rows(relation))
+            print(f"  {relation}: {rows if rows else '∅'}")
+
+    datalog_causes = causes_via_datalog(query, db, program)
+    lineage_causes = actual_causes(query, db)
+    print(f"\nCauses via Datalog:  {sorted(datalog_causes)}")
+    print(f"Causes via lineage:  {sorted(lineage_causes)}")
+    assert datalog_causes == lineage_causes
+
+    # Non-monotonicity (why negation is unavoidable, Example 3.5): deleting the
+    # exogenous tuple R(a4, a3) turns R(a3, a3) into a cause.
+    reduced = db.without([Tuple("R", ("a4", "a3"))])
+    print("\nAfter removing the exogenous tuple R(a4, a3):")
+    print(f"Causes via Datalog:  {sorted(causes_via_datalog(query, reduced, program))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""The paper's running example: why does the Burton query return `Musical`?
+
+Reproduces Figures 1 and 2:
+
+* builds the synthetic IMDB database (the Fig. 2a fragment plus padding),
+* runs the Fig. 1 query (genres of movies directed by someone named Burton),
+* explains the surprising ``Musical`` answer — printing the Fig. 2b table of
+  causes ranked by responsibility,
+* shows how changing the endogenous/exogenous partition (only suspect recent
+  movies are endogenous) changes the explanation.
+
+Run with::
+
+    python examples/imdb_surprising_answers.py
+"""
+
+from __future__ import annotations
+
+from repro.core import explain
+from repro.relational import evaluate
+from repro.workloads import generate_imdb
+
+
+def main() -> None:
+    scenario = generate_imdb(padding_directors=25, movies_per_padding_director=3, seed=3)
+    db, query = scenario.database, scenario.query
+
+    print("Synthetic IMDB instance (Fig. 1 schema):")
+    print(db.summary())
+
+    print("\nGenres of movies directed by someone named Burton (Fig. 1 query):")
+    for (genre,) in sorted(evaluate(query, db)):
+        print(f"  {genre}")
+
+    print("\nWhy is 'Musical' among them?  (Fig. 2b)")
+    explanation = explain(query, db, answer=("Musical",))
+    for cause in explanation.ranked():
+        tup = cause.tuple
+        if tup.relation == "Director":
+            label = f"Director({tup.values[1]} {tup.values[2]})"
+        else:
+            label = f"Movie({tup.values[1]}, {tup.values[2]})"
+        print(f"  ρ = {float(cause.responsibility):.2f}   {label}")
+
+    print("\nReading the ranking (as in Example 1.2):")
+    print("  * 'Sweeney Todd' at the top: the one true Tim Burton musical.")
+    print("  * The three Burton directors next: the query was ambiguous.")
+    print("  * Humphrey Burton's musicals at the bottom: individually weak causes.")
+
+    # A narrower partition: only Movie tuples from before 1990 are suspect.
+    print("\nNarrowing the endogenous set to movies released before 1990:")
+    narrowed = db.copy()
+    narrowed.partition_by(
+        lambda t: t.relation == "Movie" and isinstance(t.values[2], int)
+        and t.values[2] < 1990)
+    explanation = explain(query, narrowed, answer=("Musical",))
+    for cause in explanation.ranked():
+        print(f"  ρ = {float(cause.responsibility):.2f}   {cause.tuple.values[1]}")
+
+
+if __name__ == "__main__":
+    main()

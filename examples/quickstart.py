@@ -1,0 +1,67 @@
+"""Quickstart: causes and responsibilities on the paper's toy example.
+
+Reproduces Example 2.2 of the paper on the command line:
+
+* build the R/S database,
+* run the query ``q(x) :- R(x, y), S(y)``,
+* explain the answer ``a4`` — which tuples caused it, with what responsibility,
+* check one counterfactual and one contingency-based cause by hand.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Database, explain, parse_query
+from repro.core import is_counterfactual_cause, is_valid_contingency
+from repro.relational import evaluate
+
+
+def build_database() -> Database:
+    """The Example 2.2 instance; every tuple is endogenous by default."""
+    db = Database()
+    for x, y in [("a1", "a5"), ("a2", "a1"), ("a3", "a3"), ("a4", "a3"), ("a4", "a2")]:
+        db.add_fact("R", x, y)
+    for y in ["a1", "a2", "a3", "a4", "a6"]:
+        db.add_fact("S", y)
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    query = parse_query("q(x) :- R(x, y), S(y)")
+
+    print("Database:")
+    print(db.summary())
+    print("\nAnswers of q(x) :- R(x, y), S(y):")
+    for answer in sorted(evaluate(query, db)):
+        print(f"  {answer[0]}")
+
+    # --- Why is a2 an answer? -------------------------------------------- #
+    print("\nWhy is 'a2' an answer?")
+    explanation = explain(query, db, answer=("a2",))
+    print(explanation.to_table())
+
+    boolean_query = query.bind(("a2",))
+    s_a1 = next(t for t in db.tuples_of("S") if t.values == ("a1",))
+    print(f"\nS(a1) is a counterfactual cause: "
+          f"{is_counterfactual_cause(boolean_query, db, s_a1)}")
+
+    # --- Why is a4 an answer? -------------------------------------------- #
+    print("\nWhy is 'a4' an answer?")
+    explanation = explain(query, db, answer=("a4",))
+    print(explanation.to_table())
+
+    boolean_query = query.bind(("a4",))
+    s_a3 = next(t for t in db.tuples_of("S") if t.values == ("a3",))
+    s_a2 = next(t for t in db.tuples_of("S") if t.values == ("a2",))
+    print(f"\nS(a3) counterfactual on its own: "
+          f"{is_counterfactual_cause(boolean_query, db, s_a3)}")
+    print(f"S(a3) becomes counterfactual after removing S(a2) (contingency): "
+          f"{is_valid_contingency(boolean_query, db, s_a3, {s_a2})}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+The pyproject.toml metadata is authoritative; this file exists so that
+``pip install -e .`` works in fully offline environments where the ``wheel``
+package (needed for PEP 660 editable wheels) is unavailable — pip then falls
+back to the classic ``setup.py develop`` code path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'The Complexity of Causality and Responsibility for "
+        "Query Answers and non-Answers' (Meliou et al., VLDB 2010)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

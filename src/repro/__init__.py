@@ -1,0 +1,89 @@
+"""repro — a reproduction of *The Complexity of Causality and Responsibility
+for Query Answers and non-Answers* (Meliou, Gatterbauer, Moore, Suciu;
+VLDB 2010).
+
+The package implements the paper's full framework on top of self-contained
+substrates:
+
+* :mod:`repro.relational` — schemas, databases with endogenous/exogenous
+  tuples, conjunctive queries and their evaluation;
+* :mod:`repro.lineage` — lineage / n-lineage (Def. 3.1) and Why-No provenance;
+* :mod:`repro.datalog` — non-recursive stratified Datalog¬ (Theorem 3.4's
+  target language);
+* :mod:`repro.flow` — max-flow / min-cut (Algorithm 1's engine);
+* :mod:`repro.core` — causality, responsibility, the dichotomy classifier and
+  the user-facing :func:`~repro.core.api.explain`;
+* :mod:`repro.reductions` — the appendix hardness reductions;
+* :mod:`repro.workloads` — the synthetic IMDB scenario of Figs. 1–2, random
+  generators, and the catalog of every query named in the paper.
+
+Quickstart
+----------
+>>> from repro import Database, parse_query, explain
+>>> db = Database()
+>>> for x, y in [("a1", "a5"), ("a2", "a1"), ("a3", "a3"), ("a4", "a3"), ("a4", "a2")]:
+...     _ = db.add_fact("R", x, y)
+>>> for (y,) in [("a1",), ("a2",), ("a3",), ("a4",), ("a6",)]:
+...     _ = db.add_fact("S", y)
+>>> q = parse_query("q(x) :- R(x, y), S(y)")
+>>> explanation = explain(q, db, answer=("a2",))
+>>> [c.tuple.relation for c in explanation.ranked()][:1]
+['S']
+"""
+
+from .core import (
+    CausalityMode,
+    Cause,
+    ComplexityCategory,
+    Explanation,
+    actual_causes,
+    causes_of,
+    classify,
+    explain,
+    responsibilities,
+    responsibility,
+)
+from .relational import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Database,
+    Schema,
+    RelationSchema,
+    Tuple,
+    Variable,
+    database_from_dict,
+    evaluate,
+    evaluate_boolean,
+    parse_atom,
+    parse_query,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Atom",
+    "CausalityMode",
+    "Cause",
+    "ComplexityCategory",
+    "ConjunctiveQuery",
+    "Constant",
+    "Database",
+    "Explanation",
+    "RelationSchema",
+    "Schema",
+    "Tuple",
+    "Variable",
+    "__version__",
+    "actual_causes",
+    "causes_of",
+    "classify",
+    "database_from_dict",
+    "evaluate",
+    "evaluate_boolean",
+    "explain",
+    "parse_atom",
+    "parse_query",
+    "responsibilities",
+    "responsibility",
+]

@@ -1,0 +1,156 @@
+"""High-level user API: explain answers and non-answers of a query.
+
+This is the interface Example 1.1 of the paper motivates: ask *why* a
+surprising answer (``Musical``) is returned — or why an expected answer is
+missing — and receive the causes ranked by responsibility, exactly like the
+table of Fig. 2b.
+
+:func:`explain` wires together the whole pipeline:
+
+1. bind the answer/non-answer into the query head (Boolean reduction);
+2. Why-So: compute causes from the n-lineage (Theorem 3.2) and their
+   responsibilities with the complexity-aware dispatcher (Algorithm 1 for
+   weakly linear queries, exact otherwise);
+3. Why-No: generate candidate missing tuples (unless supplied), build the
+   combined instance, and apply the uniform machinery (Theorem 4.17 makes the
+   responsibility part PTIME).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..exceptions import CausalityError
+from ..lineage.whyno import build_whyno_instance, whyno_instance_for_answer
+from ..relational.database import Database
+from ..relational.evaluation import evaluate_boolean
+from ..relational.query import ConjunctiveQuery
+from ..relational.tuples import Tuple
+from .causality import actual_causes
+from .definitions import CausalityMode, Cause
+from .responsibility import responsibilities
+from .whyno import whyno_causes_with_responsibility
+
+
+class Explanation:
+    """Causes of one (non-)answer, ranked by responsibility.
+
+    Iterable (yields :class:`~repro.core.definitions.Cause` objects in ranked
+    order); :meth:`to_table` renders the Fig. 2b-style listing.
+    """
+
+    def __init__(self, query: ConjunctiveQuery, answer: Optional[Sequence[Any]],
+                 mode: CausalityMode, causes: Sequence[Cause]):
+        self.query = query
+        self.answer = None if answer is None else tuple(answer)
+        self.mode = mode
+        self.causes: List[Cause] = list(causes)
+
+    def __iter__(self):
+        return iter(self.causes)
+
+    def __len__(self) -> int:
+        return len(self.causes)
+
+    def ranked(self) -> List[Cause]:
+        """Causes sorted by decreasing responsibility (then by tuple)."""
+        return sorted(self.causes, key=lambda c: (-(c.responsibility or 0), c.tuple))
+
+    def top(self, k: int = 5) -> List[Cause]:
+        return self.ranked()[:k]
+
+    def responsibility_of(self, tuple_: Tuple) -> Fraction:
+        for cause in self.causes:
+            if cause.tuple == tuple_:
+                return cause.responsibility or Fraction(0)
+        return Fraction(0)
+
+    def to_table(self, precision: int = 2) -> str:
+        """Human-readable two-column table: ρ_t and the cause tuple."""
+        lines = [f"{'ρ_t':>6}  cause tuple"]
+        for cause in self.ranked():
+            rho = float(cause.responsibility or 0)
+            lines.append(f"{rho:>6.{precision}f}  {cause.tuple!r}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        label = "answer" if self.mode is CausalityMode.WHY_SO else "non-answer"
+        return f"Explanation({label} {self.answer!r}, {len(self.causes)} causes)"
+
+
+def explain(query: ConjunctiveQuery, database: Database,
+            answer: Optional[Sequence[Any]] = None,
+            mode: CausalityMode = CausalityMode.WHY_SO,
+            method: str = "auto",
+            whyno_candidates: Optional[Iterable[Tuple]] = None,
+            whyno_domains: Optional[Mapping[str, Iterable[Any]]] = None
+            ) -> Explanation:
+    """Explain why ``answer`` is (Why-So) or is not (Why-No) returned.
+
+    Parameters
+    ----------
+    query:
+        A conjunctive query; if non-Boolean, ``answer`` must be supplied and
+        is substituted into the head.
+    database:
+        The real database instance with its endogenous/exogenous partition.
+    mode:
+        ``"why-so"`` or ``"why-no"``.
+    method:
+        Responsibility method for Why-So (``"auto"``, ``"flow"``, ``"exact"``).
+    whyno_candidates / whyno_domains:
+        For Why-No: either an explicit candidate set of missing tuples, or
+        per-variable domains used to generate candidates automatically.
+
+    Returns an :class:`Explanation` whose causes carry exact responsibilities.
+    """
+    mode = CausalityMode.coerce(mode)
+    if query.is_boolean:
+        boolean_query = query
+        if answer not in (None, (), []):
+            raise CausalityError("a Boolean query takes no answer tuple")
+    else:
+        if answer is None:
+            raise CausalityError(
+                "a non-Boolean query needs the answer (or non-answer) tuple to explain"
+            )
+        boolean_query = query.bind(answer)
+
+    if mode is CausalityMode.WHY_SO:
+        if not evaluate_boolean(boolean_query, database):
+            raise CausalityError(
+                f"{answer!r} is not an answer on this database; use mode='why-no'"
+            )
+        results = responsibilities(boolean_query, database, mode=mode, method=method)
+        causes = [
+            Cause(r.tuple, mode, responsibility=r.responsibility,
+                  contingency=r.min_contingency)
+            for r in results if r.responsibility > 0
+        ]
+        return Explanation(query, answer, mode, causes)
+
+    # Why-No
+    if whyno_candidates is not None:
+        if evaluate_boolean(boolean_query, database):
+            raise CausalityError(
+                f"{answer!r} is an answer on this database; use mode='why-so'"
+            )
+        combined = build_whyno_instance(database, whyno_candidates)
+    else:
+        boolean_query, combined = whyno_instance_for_answer(
+            query, database, answer or (), domains=whyno_domains
+        )
+    causes = whyno_causes_with_responsibility(boolean_query, combined)
+    return Explanation(query, answer, mode, causes)
+
+
+def causes_of(query: ConjunctiveQuery, database: Database,
+              answer: Optional[Sequence[Any]] = None,
+              mode: CausalityMode = CausalityMode.WHY_SO) -> List[Tuple]:
+    """Just the causes (no responsibilities), via the PTIME lineage algorithm."""
+    mode = CausalityMode.coerce(mode)
+    boolean_query = query if query.is_boolean else query.bind(answer or ())
+    if mode is CausalityMode.WHY_NO:
+        boolean_query, database = whyno_instance_for_answer(query, database, answer or ())
+    return sorted(actual_causes(boolean_query, database, mode))

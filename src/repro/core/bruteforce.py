@@ -1,0 +1,129 @@
+"""Brute-force reference algorithms, straight from Definitions 2.1 and 2.3.
+
+These implementations iterate over subsets of the endogenous tuples exactly as
+the definitions suggest ("in theory, in order to compute the contingency one
+has to iterate over subsets of endogenous tuples").  They are exponential and
+only usable on small instances, but they are the ground truth every
+polynomial-time algorithm in this library is tested against, and they are the
+baseline the Fig. 3 benchmarks compare against to exhibit the
+PTIME-vs-exponential gap.
+
+To keep the search space manageable the candidate pool for contingencies is
+restricted to endogenous tuples that occur in the lineage of the query — a
+sound restriction: tuples outside the lineage never affect the query's truth
+value, so removing (or adding) them can neither create nor destroy a
+counterfactual state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple as TypingTuple
+
+from ..relational.database import Database
+from ..relational.query import ConjunctiveQuery
+from ..relational.tuples import Tuple
+from ..lineage.provenance import n_lineage
+from .definitions import (
+    CausalityMode,
+    Cause,
+    is_valid_contingency,
+    responsibility_value,
+)
+
+
+def _candidate_pool(query: ConjunctiveQuery, database: Database,
+                    restrict_to_lineage: bool) -> FrozenSet[Tuple]:
+    """Endogenous tuples considered for membership in a contingency set."""
+    endogenous = database.endogenous_tuples()
+    if not restrict_to_lineage:
+        return endogenous
+    relevant = n_lineage(query, database, simplify=False).variables()
+    return frozenset(endogenous & relevant)
+
+
+def brute_force_minimum_contingency(
+    query: ConjunctiveQuery,
+    database: Database,
+    tuple_: Tuple,
+    mode: CausalityMode = CausalityMode.WHY_SO,
+    max_size: Optional[int] = None,
+    restrict_to_lineage: bool = True,
+) -> Optional[FrozenSet[Tuple]]:
+    """Smallest contingency set for ``t`` found by exhaustive search.
+
+    Returns ``None`` when ``t`` is not an actual cause (no contingency of size
+    up to ``max_size`` exists; ``max_size`` defaults to the size of the
+    candidate pool, i.e. the search is complete).
+    """
+    mode = CausalityMode.coerce(mode)
+    if not database.is_endogenous(tuple_):
+        return None
+    pool = sorted(_candidate_pool(query, database, restrict_to_lineage) - {tuple_})
+    limit = len(pool) if max_size is None else min(max_size, len(pool))
+    for size in range(limit + 1):
+        for subset in itertools.combinations(pool, size):
+            gamma = frozenset(subset)
+            if is_valid_contingency(query, database, tuple_, gamma, mode):
+                return gamma
+    return None
+
+
+def brute_force_is_cause(
+    query: ConjunctiveQuery,
+    database: Database,
+    tuple_: Tuple,
+    mode: CausalityMode = CausalityMode.WHY_SO,
+    restrict_to_lineage: bool = True,
+) -> bool:
+    """Is ``t`` an actual cause?  (Exhaustive search over contingencies.)"""
+    return brute_force_minimum_contingency(
+        query, database, tuple_, mode, restrict_to_lineage=restrict_to_lineage
+    ) is not None
+
+
+def brute_force_responsibility(
+    query: ConjunctiveQuery,
+    database: Database,
+    tuple_: Tuple,
+    mode: CausalityMode = CausalityMode.WHY_SO,
+    restrict_to_lineage: bool = True,
+) -> Fraction:
+    """``ρ_t`` by exhaustive search (Definition 2.3); 0 when ``t`` is no cause."""
+    gamma = brute_force_minimum_contingency(
+        query, database, tuple_, mode, restrict_to_lineage=restrict_to_lineage
+    )
+    if gamma is None:
+        return responsibility_value(None)
+    return responsibility_value(len(gamma))
+
+
+def brute_force_causes(
+    query: ConjunctiveQuery,
+    database: Database,
+    mode: CausalityMode = CausalityMode.WHY_SO,
+    with_responsibility: bool = False,
+    restrict_to_lineage: bool = True,
+) -> List[Cause]:
+    """All actual causes (optionally with responsibilities) by brute force.
+
+    The result is sorted by decreasing responsibility (when computed) and then
+    by tuple for determinism.
+    """
+    mode = CausalityMode.coerce(mode)
+    causes: List[Cause] = []
+    for candidate in sorted(database.endogenous_tuples()):
+        gamma = brute_force_minimum_contingency(
+            query, database, candidate, mode, restrict_to_lineage=restrict_to_lineage
+        )
+        if gamma is None:
+            continue
+        responsibility = responsibility_value(len(gamma)) if with_responsibility else None
+        causes.append(Cause(candidate, mode, responsibility=responsibility,
+                            contingency=gamma))
+    if with_responsibility:
+        causes.sort(key=lambda c: (-(c.responsibility or 0), c.tuple))
+    else:
+        causes.sort(key=lambda c: c.tuple)
+    return causes

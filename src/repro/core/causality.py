@@ -1,0 +1,138 @@
+"""PTIME computation of causes via the n-lineage (Theorem 3.2).
+
+Theorem 3.2 states that an endogenous tuple ``t`` is an actual cause of a
+Boolean conjunctive query iff the variable ``X_t`` occurs in a *non-redundant*
+conjunct of the n-lineage ``Φⁿ``.  This yields the PTIME algorithm the paper
+describes right after the theorem: compute the n-lineage, remove redundant
+conjuncts, and read off the surviving tuples.
+
+The same procedure applies to Why-So and Why-No uniformly (Sect. 3 "the
+results in this section apply uniformly to both"): for Why-No the database
+passed in is the combined instance ``D = Dx ∪ Dn`` built by
+:func:`repro.lineage.whyno.build_whyno_instance`, where the real tuples are
+exogenous and the candidate missing tuples are endogenous.
+
+Besides the cause set, this module also produces *witness contingencies*
+(following the constructive argument in the proof of Theorem 3.2) and
+identifies counterfactual causes (ρ = 1) directly from the lineage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from ..exceptions import CausalityError
+from ..lineage.boolean_expr import PositiveDNF
+from ..lineage.provenance import n_lineage
+from ..relational.database import Database
+from ..relational.query import ConjunctiveQuery
+from ..relational.tuples import Tuple
+from .definitions import CausalityMode, Cause
+
+
+def causes_from_lineage(phi_n: PositiveDNF) -> FrozenSet[Tuple]:
+    """Causes read off an n-lineage: variables of non-redundant conjuncts.
+
+    ``phi_n`` may be passed simplified or not; redundant conjuncts are removed
+    here.  If the n-lineage is trivially true (some valuation used only
+    exogenous tuples) there are no causes — removing endogenous tuples can
+    never change the outcome.
+    """
+    minimal = phi_n.remove_redundant()
+    if minimal.is_trivially_true():
+        return frozenset()
+    return minimal.variables()
+
+
+def actual_causes(query: ConjunctiveQuery, database: Database,
+                  mode: CausalityMode = CausalityMode.WHY_SO) -> FrozenSet[Tuple]:
+    """All actual causes of a Boolean query (Theorem 3.2 algorithm).
+
+    For ``mode == WHY_NO`` the ``database`` must already be the combined
+    Why-No instance ``Dx ∪ Dn`` (see :mod:`repro.lineage.whyno`); the
+    computation itself is identical, which is the point of the theorem.
+    """
+    CausalityMode.coerce(mode)
+    if not query.is_boolean:
+        raise CausalityError(
+            "actual_causes expects a Boolean query; call query.bind(answer) first"
+        )
+    phi_n = n_lineage(query, database, simplify=True)
+    return causes_from_lineage(phi_n)
+
+
+def is_actual_cause(query: ConjunctiveQuery, database: Database, tuple_: Tuple,
+                    mode: CausalityMode = CausalityMode.WHY_SO) -> bool:
+    """Is ``t`` an actual cause?  (PTIME, via Theorem 3.2.)"""
+    if not database.is_endogenous(tuple_):
+        return False
+    return tuple_ in actual_causes(query, database, mode)
+
+
+def counterfactual_causes(query: ConjunctiveQuery, database: Database,
+                          mode: CausalityMode = CausalityMode.WHY_SO) -> FrozenSet[Tuple]:
+    """Causes with responsibility 1 (empty contingency suffices).
+
+    Why-So reading: ``t`` is counterfactual iff *every* conjunct of the
+    n-lineage contains ``t`` — removing ``t`` then kills every witness of the
+    query.  (Why-No is symmetric on the combined instance: ``t`` alone
+    completes a witness and no witness avoids it... which for non-trivial
+    instances reduces to the same condition on minimal conjuncts.)
+    """
+    mode = CausalityMode.coerce(mode)
+    phi_n = n_lineage(query, database, simplify=True)
+    if phi_n.is_trivially_true() or not phi_n.is_satisfiable():
+        return frozenset()
+    conjuncts = phi_n.conjuncts
+    if mode is CausalityMode.WHY_SO:
+        return frozenset(set.intersection(*(set(c) for c in conjuncts)))
+    # Why-No: t is counterfactual iff {t} alone completes a witness, i.e. some
+    # minimal conjunct equals {t}.
+    return frozenset(t for c in conjuncts if len(c) == 1 for t in c)
+
+
+def witness_contingency(query: ConjunctiveQuery, database: Database, tuple_: Tuple,
+                        mode: CausalityMode = CausalityMode.WHY_SO) -> Optional[FrozenSet[Tuple]]:
+    """A (not necessarily minimum) contingency witnessing that ``t`` is a cause.
+
+    Follows the constructive step in the proof of Theorem 3.2:
+
+    * Why-So: pick a non-redundant conjunct ``C ∋ t`` and remove every other
+      endogenous tuple occurring in the simplified n-lineage, i.e.
+      ``Γ = Var(Φ') − C``.
+    * Why-No: pick a non-redundant conjunct ``C ∋ t`` and insert the rest of
+      it, i.e. ``Γ = C − {t}``.
+
+    Returns ``None`` if ``t`` is not an actual cause.
+    """
+    mode = CausalityMode.coerce(mode)
+    phi_n = n_lineage(query, database, simplify=True)
+    if phi_n.is_trivially_true():
+        return None
+    witnesses = [c for c in phi_n.conjuncts if tuple_ in c]
+    if not witnesses:
+        return None
+    # Prefer a small witness conjunct: for Why-No it directly gives a small
+    # contingency, for Why-So it removes the fewest constraints on Γ.
+    witness = min(witnesses, key=lambda c: (len(c), sorted(map(repr, c))))
+    if mode is CausalityMode.WHY_NO:
+        return frozenset(witness - {tuple_})
+    return frozenset(phi_n.variables() - witness)
+
+
+def causes_with_witnesses(query: ConjunctiveQuery, database: Database,
+                          mode: CausalityMode = CausalityMode.WHY_SO) -> List[Cause]:
+    """All actual causes, each packaged with a witnessing contingency."""
+    mode = CausalityMode.coerce(mode)
+    phi_n = n_lineage(query, database, simplify=True)
+    cause_tuples = causes_from_lineage(phi_n)
+    results: List[Cause] = []
+    for tup in sorted(cause_tuples):
+        witnesses = [c for c in phi_n.conjuncts if tup in c]
+        witness = min(witnesses, key=lambda c: (len(c), sorted(map(repr, c))))
+        if mode is CausalityMode.WHY_NO:
+            gamma = frozenset(witness - {tup})
+        else:
+            gamma = frozenset(phi_n.variables() - witness)
+        results.append(Cause(tup, mode, contingency=gamma))
+    return results

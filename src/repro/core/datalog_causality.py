@@ -1,0 +1,177 @@
+"""First-order (Datalog¬) computation of causes — Theorem 3.4 and Corollary 3.7.
+
+Theorem 3.4 shows that the set of all causes ``{C_R1, ..., C_Rk}`` of a
+Boolean conjunctive query can be computed by a non-recursive stratified
+Datalog program with negation using only two strata; in SQL terms, causes can
+be retrieved "by simply running a certain SQL query".
+
+``generate_cause_program`` constructs such a program for queries **without
+self-joins** (each relation occurs in at most one atom) under arbitrary
+tuple-level endogenous/exogenous partitions:
+
+* For every subset ``A`` of atoms (a *refinement*: atoms in ``A`` are read
+  from the endogenous part ``Rⁿ`` of their relation, the others from the
+  exogenous part ``Rˣ``) and every atom ``g_j ∈ A`` there is a rule deriving
+  ``C_{R_j}(x̄_j)`` from the refined body, guarded by negated redundancy
+  witnesses.
+* For every proper subset ``T ⊊ {1..m}`` there is a first-stratum predicate
+  ``I_T`` that holds for the variable values of ``T``'s atoms whenever some
+  valuation matches ``T``'s atoms endogenously *with those very values* and
+  every other atom exogenously.  ``¬I_T`` in a ``C`` rule rules out exactly
+  the strict-subset conjuncts that would make the candidate conjunct
+  redundant (the paper's "n-embeddings" specialise to these subset witnesses
+  when there are no self-joins).
+
+The resulting program always has two strata (all ``I_T`` in the first, all
+``C_R`` in the second), matching the theorem.  Corollary 3.7's special case —
+every relation entirely endogenous or exogenous and no self-joins — is also
+available in its pared-down purely conjunctive form via
+:func:`corollary_conjunctive_program`.
+
+Queries *with* self-joins are handled in PTIME by the lineage algorithm of
+:mod:`repro.core.causality`; generating the fully general Datalog program with
+the paper's image/embedding machinery is out of scope for this reproduction
+(see DESIGN.md, "Known deviations").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple as TypingTuple
+
+from ..datalog.evaluation import evaluate_program
+from ..datalog.program import Literal, Program, Rule
+from ..exceptions import CausalityError
+from ..relational.database import Database
+from ..relational.query import Atom, ConjunctiveQuery, Variable
+from ..relational.tuples import Tuple
+
+
+def cause_predicate_name(relation: str) -> str:
+    """Name of the IDB predicate holding the causes found in ``relation``."""
+    return f"Cause_{relation}"
+
+
+def _witness_predicate_name(subset: FrozenSet[int]) -> str:
+    if not subset:
+        return "Redundant_empty"
+    return "Redundant_" + "_".join(str(i) for i in sorted(subset))
+
+
+def _subset_head_terms(query: ConjunctiveQuery, subset: FrozenSet[int]
+                       ) -> TypingTuple[Variable, ...]:
+    """Head variables of ``I_T``: the variables of the atoms in ``T`` (sorted)."""
+    variables: Set[Variable] = set()
+    for index in subset:
+        variables |= query.atoms[index].variables()
+    return tuple(sorted(variables, key=lambda v: v.name))
+
+
+def _refined_atom(atom: Atom, endogenous: bool) -> Atom:
+    return atom.with_endogenous(endogenous)
+
+
+def generate_cause_program(query: ConjunctiveQuery) -> Program:
+    """The Datalog¬ program computing all causes of ``query`` (Theorem 3.4).
+
+    The query must be Boolean and free of self-joins.  The program reads the
+    endogenous/exogenous split from the database it is later evaluated on
+    (via the ``Rⁿ``/``Rˣ`` atom annotations), so the same program serves any
+    tuple-level partition of the same schema.
+    """
+    if not query.is_boolean:
+        raise CausalityError("generate_cause_program expects a Boolean query")
+    if query.has_self_joins():
+        raise CausalityError(
+            "the Datalog cause program is generated for queries without self-joins; "
+            "use repro.core.causality.actual_causes for self-join queries"
+        )
+
+    atom_indices = list(range(len(query.atoms)))
+    rules: List[Rule] = []
+
+    # First stratum: one redundancy-witness predicate per proper subset T.
+    for size in range(len(atom_indices)):
+        for subset_tuple in itertools.combinations(atom_indices, size):
+            subset = frozenset(subset_tuple)
+            head_terms = _subset_head_terms(query, subset)
+            body = [
+                Literal(_refined_atom(atom, index in subset))
+                for index, atom in enumerate(query.atoms)
+            ]
+            head = Atom(_witness_predicate_name(subset), head_terms)
+            rules.append(Rule(head, body))
+
+    # Second stratum: cause rules, one per refinement A and endogenous atom.
+    for size in range(1, len(atom_indices) + 1):
+        for refinement_tuple in itertools.combinations(atom_indices, size):
+            refinement = frozenset(refinement_tuple)
+            body_atoms = [
+                Literal(_refined_atom(atom, index in refinement))
+                for index, atom in enumerate(query.atoms)
+            ]
+            guards: List[Literal] = []
+            for witness_size in range(len(refinement)):
+                for witness_tuple in itertools.combinations(sorted(refinement), witness_size):
+                    witness = frozenset(witness_tuple)
+                    head_terms = _subset_head_terms(query, witness)
+                    guards.append(Literal(
+                        Atom(_witness_predicate_name(witness), head_terms),
+                        positive=False,
+                    ))
+            for index in sorted(refinement):
+                atom = query.atoms[index]
+                head = Atom(cause_predicate_name(atom.relation), atom.terms)
+                rules.append(Rule(head, body_atoms + guards))
+
+    return Program(rules)
+
+
+def corollary_conjunctive_program(query: ConjunctiveQuery,
+                                  endogenous_relations: Iterable[str]) -> Program:
+    """The negation-free cause program of Corollary 3.7.
+
+    Applicable when every relation is entirely endogenous or entirely
+    exogenous and no endogenous relation occurs twice in the query: then each
+    ``C_{R_i}`` is a single conjunctive query.
+    """
+    if not query.is_boolean:
+        raise CausalityError("corollary_conjunctive_program expects a Boolean query")
+    endo = set(endogenous_relations)
+    endo_atoms = [a for a in query.atoms if a.relation in endo]
+    names = [a.relation for a in endo_atoms]
+    if len(names) != len(set(names)):
+        raise CausalityError(
+            "Corollary 3.7 requires endogenous relations to occur at most once"
+        )
+    body = [
+        Literal(a.with_endogenous(a.relation in endo))
+        for a in query.atoms
+    ]
+    rules = [
+        Rule(Atom(cause_predicate_name(atom.relation), atom.terms), body)
+        for atom in endo_atoms
+    ]
+    return Program(rules)
+
+
+def causes_via_datalog(query: ConjunctiveQuery, database: Database,
+                       program: Optional[Program] = None) -> FrozenSet[Tuple]:
+    """Evaluate the cause program and return the causes as database tuples.
+
+    Each row of a ``Cause_R`` predicate is mapped back to the corresponding
+    tuple of relation ``R``; only rows that exist as endogenous tuples are
+    reported (rows with repeated variables project correctly because the rule
+    head uses the original atom's term list).
+    """
+    if program is None:
+        program = generate_cause_program(query)
+    result = evaluate_program(program, database)
+    causes: Set[Tuple] = set()
+    for atom in query.atoms:
+        predicate = cause_predicate_name(atom.relation)
+        for derived in result[predicate]:
+            candidate = Tuple(atom.relation, derived.values)
+            if database.is_endogenous(candidate):
+                causes.add(candidate)
+    return frozenset(causes)

@@ -1,0 +1,168 @@
+"""Causality and responsibility: the paper's definitions, verbatim.
+
+This module contains *checkers*, not algorithms: given a tuple and (possibly)
+a contingency set, it verifies Definition 2.1 (counterfactual / actual cause)
+and computes Definition 2.3 (responsibility) from a contingency size.  The
+checkers work for both instantiations of causality:
+
+* **Why-So** — ``a`` is an answer; causes are endogenous tuples whose removal
+  (together with a contingency ``Γ ⊆ Dn``) flips the query to false.
+* **Why-No** — ``a`` is a non-answer; the real database is exogenous, the
+  candidate missing tuples are endogenous, and causes are endogenous tuples
+  whose *insertion* (on top of a contingency ``Γ ⊆ Dn`` of other insertions)
+  flips the query to true.
+
+Everything downstream (brute force, lineage-based algorithms, the flow
+algorithm) is validated against these checkers in the test-suite.
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+from typing import FrozenSet, Iterable, Optional
+
+from ..exceptions import CausalityError
+from ..relational.database import Database
+from ..relational.evaluation import evaluate_boolean
+from ..relational.query import ConjunctiveQuery
+from ..relational.tuples import Tuple
+
+
+class CausalityMode(enum.Enum):
+    """Which instantiation of query causality is being computed."""
+
+    WHY_SO = "why-so"
+    WHY_NO = "why-no"
+
+    @classmethod
+    def coerce(cls, value) -> "CausalityMode":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower().replace("_", "-"))
+        except ValueError:
+            raise CausalityError(
+                f"unknown causality mode {value!r}; expected 'why-so' or 'why-no'"
+            ) from None
+
+
+class Cause:
+    """A cause together with its (optionally known) responsibility.
+
+    Attributes
+    ----------
+    tuple:
+        The endogenous tuple identified as an actual cause.
+    mode:
+        Why-So or Why-No.
+    responsibility:
+        ``ρ_t`` as an exact :class:`fractions.Fraction` (``None`` when only
+        causality, not responsibility, was computed).
+    contingency:
+        A witnessing contingency set (not necessarily minimum unless produced
+        by a responsibility algorithm).
+    """
+
+    __slots__ = ("tuple", "mode", "responsibility", "contingency")
+
+    def __init__(self, tuple: Tuple, mode: CausalityMode,
+                 responsibility: Optional[Fraction] = None,
+                 contingency: Optional[FrozenSet[Tuple]] = None):
+        self.tuple = tuple
+        self.mode = mode
+        self.responsibility = responsibility
+        self.contingency = contingency
+
+    @property
+    def is_counterfactual(self) -> Optional[bool]:
+        """True iff ρ = 1 (unknown when responsibility was not computed)."""
+        if self.responsibility is None:
+            return None
+        return self.responsibility == 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cause):
+            return NotImplemented
+        return (self.tuple == other.tuple and self.mode == other.mode
+                and self.responsibility == other.responsibility)
+
+    def __hash__(self) -> int:
+        return hash((self.tuple, self.mode, self.responsibility))
+
+    def __repr__(self) -> str:
+        rho = "?" if self.responsibility is None else str(self.responsibility)
+        return f"Cause({self.tuple!r}, ρ={rho})"
+
+
+def responsibility_value(min_contingency_size: Optional[int]) -> Fraction:
+    """Definition 2.3: ``ρ_t = 1 / (1 + min |Γ|)``; 0 when ``t`` is no cause."""
+    if min_contingency_size is None:
+        return Fraction(0)
+    if min_contingency_size < 0:
+        raise CausalityError("contingency size cannot be negative")
+    return Fraction(1, 1 + min_contingency_size)
+
+
+# --------------------------------------------------------------------------- #
+# Definition 2.1 — checkers
+# --------------------------------------------------------------------------- #
+def is_counterfactual_cause(query: ConjunctiveQuery, database: Database,
+                            tuple_: Tuple,
+                            mode: CausalityMode = CausalityMode.WHY_SO) -> bool:
+    """Is ``t`` a counterfactual cause (Def. 2.1, first bullet)?
+
+    Why-So: ``D ⊨ q`` and ``D − {t} ⊭ q``.
+    Why-No: ``Dx ⊭ q`` and ``Dx ∪ {t} ⊨ q`` (``Dx`` = exogenous part of D).
+    """
+    mode = CausalityMode.coerce(mode)
+    _require_boolean(query)
+    if not database.is_endogenous(tuple_):
+        return False
+    if mode is CausalityMode.WHY_SO:
+        if not evaluate_boolean(query, database):
+            return False
+        return not evaluate_boolean(query, database.without([tuple_]))
+    # Why-No: start from the exogenous database only.
+    exogenous_db = database.without(database.endogenous_tuples())
+    if evaluate_boolean(query, exogenous_db):
+        return False
+    return evaluate_boolean(query, exogenous_db.with_tuples([tuple_], endogenous=True))
+
+
+def is_valid_contingency(query: ConjunctiveQuery, database: Database,
+                         tuple_: Tuple, contingency: Iterable[Tuple],
+                         mode: CausalityMode = CausalityMode.WHY_SO) -> bool:
+    """Does ``Γ`` witness that ``t`` is an actual cause (Def. 2.1, second bullet)?
+
+    Why-So: ``Γ ⊆ Dn``, ``t ∉ Γ``, and ``t`` is counterfactual in ``D − Γ``.
+    Why-No: ``Γ ⊆ Dn``, ``t ∉ Γ``, and ``t`` is counterfactual in ``Dx ∪ Γ``.
+    """
+    mode = CausalityMode.coerce(mode)
+    _require_boolean(query)
+    gamma = frozenset(contingency)
+    if tuple_ in gamma:
+        return False
+    endogenous = database.endogenous_tuples()
+    if not gamma <= endogenous:
+        return False
+    if not database.is_endogenous(tuple_):
+        return False
+    if mode is CausalityMode.WHY_SO:
+        reduced = database.without(gamma)
+        return is_counterfactual_cause(query, reduced, tuple_, CausalityMode.WHY_SO)
+    exogenous_db = database.without(endogenous)
+    hypothetical = exogenous_db.with_tuples(gamma | {tuple_}, endogenous=True)
+    # In the hypothetical state Dx ∪ Γ ∪ {t}, t must be counterfactual for the
+    # *Why-So* reading of the non-answer having become an answer: removing t
+    # makes q false again, keeping it keeps q true.
+    if not evaluate_boolean(query, hypothetical):
+        return False
+    return not evaluate_boolean(query, hypothetical.without([tuple_]))
+
+
+def _require_boolean(query: ConjunctiveQuery) -> None:
+    if not query.is_boolean:
+        raise CausalityError(
+            "causality is defined for Boolean queries; call query.bind(answer) first"
+        )

@@ -1,0 +1,165 @@
+"""The responsibility dichotomy classifier (Theorem 4.13 / Corollary 4.14).
+
+For a conjunctive query without self-joins (each relation entirely endogenous
+or exogenous), computing Why-So responsibility is
+
+* in PTIME when the query is *weakly linear* (some sequence of dominations and
+  dissociations makes it linear) — Algorithm 1 applies to the weakened query;
+* NP-hard otherwise — the query rewrites into one of the canonical hard
+  queries ``h∗1``, ``h∗2``, ``h∗3`` of Theorem 4.1.
+
+Self-join queries are NP-hard in general (Prop. 4.16) but the paper leaves
+their dichotomy open, so they are reported as a separate category.  Why-No
+responsibility is always PTIME (Theorem 4.17) irrespective of the query shape.
+
+:func:`classify` packages all of this into a single result object carrying the
+certificates (a linear order, a weakening, or a rewriting path to a hard
+query) so that callers — and the Fig. 3 / Fig. 5 benchmarks — can display *why*
+a query falls on either side of the dichotomy.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Tuple
+
+from ..relational.database import Database
+from ..relational.query import ConjunctiveQuery
+from .abstract import AbstractQuery, abstract_query
+from .hypergraph import linear_order
+from .rewriting import RewriteStep, hardness_certificate, matches_canonical_hard_query
+from .weakening import WeakeningResult, find_weakening
+
+
+class ComplexityCategory(enum.Enum):
+    """Where a query falls in the responsibility complexity landscape."""
+
+    LINEAR = "linear"                      # PTIME, Algorithm 1 directly
+    WEAKLY_LINEAR = "weakly-linear"        # PTIME, Algorithm 1 after weakening
+    NP_HARD = "np-hard"                    # rewrites to h∗1/h∗2/h∗3
+    SELF_JOIN = "self-join"                # hard in general, dichotomy open
+
+
+class DichotomyResult:
+    """Outcome of classifying one query.
+
+    Attributes
+    ----------
+    query:
+        The abstract query that was classified.
+    category:
+        A :class:`ComplexityCategory`.
+    order:
+        A linear order of atom indices (for LINEAR queries).
+    weakening:
+        A :class:`~repro.core.weakening.WeakeningResult` (for WEAKLY_LINEAR
+        queries; also populated for LINEAR queries with an empty step list).
+    certificate:
+        For NP_HARD queries, the rewriting path to a canonical hard query.
+    hard_query:
+        Which canonical query (``"h1"``/``"h2"``/``"h3"``) the certificate
+        reaches.
+    """
+
+    def __init__(self, query: AbstractQuery, category: ComplexityCategory,
+                 order: Optional[List[int]] = None,
+                 weakening: Optional[WeakeningResult] = None,
+                 certificate: Optional[List[Tuple[RewriteStep, AbstractQuery]]] = None,
+                 hard_query: Optional[str] = None):
+        self.query = query
+        self.category = category
+        self.order = order
+        self.weakening = weakening
+        self.certificate = certificate
+        self.hard_query = hard_query
+
+    @property
+    def is_ptime(self) -> bool:
+        """Is Why-So responsibility for this query computable in PTIME?
+
+        ``False`` both for provably NP-hard queries and for self-join queries
+        (where the general problem is NP-hard and no dichotomy is known).
+        """
+        return self.category in (ComplexityCategory.LINEAR,
+                                 ComplexityCategory.WEAKLY_LINEAR)
+
+    @property
+    def is_hard(self) -> bool:
+        return self.category is ComplexityCategory.NP_HARD
+
+    def describe(self) -> str:
+        """A one-paragraph human-readable explanation of the classification."""
+        if self.category is ComplexityCategory.LINEAR:
+            labels = [self.query.atoms[i].label for i in (self.order or [])]
+            return f"linear (PTIME); linear order: {' , '.join(labels)}"
+        if self.category is ComplexityCategory.WEAKLY_LINEAR:
+            assert self.weakening is not None
+            steps = ", ".join(repr(s) for s in self.weakening.steps) or "none"
+            labels = [a.label for a in self.weakening.ordered_atoms()]
+            return (f"weakly linear (PTIME); weakening steps: {steps}; "
+                    f"linear order: {' , '.join(labels)}")
+        if self.category is ComplexityCategory.NP_HARD:
+            steps = " ; ".join(repr(step) for step, _ in (self.certificate or []))
+            return (f"NP-hard; rewrites to {self.hard_query} via: {steps or 'identity'}")
+        return "self-join query: NP-hard in general, dichotomy open (Prop. 4.16)"
+
+    def __repr__(self) -> str:
+        return f"DichotomyResult({self.category.value})"
+
+
+def classify_abstract(query: AbstractQuery,
+                      compute_certificate: bool = True) -> DichotomyResult:
+    """Classify an abstract self-join-free query (see :func:`classify`)."""
+    order = linear_order(query)
+    if order is not None:
+        weakening = WeakeningResult(query, query, (), order)
+        return DichotomyResult(query, ComplexityCategory.LINEAR,
+                               order=order, weakening=weakening)
+    weakening = find_weakening(query)
+    if weakening is not None:
+        return DichotomyResult(query, ComplexityCategory.WEAKLY_LINEAR,
+                               weakening=weakening)
+    certificate = None
+    hard_query = matches_canonical_hard_query(query)
+    if compute_certificate and hard_query is None:
+        certificate = hardness_certificate(query)
+        if certificate:
+            hard_query = matches_canonical_hard_query(certificate[-1][1])
+    return DichotomyResult(query, ComplexityCategory.NP_HARD,
+                           certificate=certificate, hard_query=hard_query)
+
+
+def classify(query: ConjunctiveQuery,
+             endogenous_relations: Optional[Iterable[str]] = None,
+             database: Optional[Database] = None,
+             compute_certificate: bool = True) -> DichotomyResult:
+    """Classify a conjunctive query for the Why-So responsibility dichotomy.
+
+    Parameters
+    ----------
+    query:
+        The (Boolean or non-Boolean) conjunctive query.  Non-Boolean queries
+        are classified by their body, which is what determines complexity.
+    endogenous_relations / database:
+        How to resolve the endogenous status of each relation; see
+        :func:`repro.core.abstract.abstract_query`.
+    compute_certificate:
+        Whether to construct the rewriting path to a canonical hard query for
+        NP-hard cases (slower, but explains the verdict).
+
+    Self-join queries are reported as :attr:`ComplexityCategory.SELF_JOIN`
+    without further analysis.
+    """
+    if query.has_self_joins():
+        abstract = abstract_query(query, endogenous_relations, database)
+        return DichotomyResult(abstract, ComplexityCategory.SELF_JOIN)
+    abstract = abstract_query(query, endogenous_relations, database)
+    return classify_abstract(abstract, compute_certificate=compute_certificate)
+
+
+def is_ptime_responsibility(query: ConjunctiveQuery,
+                            endogenous_relations: Optional[Iterable[str]] = None,
+                            database: Optional[Database] = None) -> bool:
+    """Shortcut: is Why-So responsibility for this query PTIME-computable?"""
+    return classify(query, endogenous_relations, database,
+                    compute_certificate=False).is_ptime

@@ -1,0 +1,344 @@
+"""Algorithm 1: PTIME responsibility for (weakly) linear queries via max-flow.
+
+The construction follows Example 4.2 and Algorithm 1 of the paper:
+
+1. linearise the (weakened) query — every variable occupies a consecutive
+   block of atoms;
+2. build a layered flow network whose *edges* are database tuples: the edge of
+   a tuple of the ``k``-th atom connects the node holding the values of the
+   variables shared with the previous atom to the node holding the values of
+   the variables shared with the next atom.  Endogenous tuples get capacity 1,
+   exogenous tuples (and tuples of dominated atoms) capacity ∞;
+3. every source–target path corresponds to a valuation of the query, so a cut
+   is a set of tuples whose removal makes the query false;
+4. for each valuation (witness) that uses the inspected tuple ``t``: protect
+   the witness's other tuples with capacity ∞, give ``t`` capacity 0, and
+   compute a min-cut.  The cut minus ``t`` is a contingency for ``t``; the
+   smallest cut over all witnesses gives the minimum contingency and hence the
+   responsibility ``ρ_t = 1 / (1 + min |Γ|)`` (Theorem 4.5).
+
+When the query is not linear but weakly linear, the weakening is materialised
+on the instance: dominated atoms keep their tuples but become exogenous, and
+dissociated (exogenous) atoms have their tuples extended with every value of
+the added variables — which changes neither the query answer nor the
+contingencies (Lemma 4.10).
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple as TypingTuple,
+)
+
+from ..exceptions import CausalityError, NotLinearError
+from ..flow.maxflow import max_flow
+from ..flow.network import INFINITY, FlowNetwork
+from ..relational.database import Database
+from ..relational.evaluation import QueryEvaluator
+from ..relational.query import Atom, ConjunctiveQuery, Constant, Variable
+from ..relational.tuples import Tuple
+from .abstract import AbstractQuery, abstract_query
+from .definitions import responsibility_value
+from .weakening import WeakeningResult, find_weakening
+
+
+class FlowResponsibilityResult:
+    """Outcome of the flow-based responsibility computation for one tuple.
+
+    Attributes
+    ----------
+    responsibility:
+        ``ρ_t`` as an exact fraction (0 when ``t`` is not a cause).
+    min_contingency:
+        A minimum contingency set (``None`` when ``t`` is not a cause).
+    witnesses:
+        Number of witnessing valuations that were examined.
+    weakening:
+        The weakening certificate used (identity weakening for linear queries).
+    """
+
+    def __init__(self, responsibility: Fraction,
+                 min_contingency: Optional[FrozenSet[Tuple]],
+                 witnesses: int, weakening: WeakeningResult):
+        self.responsibility = responsibility
+        self.min_contingency = min_contingency
+        self.witnesses = witnesses
+        self.weakening = weakening
+
+    def __repr__(self) -> str:
+        return (f"FlowResponsibilityResult(ρ={self.responsibility}, "
+                f"witnesses={self.witnesses})")
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------------- #
+def match_atom(atom: Atom, tup: Tuple) -> Optional[Dict[str, Any]]:
+    """Match a tuple against an atom; return the variable assignment or None.
+
+    Constants must agree and repeated variables must receive equal values.
+    """
+    if atom.relation != tup.relation or atom.arity != tup.arity:
+        return None
+    assignment: Dict[str, Any] = {}
+    for term, value in zip(atom.terms, tup.values):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            assert isinstance(term, Variable)
+            if term.name in assignment and assignment[term.name] != value:
+                return None
+            assignment[term.name] = value
+    return assignment
+
+
+def _variable_domains(query: ConjunctiveQuery, database: Database) -> Dict[str, Set[Any]]:
+    """For every variable, the values it takes in matching tuples of the atoms
+    that (originally) contain it.  Used as the domain of dissociated variables."""
+    domains: Dict[str, Set[Any]] = {v.name: set() for v in query.variables()}
+    for atom in query.atoms:
+        for tup in database.tuples_of(atom.relation):
+            assignment = match_atom(atom, tup)
+            if assignment is None:
+                continue
+            for name, value in assignment.items():
+                domains[name].add(value)
+    return domains
+
+
+class _AtomLayer:
+    """Pre-computed matching information for one atom of the linear order."""
+
+    __slots__ = ("concrete", "abstract_vars", "added_vars", "endogenous", "matches")
+
+    def __init__(self, concrete: Atom, abstract_vars: FrozenSet[str],
+                 added_vars: FrozenSet[str], endogenous: bool,
+                 matches: List[TypingTuple[Dict[str, Any], Tuple]]):
+        self.concrete = concrete
+        self.abstract_vars = abstract_vars
+        self.added_vars = added_vars
+        self.endogenous = endogenous
+        # matches: list of (assignment over abstract_vars, base tuple)
+        self.matches = matches
+
+
+def _build_layers(query: ConjunctiveQuery, database: Database,
+                  weakening: WeakeningResult) -> List[_AtomLayer]:
+    """Build the per-atom layers in the weakened query's linear order."""
+    concrete_by_label: Dict[str, Atom] = {}
+    label_counts: Dict[str, int] = {}
+    for atom in query.atoms:
+        label_counts[atom.relation] = label_counts.get(atom.relation, 0) + 1
+        concrete_by_label[atom.relation] = atom
+    if any(count > 1 for count in label_counts.values()):
+        raise NotLinearError(
+            "the flow algorithm requires a query without self-joins"
+        )
+
+    domains = _variable_domains(query, database)
+    added = weakening.added_variables()
+    layers: List[_AtomLayer] = []
+    for abstract_atom in weakening.ordered_atoms():
+        concrete = concrete_by_label[abstract_atom.relation]
+        added_vars = frozenset(added.get(abstract_atom.label, frozenset()))
+        matches: List[TypingTuple[Dict[str, Any], Tuple]] = []
+        base_matches = []
+        for tup in sorted(database.tuples_of(concrete.relation)):
+            assignment = match_atom(concrete, tup)
+            if assignment is not None:
+                base_matches.append((assignment, tup))
+        if added_vars:
+            added_sorted = sorted(added_vars)
+            value_lists = [sorted(domains.get(v, set()), key=repr) for v in added_sorted]
+            for assignment, tup in base_matches:
+                for combination in itertools.product(*value_lists):
+                    extended = dict(assignment)
+                    extended.update(dict(zip(added_sorted, combination)))
+                    matches.append((extended, tup))
+        else:
+            matches = base_matches
+        layers.append(_AtomLayer(concrete, abstract_atom.variables, added_vars,
+                                 abstract_atom.endogenous, matches))
+    return layers
+
+
+def _interface_variables(layers: Sequence[_AtomLayer]) -> List[TypingTuple[str, ...]]:
+    """``interfaces[k]`` = sorted shared variables between layer ``k-1`` and ``k``.
+
+    ``interfaces[0]`` and ``interfaces[m]`` are empty (source / target side).
+    """
+    interfaces: List[TypingTuple[str, ...]] = [()]
+    for left, right in zip(layers, layers[1:]):
+        interfaces.append(tuple(sorted(left.abstract_vars & right.abstract_vars)))
+    interfaces.append(())
+    return interfaces
+
+
+def build_flow_network(layers: Sequence[_AtomLayer], database: Database,
+                       inspected: Optional[Tuple] = None,
+                       protected: FrozenSet[TypingTuple[int, int]] = frozenset()
+                       ) -> TypingTuple[FlowNetwork, Dict[TypingTuple[int, int], Any]]:
+    """Build the layered flow network.
+
+    ``protected`` contains (layer index, match index) pairs whose edges get
+    capacity ∞ (the witness path); the ``inspected`` tuple's edges get
+    capacity 0.  Returns the network and a map from (layer, match) to the
+    created edge.
+    """
+    interfaces = _interface_variables(layers)
+    network = FlowNetwork()
+    source = ("source",)
+    target = ("target",)
+    network.add_node(source)
+    network.add_node(target)
+    edge_map: Dict[TypingTuple[int, int], Any] = {}
+
+    def node_for(position: int, assignment: Dict[str, Any]) -> Any:
+        if position == 0:
+            return source
+        if position == len(layers):
+            return target
+        key = tuple((v, assignment[v]) for v in interfaces[position])
+        return ("cut", position, key)
+
+    for layer_index, layer in enumerate(layers):
+        for match_index, (assignment, tup) in enumerate(layer.matches):
+            left = node_for(layer_index, assignment)
+            right = node_for(layer_index + 1, assignment)
+            if (layer_index, match_index) in protected and tup != inspected:
+                capacity = INFINITY
+            elif inspected is not None and tup == inspected:
+                capacity = 0
+            elif layer.endogenous and database.is_endogenous(tup):
+                capacity = 1
+            else:
+                capacity = INFINITY
+            edge = network.add_edge(left, right, capacity, label=tup)
+            edge_map[(layer_index, match_index)] = edge
+    return network, edge_map
+
+
+# --------------------------------------------------------------------------- #
+# main entry points
+# --------------------------------------------------------------------------- #
+def flow_responsibility(query: ConjunctiveQuery, database: Database,
+                        tuple_: Tuple,
+                        endogenous_relations: Optional[Iterable[str]] = None
+                        ) -> FlowResponsibilityResult:
+    """Compute the Why-So responsibility of ``t`` with Algorithm 1.
+
+    Raises :class:`NotLinearError` when the query is not weakly linear (or no
+    weakening exists that keeps the relation of ``t`` endogenous); callers
+    should fall back to :func:`repro.core.responsibility.exact_responsibility`.
+    """
+    if not query.is_boolean:
+        raise CausalityError(
+            "flow_responsibility expects a Boolean query; bind the answer first"
+        )
+    if query.has_self_joins():
+        raise NotLinearError("the flow algorithm requires a query without self-joins")
+    if not database.is_endogenous(tuple_):
+        return FlowResponsibilityResult(
+            responsibility_value(None), None, 0,
+            WeakeningResult(abstract_query(query, endogenous_relations, database),
+                            abstract_query(query, endogenous_relations, database),
+                            (), tuple(range(len(query.atoms)))))
+
+    abstract = abstract_query(query, endogenous_relations, database)
+    tuple_labels = [a.label for a in abstract.atoms if a.relation == tuple_.relation]
+    if not tuple_labels:
+        raise CausalityError(
+            f"tuple {tuple_!r} belongs to relation {tuple_.relation!r}, which does "
+            "not occur in the query"
+        )
+    weakening = find_weakening(abstract, protect=tuple_labels)
+    if weakening is None:
+        raise NotLinearError(
+            "query is not weakly linear (with the inspected tuple's relation kept "
+            "endogenous); use the exact algorithm instead"
+        )
+
+    layers = _build_layers(query, database, weakening)
+
+    # Enumerate witnessing valuations: valuations of the original query that
+    # map the atom of t's relation to t.
+    evaluator = QueryEvaluator(database, respect_annotations=False)
+    atom_index_of_t = next(i for i, atom in enumerate(query.atoms)
+                           if atom.relation == tuple_.relation)
+    witnesses = [v for v in evaluator.valuations(query)
+                 if v.atom_tuples[atom_index_of_t] == tuple_]
+    if not witnesses:
+        return FlowResponsibilityResult(responsibility_value(None), None, 0, weakening)
+
+    best_size: Optional[float] = None
+    best_cut: Optional[FrozenSet[Tuple]] = None
+    for witness in witnesses:
+        assignment = {v.name: value for v, value in witness.assignment.items()}
+        protected: Set[TypingTuple[int, int]] = set()
+        for layer_index, layer in enumerate(layers):
+            witness_tuple = next(
+                t for t in witness.atom_tuples if t.relation == layer.concrete.relation
+            )
+            for match_index, (match_assignment, tup) in enumerate(layer.matches):
+                if tup != witness_tuple:
+                    continue
+                if all(assignment.get(var) == value
+                       for var, value in match_assignment.items()):
+                    protected.add((layer_index, match_index))
+                    break
+        network, _ = build_flow_network(layers, database, inspected=tuple_,
+                                        protected=frozenset(protected))
+        result = max_flow(network, ("source",), ("target",))
+        if result.is_infinite:
+            continue
+        cut_tuples = frozenset(
+            label for label in result.cut_labels() if label != tuple_
+        )
+        size = len(cut_tuples)
+        if best_size is None or size < best_size:
+            best_size = size
+            best_cut = cut_tuples
+
+    if best_size is None:
+        # Every witness admits only infinite cuts: the query can never be made
+        # false by removing endogenous tuples, hence t is not a cause.
+        return FlowResponsibilityResult(responsibility_value(None), None,
+                                        len(witnesses), weakening)
+    return FlowResponsibilityResult(responsibility_value(int(best_size)), best_cut,
+                                    len(witnesses), weakening)
+
+
+def flow_responsibility_value(query: ConjunctiveQuery, database: Database,
+                              tuple_: Tuple,
+                              endogenous_relations: Optional[Iterable[str]] = None
+                              ) -> Fraction:
+    """Just the responsibility value ``ρ_t`` (see :func:`flow_responsibility`)."""
+    return flow_responsibility(query, database, tuple_, endogenous_relations).responsibility
+
+
+def example_flow_network(query: ConjunctiveQuery, database: Database,
+                         endogenous_relations: Optional[Iterable[str]] = None
+                         ) -> FlowNetwork:
+    """The plain flow network of a linear query (no witness protection).
+
+    This is the object depicted in Fig. 4 of the paper; its min-cut is the
+    minimum number of endogenous tuples whose removal makes the query false.
+    """
+    abstract = abstract_query(query, endogenous_relations, database)
+    weakening = find_weakening(abstract)
+    if weakening is None:
+        raise NotLinearError("query is not weakly linear")
+    layers = _build_layers(query, database, weakening)
+    network, _ = build_flow_network(layers, database)
+    return network

@@ -1,0 +1,140 @@
+"""Exact minimum hitting set solver (branch and bound).
+
+Computing the Why-So responsibility of a tuple ``t`` reduces to a constrained
+minimum hitting set over the non-redundant n-lineage: a contingency ``Γ`` must
+"hit" (intersect) every minimal conjunct that does not contain ``t`` while
+leaving at least one conjunct containing ``t`` untouched (see
+:mod:`repro.core.responsibility`).  Minimum hitting set is NP-hard in general
+— which is exactly what the dichotomy predicts for the hard queries — so this
+solver is exponential in the worst case, but the branch-and-bound pruning
+makes it practical for the moderate instances used as a ground-truth oracle
+and for the "hard query" benchmarks.
+
+The solver is generic: elements may be any hashable objects.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+
+def greedy_hitting_set(sets: Iterable[AbstractSet[Hashable]],
+                       forbidden: AbstractSet[Hashable] = frozenset()) -> Optional[FrozenSet[Hashable]]:
+    """A (not necessarily minimum) hitting set via the greedy heuristic.
+
+    Repeatedly picks the allowed element covering the most currently-unhit
+    sets.  Returns ``None`` if some set has no allowed element (infeasible).
+    Used to seed the branch-and-bound upper bound.
+    """
+    remaining: List[FrozenSet[Hashable]] = []
+    for s in sets:
+        allowed = frozenset(s) - frozenset(forbidden)
+        if not allowed:
+            return None
+        remaining.append(allowed)
+    chosen: Set[Hashable] = set()
+    while remaining:
+        counts: dict = {}
+        for s in remaining:
+            for element in s:
+                counts[element] = counts.get(element, 0) + 1
+        best = max(sorted(counts, key=repr), key=lambda e: counts[e])
+        chosen.add(best)
+        remaining = [s for s in remaining if best not in s]
+    return frozenset(chosen)
+
+
+def _lower_bound(sets: List[FrozenSet[Hashable]]) -> int:
+    """A simple lower bound: the size of a greedily-chosen disjoint subfamily."""
+    used: Set[Hashable] = set()
+    bound = 0
+    for s in sorted(sets, key=len):
+        if not (s & used):
+            bound += 1
+            used |= s
+    return bound
+
+
+def minimum_hitting_set(
+    sets: Iterable[AbstractSet[Hashable]],
+    forbidden: AbstractSet[Hashable] = frozenset(),
+    upper_bound: Optional[int] = None,
+) -> Optional[FrozenSet[Hashable]]:
+    """An exact minimum hitting set of ``sets`` avoiding ``forbidden`` elements.
+
+    Parameters
+    ----------
+    sets:
+        The family of sets to hit.  Empty family → empty hitting set.
+    forbidden:
+        Elements that may not be used.  If some set consists solely of
+        forbidden elements the instance is infeasible and ``None`` is
+        returned.
+    upper_bound:
+        Optional size cap; if no hitting set of size ≤ ``upper_bound`` exists,
+        ``None`` is returned.
+
+    Examples
+    --------
+    >>> result = minimum_hitting_set([{1, 2}, {2, 3}, {3, 4}])
+    >>> len(result)
+    2
+    >>> minimum_hitting_set([{1}], forbidden={1}) is None
+    True
+    """
+    forbidden = frozenset(forbidden)
+    family: List[FrozenSet[Hashable]] = []
+    for s in sets:
+        allowed = frozenset(s) - forbidden
+        if not allowed:
+            return None
+        family.append(allowed)
+    if not family:
+        return frozenset()
+
+    # Dedupe and drop supersets: hitting a subset hits every superset.
+    family = sorted(set(family), key=len)
+    minimal: List[FrozenSet[Hashable]] = []
+    for s in family:
+        if not any(kept <= s for kept in minimal):
+            minimal.append(s)
+    family = minimal
+
+    greedy = greedy_hitting_set(family)
+    assert greedy is not None
+    best_size = len(greedy)
+    best: Optional[FrozenSet[Hashable]] = frozenset(greedy)
+    if upper_bound is not None and upper_bound < best_size:
+        best = None
+        best_size = upper_bound + 1
+
+    def search(remaining: List[FrozenSet[Hashable]], chosen: Set[Hashable]) -> None:
+        nonlocal best, best_size
+        if not remaining:
+            if len(chosen) < best_size:
+                best_size = len(chosen)
+                best = frozenset(chosen)
+            return
+        if len(chosen) + _lower_bound(remaining) >= best_size:
+            return
+        # Branch on the smallest unhit set (fewest choices).
+        target = min(remaining, key=lambda s: (len(s), sorted(map(repr, s))))
+        for element in sorted(target, key=repr):
+            chosen.add(element)
+            reduced = [s for s in remaining if element not in s]
+            search(reduced, chosen)
+            chosen.remove(element)
+
+    search(family, set())
+    if best is not None and upper_bound is not None and len(best) > upper_bound:
+        return None
+    return best
+
+
+def minimum_hitting_set_size(
+    sets: Iterable[AbstractSet[Hashable]],
+    forbidden: AbstractSet[Hashable] = frozenset(),
+) -> Optional[int]:
+    """Size of a minimum hitting set (``None`` if infeasible)."""
+    result = minimum_hitting_set(sets, forbidden=forbidden)
+    return None if result is None else len(result)

@@ -1,0 +1,247 @@
+"""Query rewriting (Definition 4.6) and hardness certificates.
+
+The rewriting relation ``q ↝ q'`` preserves NP-hardness downwards
+(Lemma 4.7: if ``q ↝ q'`` and ``q'`` is hard then ``q`` is hard).  Its three
+rules are
+
+* **DELETE x** — remove a variable from every atom;
+* **ADD y** — add variable ``y`` to every atom containing ``x``, provided
+  some atom already contains both ``x`` and ``y``;
+* **DELETE g** — remove an atom, provided it is exogenous or some other atom's
+  variable set is contained in its own.
+
+Theorem 4.13 shows that every query that is not weakly linear can be rewritten
+into one of the three canonical hard queries ``h∗1, h∗2, h∗3`` of Theorem 4.1.
+:func:`hardness_certificate` constructs such a rewriting sequence, following
+the argument in the proof of Corollary 4.14: starting from a non-weakly-linear
+query, repeatedly apply any rewriting that keeps the query non-weakly-linear;
+when no such rewriting exists the query is *final* and must be (isomorphic to)
+one of the canonical hard queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import CausalityError
+from .abstract import AbstractAtom, AbstractQuery
+from .weakening import is_weakly_linear
+
+
+# --------------------------------------------------------------------------- #
+# canonical hard queries (Theorem 4.1)
+# --------------------------------------------------------------------------- #
+def canonical_h1() -> AbstractQuery:
+    """``h∗1 :- Aⁿ(x), Bⁿ(y), Cⁿ(z), W(x, y, z)`` (W of either type)."""
+    return AbstractQuery([
+        AbstractAtom("A", "A", {"x"}, True),
+        AbstractAtom("B", "B", {"y"}, True),
+        AbstractAtom("C", "C", {"z"}, True),
+        AbstractAtom("W", "W", {"x", "y", "z"}, False),
+    ])
+
+
+def canonical_h2() -> AbstractQuery:
+    """``h∗2 :- Rⁿ(x, y), Sⁿ(y, z), Tⁿ(z, x)``."""
+    return AbstractQuery([
+        AbstractAtom("R", "R", {"x", "y"}, True),
+        AbstractAtom("S", "S", {"y", "z"}, True),
+        AbstractAtom("T", "T", {"z", "x"}, True),
+    ])
+
+
+def canonical_h3() -> AbstractQuery:
+    """``h∗3 :- Aⁿ(x), Bⁿ(y), Cⁿ(z), R(x, y), S(y, z), T(z, x)``."""
+    return AbstractQuery([
+        AbstractAtom("A", "A", {"x"}, True),
+        AbstractAtom("B", "B", {"y"}, True),
+        AbstractAtom("C", "C", {"z"}, True),
+        AbstractAtom("R", "R", {"x", "y"}, False),
+        AbstractAtom("S", "S", {"y", "z"}, False),
+        AbstractAtom("T", "T", {"z", "x"}, False),
+    ])
+
+
+def matches_canonical_hard_query(query: AbstractQuery) -> Optional[str]:
+    """Which canonical hard query (if any) does ``query`` match?
+
+    Matching is up to variable renaming; atoms whose type Theorem 4.1 leaves
+    unspecified (``W`` in ``h∗1``; ``R, S, T`` in ``h∗3``) may be endogenous or
+    exogenous, while the atoms written with a superscript ``n`` must be
+    endogenous.
+
+    Returns ``"h1"``, ``"h2"``, ``"h3"`` or ``None``.
+    """
+    variables = sorted(query.variables())
+    if len(variables) != 3:
+        return None
+    x, y, z = variables
+    varsets = [(a.variables, a.endogenous) for a in query.atoms]
+
+    def has(varset: Set[str], endogenous: Optional[bool]) -> bool:
+        target = frozenset(varset)
+        for vs, endo in varsets:
+            if vs == target and (endogenous is None or endo == endogenous):
+                return True
+        return False
+
+    singletons_endo = all(has({v}, True) for v in (x, y, z))
+    pairs_any = all(has(p, None) for p in ({x, y}, {y, z}, {z, x}))
+    pairs_endo = all(has(p, True) for p in ({x, y}, {y, z}, {z, x}))
+    triple_any = has({x, y, z}, None)
+
+    if len(query.atoms) == 4 and singletons_endo and triple_any:
+        return "h1"
+    if len(query.atoms) == 3 and pairs_endo:
+        return "h2"
+    if len(query.atoms) == 6 and singletons_endo and pairs_any:
+        return "h3"
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# rewriting rules
+# --------------------------------------------------------------------------- #
+class RewriteStep:
+    """One application of a rewriting rule, for human-readable certificates."""
+
+    __slots__ = ("rule", "detail")
+
+    def __init__(self, rule: str, detail: str):
+        self.rule = rule
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"{self.rule}({self.detail})"
+
+
+def delete_variable(query: AbstractQuery, variable: str) -> AbstractQuery:
+    """``q ↝ q[∅/x]``: drop ``variable`` from every atom."""
+    atoms = [a.with_variables(a.variables - {variable}) for a in query.atoms]
+    return AbstractQuery(atoms)
+
+
+def add_variable(query: AbstractQuery, x: str, y: str) -> Optional[AbstractQuery]:
+    """``q ↝ q[(x, y)/x]``: add ``y`` to every atom containing ``x``.
+
+    Allowed only when some atom contains both ``x`` and ``y``; returns
+    ``None`` when the precondition fails.
+    """
+    if x == y:
+        return None
+    if not any({x, y} <= a.variables for a in query.atoms):
+        return None
+    atoms = [
+        a.with_variables(a.variables | {y}) if x in a.variables else a
+        for a in query.atoms
+    ]
+    return AbstractQuery(atoms)
+
+
+def delete_atom(query: AbstractQuery, index: int) -> Optional[AbstractQuery]:
+    """``q ↝ q − {g}``: drop atom ``index`` if exogenous or dominated.
+
+    The atom may be deleted when it is exogenous, or when some *other* atom's
+    variable set is contained in its variable set.  Returns ``None`` when the
+    precondition fails or the query would become empty.
+    """
+    if len(query.atoms) <= 1:
+        return None
+    atom = query.atoms[index]
+    allowed = not atom.endogenous or any(
+        other.variables <= atom.variables
+        for j, other in enumerate(query.atoms) if j != index
+    )
+    if not allowed:
+        return None
+    return query.delete_atom(index)
+
+
+def all_rewrites(query: AbstractQuery) -> List[Tuple[RewriteStep, AbstractQuery]]:
+    """Every query reachable from ``query`` by a single rewriting step."""
+    results: List[Tuple[RewriteStep, AbstractQuery]] = []
+    seen: Set[Tuple] = set()
+
+    def push(step: RewriteStep, candidate: AbstractQuery) -> None:
+        key = candidate.state_key()
+        if key not in seen:
+            seen.add(key)
+            results.append((step, candidate))
+
+    for variable in sorted(query.variables()):
+        push(RewriteStep("delete-variable", variable),
+             delete_variable(query, variable))
+    for x in sorted(query.variables()):
+        for y in sorted(query.variables()):
+            candidate = add_variable(query, x, y)
+            if candidate is not None:
+                push(RewriteStep("add-variable", f"{y} to atoms with {x}"), candidate)
+    for index, atom in enumerate(query.atoms):
+        candidate = delete_atom(query, index)
+        if candidate is not None:
+            push(RewriteStep("delete-atom", atom.label), candidate)
+    return results
+
+
+def is_final(query: AbstractQuery) -> bool:
+    """Is ``query`` *final*: not weakly linear, but every rewrite is?"""
+    if is_weakly_linear(query):
+        return False
+    return all(is_weakly_linear(candidate) for _, candidate in all_rewrites(query))
+
+
+def hardness_certificate(query: AbstractQuery,
+                         max_steps: int = 200) -> Optional[List[Tuple[RewriteStep, AbstractQuery]]]:
+    """A rewriting sequence ``q ↝ ... ↝ h∗i`` proving NP-hardness.
+
+    Returns ``None`` when the query is weakly linear (then no certificate
+    exists — the query is in PTIME by Corollary 4.11).  For non-weakly-linear
+    queries a certificate always exists by Theorem 4.13 / Corollary 4.14.
+
+    The returned list contains ``(step, query_after_step)`` pairs; the last
+    query matches one of the canonical hard queries
+    (:func:`matches_canonical_hard_query` tells which).
+    """
+    if is_weakly_linear(query):
+        return None
+
+    def size(q: AbstractQuery) -> Tuple[int, int, int]:
+        occurrences = sum(len(a.variables) for a in q.atoms)
+        return (len(q.atoms), len(q.variables()), occurrences)
+
+    # Best-first search over the non-weakly-linear rewrites of the query.  By
+    # the argument in the proof of Corollary 4.14 a path through
+    # non-weakly-linear queries to one of h∗1/h∗2/h∗3 always exists, so the
+    # search over that (finite) subgraph is complete.
+    import heapq
+
+    counter = 0
+    heap: List[Tuple[Tuple[int, int, int], int, AbstractQuery,
+                     List[Tuple[RewriteStep, AbstractQuery]]]] = []
+    heapq.heappush(heap, (size(query), counter, query, []))
+    visited = {query.state_key()}
+    expansions = 0
+    while heap:
+        _, _, current, path = heapq.heappop(heap)
+        if matches_canonical_hard_query(current) is not None:
+            return path
+        expansions += 1
+        if expansions > max_steps:
+            raise CausalityError(
+                f"hardness certificate search exceeded {max_steps} expansions"
+            )
+        for step, candidate in all_rewrites(current):
+            key = candidate.state_key()
+            if key in visited:
+                continue
+            if is_weakly_linear(candidate):
+                continue
+            visited.add(key)
+            counter += 1
+            heapq.heappush(
+                heap, (size(candidate), counter, candidate, path + [(step, candidate)])
+            )
+    raise CausalityError(
+        "query is not weakly linear but no rewriting path to h∗1/h∗2/h∗3 was "
+        f"found — this contradicts Theorem 4.13; offending query: {query!r}"
+    )

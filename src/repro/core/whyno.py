@@ -1,0 +1,79 @@
+"""Why-No responsibility (Theorem 4.17): always PTIME.
+
+For a non-answer, a contingency is a set of *insertions* from the candidate
+missing tuples ``Dn``.  A witnessing valuation of the query uses at most ``m``
+tuples (``m`` = number of atoms), so a minimum contingency has at most
+``m − 1`` tuples — a constant for a fixed query, which is why the problem is
+polynomial in the size of the database.
+
+Concretely, working on the combined instance ``D = Dx ∪ Dn`` (real tuples
+exogenous, candidates endogenous): the minimal conjuncts of the n-lineage are
+the minimal sets of candidate insertions that complete a witness.  For a
+candidate ``t``, inserting ``C \\ {t}`` for a *minimal* conjunct ``C ∋ t``
+does not yet make the query true (no minimal conjunct is a subset of
+``C \\ {t}``) while additionally inserting ``t`` does — so ``C \\ {t}`` is a
+valid contingency, and the minimum over the minimal conjuncts containing ``t``
+is the minimum contingency.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import FrozenSet, List, Optional
+
+from ..exceptions import CausalityError
+from ..lineage.provenance import n_lineage
+from ..relational.database import Database
+from ..relational.query import ConjunctiveQuery
+from ..relational.tuples import Tuple
+from .definitions import CausalityMode, Cause, responsibility_value
+
+
+def whyno_minimum_contingency(query: ConjunctiveQuery, database: Database,
+                              tuple_: Tuple) -> Optional[FrozenSet[Tuple]]:
+    """Minimum Why-No contingency for ``t`` on the combined instance ``Dx ∪ Dn``.
+
+    Returns ``None`` when ``t`` is not a Why-No cause of the non-answer.
+    """
+    if not query.is_boolean:
+        raise CausalityError(
+            "whyno_minimum_contingency expects a Boolean query; bind the non-answer first"
+        )
+    if not database.is_endogenous(tuple_):
+        return None
+    phi_n = n_lineage(query, database, simplify=True)
+    if phi_n.is_trivially_true():
+        # The query is already true on the exogenous database alone: the given
+        # "non-answer" is actually an answer, so there are no Why-No causes.
+        return None
+    witnesses = [c for c in phi_n.conjuncts if tuple_ in c]
+    if not witnesses:
+        return None
+    best = min(witnesses, key=lambda c: (len(c), sorted(map(repr, c))))
+    return frozenset(best - {tuple_})
+
+
+def whyno_responsibility(query: ConjunctiveQuery, database: Database,
+                         tuple_: Tuple) -> Fraction:
+    """``ρ_t`` for a Why-No cause (0 when ``t`` is not a cause).  PTIME."""
+    gamma = whyno_minimum_contingency(query, database, tuple_)
+    return responsibility_value(None if gamma is None else len(gamma))
+
+
+def whyno_causes_with_responsibility(query: ConjunctiveQuery,
+                                     database: Database) -> List[Cause]:
+    """All Why-No causes with their responsibilities, best-ranked first."""
+    phi_n = n_lineage(query, database, simplify=True)
+    if phi_n.is_trivially_true():
+        return []
+    causes: List[Cause] = []
+    for tup in sorted(phi_n.variables()):
+        witnesses = [c for c in phi_n.conjuncts if tup in c]
+        if not witnesses:
+            continue
+        best = min(witnesses, key=len)
+        causes.append(Cause(tup, CausalityMode.WHY_NO,
+                            responsibility=responsibility_value(len(best) - 1),
+                            contingency=frozenset(best - {tup})))
+    causes.sort(key=lambda c: (-(c.responsibility or 0), c.tuple))
+    return causes

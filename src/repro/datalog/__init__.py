@@ -1,0 +1,34 @@
+"""Non-recursive stratified Datalog with negation.
+
+This is the target language of Theorem 3.4 ("the set of all causes of q can
+be expressed in non-recursive stratified Datalog with negation, with only two
+strata") and the substrate in which the cause-computing programs of
+Examples 3.5 / 3.6 and Corollary 3.7 are executed.
+"""
+
+from .evaluation import DatalogResult, evaluate_program, evaluate_rules
+from .program import (
+    Literal,
+    Program,
+    Rule,
+    parse_literal,
+    parse_program,
+    parse_rule,
+)
+from .sql import cause_program_sql, partition_view_sql, program_to_sql, rule_to_sql
+
+__all__ = [
+    "DatalogResult",
+    "Literal",
+    "Program",
+    "Rule",
+    "cause_program_sql",
+    "evaluate_program",
+    "evaluate_rules",
+    "parse_literal",
+    "parse_program",
+    "parse_rule",
+    "partition_view_sql",
+    "program_to_sql",
+    "rule_to_sql",
+]

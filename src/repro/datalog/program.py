@@ -1,0 +1,282 @@
+"""Non-recursive stratified Datalog with negation: rules and programs.
+
+Theorem 3.4 of the paper states that the set of all causes of a conjunctive
+query can be expressed in *non-recursive stratified Datalog with negation,
+with only two strata* — i.e. in a fragment of first-order logic that maps
+directly to SQL.  This module provides the rule/program representation; the
+evaluator lives in :mod:`repro.datalog.evaluation`.
+
+Rules reuse the :class:`~repro.relational.query.Atom` type, so body atoms may
+carry the paper's ``Rⁿ`` / ``Rˣ`` annotations: an annotated EDB atom matches
+only the endogenous (resp. exogenous) tuples of its relation, exactly the
+convention used by the cause-computing programs of Examples 3.5 and 3.6.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import DatalogError, ParseError
+from ..relational.query import Atom, Variable, parse_atom
+
+
+class Literal:
+    """A positive or negated atom in a rule body."""
+
+    __slots__ = ("atom", "positive")
+
+    def __init__(self, atom: Atom, positive: bool = True):
+        self.atom = atom
+        self.positive = positive
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.atom.variables()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Literal):
+            return NotImplemented
+        return self.atom == other.atom and self.positive == other.positive
+
+    def __hash__(self) -> int:
+        return hash((self.atom, self.positive))
+
+    def __repr__(self) -> str:
+        prefix = "" if self.positive else "not "
+        return f"{prefix}{self.atom!r}"
+
+
+class Rule:
+    """A Datalog rule ``head :- body``.
+
+    Safety is enforced at construction time: every variable occurring in the
+    head or in a negated body literal must also occur in some positive body
+    literal.
+
+    Examples
+    --------
+    >>> rule = parse_rule("CS(y) :- R^x(x, y), S^n(y)")
+    >>> rule.head.relation, len(rule.body)
+    ('CS', 2)
+    """
+
+    __slots__ = ("head", "body")
+
+    def __init__(self, head: Atom, body: Sequence[Literal]):
+        self.head = head
+        self.body: Tuple[Literal, ...] = tuple(body)
+        if not self.body:
+            raise DatalogError(f"rule for {head.relation!r} has an empty body")
+        positive_vars: Set[Variable] = set()
+        for literal in self.body:
+            if literal.positive:
+                positive_vars |= literal.variables()
+        unsafe = set(head.variables()) - positive_vars
+        for literal in self.body:
+            if not literal.positive:
+                unsafe |= literal.variables() - positive_vars
+        if unsafe:
+            names = ", ".join(sorted(v.name for v in unsafe))
+            raise DatalogError(
+                f"unsafe rule for {head.relation!r}: variables {{{names}}} do not "
+                "occur in any positive body literal"
+            )
+
+    def positive_literals(self) -> Tuple[Literal, ...]:
+        return tuple(l for l in self.body if l.positive)
+
+    def negative_literals(self) -> Tuple[Literal, ...]:
+        return tuple(l for l in self.body if not l.positive)
+
+    def body_relations(self) -> FrozenSet[str]:
+        return frozenset(l.atom.relation for l in self.body)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rule):
+            return NotImplemented
+        return self.head == other.head and self.body == other.body
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.body))
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(l) for l in self.body)
+        return f"{self.head!r} :- {body}"
+
+
+class Program:
+    """A collection of Datalog rules forming a non-recursive program.
+
+    The *intensional* (IDB) predicates are the relations defined by rule
+    heads; everything else mentioned in rule bodies is *extensional* (EDB) and
+    must be supplied by the database at evaluation time.
+
+    The program must be non-recursive (no IDB dependency cycles); this is
+    verified by :meth:`strata`, which also returns an evaluation order.
+
+    Examples
+    --------
+    >>> program = Program([
+    ...     parse_rule("I(y) :- R^x(x, y), S^n(y)"),
+    ...     parse_rule("CS(y) :- R^n(x, y), S^n(y), not I(y)"),
+    ... ])
+    >>> program.idb_relations() == frozenset({"I", "CS"})
+    True
+    >>> program.stratum_count()
+    2
+    """
+
+    def __init__(self, rules: Iterable[Rule] = ()):
+        self.rules: List[Rule] = list(rules)
+
+    def add(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def idb_relations(self) -> FrozenSet[str]:
+        return frozenset(rule.head.relation for rule in self.rules)
+
+    def edb_relations(self) -> FrozenSet[str]:
+        idb = self.idb_relations()
+        return frozenset(
+            literal.atom.relation
+            for rule in self.rules for literal in rule.body
+            if literal.atom.relation not in idb
+        )
+
+    def rules_for(self, relation: str) -> List[Rule]:
+        return [rule for rule in self.rules if rule.head.relation == relation]
+
+    def dependencies(self) -> Dict[str, Set[str]]:
+        """IDB dependency graph: predicate -> IDB predicates it depends on."""
+        idb = self.idb_relations()
+        graph: Dict[str, Set[str]] = {name: set() for name in idb}
+        for rule in self.rules:
+            for literal in rule.body:
+                if literal.atom.relation in idb:
+                    graph[rule.head.relation].add(literal.atom.relation)
+        return graph
+
+    def evaluation_order(self) -> List[str]:
+        """Topological order of IDB predicates (dependencies first).
+
+        Raises :class:`DatalogError` if the program is recursive.
+        """
+        graph = self.dependencies()
+        order: List[str] = []
+        state: Dict[str, int] = {}  # 0 unvisited, 1 in-progress, 2 done
+
+        def visit(node: str) -> None:
+            status = state.get(node, 0)
+            if status == 1:
+                raise DatalogError(
+                    f"recursive programs are not supported (cycle through {node!r})"
+                )
+            if status == 2:
+                return
+            state[node] = 1
+            for dep in sorted(graph[node]):
+                visit(dep)
+            state[node] = 2
+            order.append(node)
+
+        for node in sorted(graph):
+            visit(node)
+        return order
+
+    def strata(self) -> List[List[str]]:
+        """Group IDB predicates into strata.
+
+        A predicate's stratum is 1 + the maximum stratum of the predicates it
+        uses under negation, and at least the stratum of the predicates it
+        uses positively.  For the cause programs of Theorem 3.4 this yields
+        exactly two strata.
+        """
+        order = self.evaluation_order()
+        idb = self.idb_relations()
+        stratum: Dict[str, int] = {}
+        for name in order:
+            level = 1
+            for rule in self.rules_for(name):
+                for literal in rule.body:
+                    rel = literal.atom.relation
+                    if rel not in idb:
+                        continue
+                    if literal.positive:
+                        level = max(level, stratum[rel])
+                    else:
+                        level = max(level, stratum[rel] + 1)
+            stratum[name] = level
+        result: Dict[int, List[str]] = {}
+        for name, level in stratum.items():
+            result.setdefault(level, []).append(name)
+        return [sorted(result[level]) for level in sorted(result)]
+
+    def stratum_count(self) -> int:
+        return len(self.strata())
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __repr__(self) -> str:
+        return "\n".join(repr(rule) for rule in self.rules)
+
+
+# --------------------------------------------------------------------------- #
+# parsing
+# --------------------------------------------------------------------------- #
+_NEGATION_PREFIX = re.compile(r"^\s*(not\s+|!|¬)\s*", re.IGNORECASE)
+
+
+def parse_literal(text: str) -> Literal:
+    """Parse ``R(x, y)``, ``not I(y)``, ``!I(y)`` or ``¬I(y)``."""
+    match = _NEGATION_PREFIX.match(text)
+    positive = True
+    if match:
+        positive = False
+        text = text[match.end():]
+    return Literal(parse_atom(text), positive=positive)
+
+
+def _split_literals(body: str) -> List[str]:
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in body:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a rule such as ``CR(x, y) :- R^n(x, y), S^n(y), not I(y)``."""
+    if ":-" not in text:
+        raise ParseError(f"rule {text!r} has no ':-' separator")
+    head_text, body_text = text.split(":-", 1)
+    head = parse_atom(head_text.strip())
+    literals = [parse_literal(part) for part in _split_literals(body_text)]
+    if not literals:
+        raise ParseError(f"rule {text!r} has an empty body")
+    return Rule(head, literals)
+
+
+def parse_program(text: str) -> Program:
+    """Parse a program: one rule per non-empty, non-comment (``%``/``#``) line."""
+    rules = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("%", "#")):
+            continue
+        rules.append(parse_rule(stripped))
+    return Program(rules)

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A tuple or atom does not match the declared relation schema."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (unknown relation, arity mismatch, unsafe rule...)."""
+
+
+class ParseError(QueryError):
+    """A textual query, atom or Datalog rule could not be parsed."""
+
+
+class DatalogError(ReproError):
+    """A Datalog program is invalid (unsafe rule, recursive negation, ...)."""
+
+
+class CausalityError(ReproError):
+    """A causality or responsibility computation was invoked on invalid input."""
+
+
+class NotLinearError(CausalityError):
+    """The flow-based responsibility algorithm was invoked on a query that is
+    not (weakly) linear.  Callers should use the dichotomy classifier first or
+    fall back to the exact exponential algorithm."""
+
+
+class ReductionError(ReproError):
+    """A hardness-reduction helper received an invalid instance."""

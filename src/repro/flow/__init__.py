@@ -1,0 +1,18 @@
+"""Flow-network substrate: networks, Edmonds–Karp max-flow and min-cuts.
+
+Used by :mod:`repro.core.flow_responsibility` (Algorithm 1 of the paper) and
+by the LOGSPACE reduction of Theorem 4.15.
+"""
+
+from .maxflow import MaxFlowResult, max_flow, min_cut_labels, min_cut_value
+from .network import INFINITY, Edge, FlowNetwork
+
+__all__ = [
+    "Edge",
+    "FlowNetwork",
+    "INFINITY",
+    "MaxFlowResult",
+    "max_flow",
+    "min_cut_labels",
+    "min_cut_value",
+]

@@ -1,0 +1,119 @@
+"""Flow networks with parallel edges and infinite capacities.
+
+Algorithm 1 of the paper reduces responsibility computation for linear
+queries to a min-cut problem in a network whose edges are database tuples:
+endogenous tuples get capacity 1, exogenous tuples (and structural edges) get
+capacity ∞, and the inspected tuple gets capacity 0.  The same tuple value
+may induce several parallel edges in degenerate constructions, so the network
+explicitly supports parallel edges; every edge carries an optional ``label``
+(here: the database tuple) so min-cuts can be mapped back to contingency
+sets.
+
+Capacities are non-negative numbers or ``math.inf``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+INFINITY = math.inf
+
+
+class Edge:
+    """A directed edge of a flow network.
+
+    Attributes
+    ----------
+    index:
+        Position of the edge in the network's edge list (stable identifier).
+    source, target:
+        Endpoint node identifiers (any hashable values).
+    capacity:
+        Non-negative number or ``math.inf``.
+    label:
+        Optional payload attached by the caller (e.g. a database tuple).
+    """
+
+    __slots__ = ("index", "source", "target", "capacity", "label")
+
+    def __init__(self, index: int, source: Hashable, target: Hashable,
+                 capacity: float, label: Any = None):
+        if capacity < 0:
+            raise ValueError(f"edge capacity must be non-negative, got {capacity}")
+        self.index = index
+        self.source = source
+        self.target = target
+        self.capacity = capacity
+        self.label = label
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity == INFINITY else self.capacity
+        suffix = f" [{self.label!r}]" if self.label is not None else ""
+        return f"Edge({self.source!r} -> {self.target!r}, cap={cap}{suffix})"
+
+
+class FlowNetwork:
+    """A directed flow network with named nodes and parallel edges.
+
+    Examples
+    --------
+    >>> net = FlowNetwork()
+    >>> e1 = net.add_edge("s", "a", 1)
+    >>> e2 = net.add_edge("a", "t", 2)
+    >>> sorted(net.nodes) == ['a', 's', 't']
+    True
+    >>> len(net.edges)
+    2
+    """
+
+    def __init__(self):
+        self.nodes: Set[Hashable] = set()
+        self.edges: List[Edge] = []
+        self._outgoing: Dict[Hashable, List[int]] = {}
+        self._incoming: Dict[Hashable, List[int]] = {}
+
+    def add_node(self, node: Hashable) -> Hashable:
+        self.nodes.add(node)
+        self._outgoing.setdefault(node, [])
+        self._incoming.setdefault(node, [])
+        return node
+
+    def add_edge(self, source: Hashable, target: Hashable, capacity: float,
+                 label: Any = None) -> Edge:
+        """Add a directed edge and return it."""
+        self.add_node(source)
+        self.add_node(target)
+        edge = Edge(len(self.edges), source, target, capacity, label=label)
+        self.edges.append(edge)
+        self._outgoing[source].append(edge.index)
+        self._incoming[target].append(edge.index)
+        return edge
+
+    def outgoing(self, node: Hashable) -> List[Edge]:
+        return [self.edges[i] for i in self._outgoing.get(node, ())]
+
+    def incoming(self, node: Hashable) -> List[Edge]:
+        return [self.edges[i] for i in self._incoming.get(node, ())]
+
+    def edges_with_label(self, label: Any) -> List[Edge]:
+        return [e for e in self.edges if e.label == label]
+
+    def set_capacity(self, edge: Edge, capacity: float) -> None:
+        if capacity < 0:
+            raise ValueError(f"edge capacity must be non-negative, got {capacity}")
+        edge.capacity = capacity
+
+    def copy(self) -> "FlowNetwork":
+        clone = FlowNetwork()
+        for node in self.nodes:
+            clone.add_node(node)
+        for edge in self.edges:
+            clone.add_edge(edge.source, edge.target, edge.capacity, label=edge.label)
+        return clone
+
+    def total_capacity_out_of(self, node: Hashable) -> float:
+        return sum(e.capacity for e in self.outgoing(node))
+
+    def __repr__(self) -> str:
+        return f"FlowNetwork({len(self.nodes)} nodes, {len(self.edges)} edges)"

@@ -1,0 +1,34 @@
+"""Lineage / provenance substrate.
+
+Positive DNF Boolean expressions, lineage and n-lineage of Boolean conjunctive
+queries (Def. 3.1), why-provenance, and provenance of non-answers (the Why-No
+candidate generation the paper borrows from Huang et al. [15]).
+"""
+
+from .boolean_expr import PositiveDNF
+from .provenance import (
+    lineage,
+    lineage_of_answer,
+    lineage_support,
+    n_lineage,
+    n_lineage_of_answer,
+    why_provenance,
+)
+from .whyno import (
+    build_whyno_instance,
+    candidate_missing_tuples,
+    whyno_instance_for_answer,
+)
+
+__all__ = [
+    "PositiveDNF",
+    "build_whyno_instance",
+    "candidate_missing_tuples",
+    "lineage",
+    "lineage_of_answer",
+    "lineage_support",
+    "n_lineage",
+    "n_lineage_of_answer",
+    "why_provenance",
+    "whyno_instance_for_answer",
+]

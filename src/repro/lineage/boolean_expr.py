@@ -1,0 +1,222 @@
+"""Positive Boolean expressions in disjunctive normal form (DNF).
+
+Section 3 of the paper manipulates lineage expressions: positive DNF formulas
+over one Boolean variable per tuple, e.g. ``Φ = X1 X3 ∨ X1 X2 X3 ∨ X1 X4``.
+Two operations matter:
+
+* *assignment* — substituting ``true``/``false`` for some variables (used to
+  build the n-lineage ``Φⁿ = Φ[X_t := true, ∀t ∈ Dx]`` and to model tuple
+  removals ``Φ[X_u := false, ∀u ∈ Γ]``);
+* *redundant-conjunct removal* — a conjunct is redundant if another conjunct
+  is a strict subset of it; redundant conjuncts can be dropped without
+  changing the formula, and Theorem 3.2 characterises causes as the variables
+  that survive this simplification.
+
+The class below represents a positive DNF as a frozenset of conjuncts, each
+conjunct a frozenset of variables.  Variables may be any hashable objects; in
+this library they are :class:`~repro.relational.tuples.Tuple` instances.
+
+Truth conventions (matching the paper):
+
+* a formula with no conjuncts is unsatisfiable (``false``);
+* a formula containing the empty conjunct is valid (``true``) regardless of
+  any assignment — this happens when every atom of some valuation was mapped
+  to an exogenous tuple.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Set,
+)
+
+Conjunct = FrozenSet[Any]
+
+
+class PositiveDNF:
+    """An immutable positive DNF formula.
+
+    Examples
+    --------
+    >>> phi = PositiveDNF([{"x1", "x3"}, {"x1", "x2", "x3"}, {"x1", "x4"}])
+    >>> simplified = phi.remove_redundant()
+    >>> sorted(sorted(c) for c in simplified.conjuncts)
+    [['x1', 'x3'], ['x1', 'x4']]
+    >>> phi.evaluate({"x1", "x4"})
+    True
+    >>> phi.assign({"x1": False}).is_satisfiable()
+    False
+    """
+
+    __slots__ = ("_conjuncts",)
+
+    def __init__(self, conjuncts: Iterable[AbstractSet[Any]] = ()):
+        self._conjuncts: FrozenSet[Conjunct] = frozenset(
+            frozenset(c) for c in conjuncts
+        )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def false(cls) -> "PositiveDNF":
+        """The unsatisfiable formula (no conjuncts)."""
+        return cls(())
+
+    @classmethod
+    def true(cls) -> "PositiveDNF":
+        """The valid formula (a single empty conjunct)."""
+        return cls((frozenset(),))
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    def conjuncts(self) -> FrozenSet[Conjunct]:
+        return self._conjuncts
+
+    def variables(self) -> FrozenSet[Any]:
+        """Every variable occurring in the formula."""
+        result: Set[Any] = set()
+        for conjunct in self._conjuncts:
+            result |= conjunct
+        return frozenset(result)
+
+    def conjuncts_with(self, variable: Any) -> FrozenSet[Conjunct]:
+        """Conjuncts that contain ``variable``."""
+        return frozenset(c for c in self._conjuncts if variable in c)
+
+    def conjuncts_without(self, variable: Any) -> FrozenSet[Conjunct]:
+        """Conjuncts that do not contain ``variable``."""
+        return frozenset(c for c in self._conjuncts if variable not in c)
+
+    def __len__(self) -> int:
+        return len(self._conjuncts)
+
+    def __iter__(self) -> Iterator[Conjunct]:
+        return iter(self._conjuncts)
+
+    def __bool__(self) -> bool:
+        return self.is_satisfiable()
+
+    # ------------------------------------------------------------------ #
+    # semantics
+    # ------------------------------------------------------------------ #
+    def is_satisfiable(self) -> bool:
+        """A positive DNF is satisfiable iff it has at least one conjunct."""
+        return len(self._conjuncts) > 0
+
+    def is_trivially_true(self) -> bool:
+        """True iff the formula contains the empty conjunct (valid formula)."""
+        return any(len(c) == 0 for c in self._conjuncts)
+
+    def evaluate(self, true_variables: AbstractSet[Any]) -> bool:
+        """Evaluate under the assignment "variable is true iff it is in
+        ``true_variables``, every other variable is false"."""
+        true_variables = set(true_variables)
+        return any(conjunct <= true_variables for conjunct in self._conjuncts)
+
+    def assign(self, assignment: Mapping[Any, bool]) -> "PositiveDNF":
+        """Substitute constants for some variables.
+
+        Variables mapped to ``True`` are removed from conjuncts; conjuncts
+        containing a variable mapped to ``False`` are dropped.  Variables not
+        mentioned are left symbolic.
+        """
+        true_vars = {v for v, b in assignment.items() if b}
+        false_vars = {v for v, b in assignment.items() if not b}
+        new_conjuncts = []
+        for conjunct in self._conjuncts:
+            if conjunct & false_vars:
+                continue
+            new_conjuncts.append(conjunct - true_vars)
+        return PositiveDNF(new_conjuncts)
+
+    def set_true(self, variables: Iterable[Any]) -> "PositiveDNF":
+        """``Φ[X_v := true, ∀v ∈ variables]``."""
+        return self.assign({v: True for v in variables})
+
+    def set_false(self, variables: Iterable[Any]) -> "PositiveDNF":
+        """``Φ[X_v := false, ∀v ∈ variables]``."""
+        return self.assign({v: False for v in variables})
+
+    # ------------------------------------------------------------------ #
+    # simplification
+    # ------------------------------------------------------------------ #
+    def remove_redundant(self) -> "PositiveDNF":
+        """Drop every redundant conjunct.
+
+        A conjunct ``c`` is redundant if some other conjunct ``c'`` is a
+        *strict* subset of ``c`` (Sect. 3).  Equal conjuncts are collapsed by
+        the set representation already.  The result contains exactly the
+        minimal conjuncts of the formula and is logically equivalent to it.
+        """
+        conjuncts = sorted(self._conjuncts, key=len)
+        minimal: list = []
+        for conjunct in conjuncts:
+            if not any(kept < conjunct for kept in minimal):
+                minimal.append(conjunct)
+        return PositiveDNF(minimal)
+
+    def minimal_conjuncts(self) -> FrozenSet[Conjunct]:
+        """The conjuncts surviving :meth:`remove_redundant`."""
+        return self.remove_redundant().conjuncts
+
+    def is_minimal(self) -> bool:
+        """True iff the formula has no redundant conjuncts."""
+        return len(self.remove_redundant()) == len(self)
+
+    # ------------------------------------------------------------------ #
+    # combination
+    # ------------------------------------------------------------------ #
+    def or_with(self, other: "PositiveDNF") -> "PositiveDNF":
+        """Disjunction of two positive DNF formulas."""
+        return PositiveDNF(self._conjuncts | other._conjuncts)
+
+    def with_conjunct(self, conjunct: AbstractSet[Any]) -> "PositiveDNF":
+        """Add one conjunct."""
+        return PositiveDNF(self._conjuncts | {frozenset(conjunct)})
+
+    # ------------------------------------------------------------------ #
+    # counterfactual helpers (used by Theorem 3.2 and Definition 2.3)
+    # ------------------------------------------------------------------ #
+    def is_counterfactual(self, variable: Any,
+                          removed: AbstractSet[Any] = frozenset()) -> bool:
+        """Is ``variable`` counterfactual once ``removed`` has been set false?
+
+        Following condition (2) of Theorem 3.2: the formula with ``removed``
+        false must remain satisfiable, and must become unsatisfiable when
+        ``variable`` is additionally set to false.
+        """
+        after_removal = self.set_false(removed)
+        if not after_removal.is_satisfiable():
+            return False
+        return not after_removal.set_false([variable]).is_satisfiable()
+
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PositiveDNF):
+            return NotImplemented
+        return self._conjuncts == other._conjuncts
+
+    def __hash__(self) -> int:
+        return hash(self._conjuncts)
+
+    def __repr__(self) -> str:
+        if not self._conjuncts:
+            return "PositiveDNF(false)"
+        parts = []
+        for conjunct in sorted(self._conjuncts, key=lambda c: (len(c), sorted(map(repr, c)))):
+            if not conjunct:
+                parts.append("true")
+            else:
+                parts.append(" ∧ ".join(sorted(repr(v) for v in conjunct)))
+        return "PositiveDNF(" + " ∨ ".join(f"({p})" for p in parts) + ")"

@@ -1,0 +1,72 @@
+"""The appendix hardness reductions, implemented as executable constructions.
+
+* :mod:`repro.reductions.hypergraph_cover` — 3-partite hypergraph vertex cover
+  → ``h∗1`` (Theorem 4.1, Fig. 6);
+* :mod:`repro.reductions.sat_rings` — 3SAT → coloured ring graph → ``h∗2``
+  (Theorem 4.1, Figs. 7–8, Lemmas C.1–C.3);
+* :mod:`repro.reductions.h3` — ``h∗2`` instances → ``h∗3`` instances (Fig. 9);
+* :mod:`repro.reductions.selfjoin_cover` — vertex cover → the self-join query
+  of Proposition 4.16;
+* :mod:`repro.reductions.logspace` — UGAP → BGAP → four-partite max-flow →
+  responsibility for the chain query of Theorem 4.15.
+"""
+
+from .h3 import H3Instance, h3_instance_from_h2, h3_query
+from .hypergraph_cover import (
+    H1Instance,
+    h1_instance_from_hypergraph,
+    h1_query,
+)
+from .logspace import (
+    BipartiteInstance,
+    FPMFInstance,
+    ResponsibilityInstance,
+    bgap_from_ugap,
+    fpmf_from_bgap,
+    reachability_via_responsibility,
+    responsibility_instance_from_fpmf,
+    theorem_415_query,
+)
+from .sat_rings import (
+    H2Instance,
+    RingGraph,
+    assignment_contingency,
+    build_ring_graph,
+    h2_instance_from_formula,
+    h2_query,
+    has_budget_contingency,
+    satisfying_assignment_via_contingency,
+)
+from .selfjoin_cover import (
+    SelfJoinInstance,
+    selfjoin_instance_from_graph,
+    selfjoin_query,
+)
+
+__all__ = [
+    "BipartiteInstance",
+    "FPMFInstance",
+    "H1Instance",
+    "H2Instance",
+    "H3Instance",
+    "ResponsibilityInstance",
+    "RingGraph",
+    "SelfJoinInstance",
+    "assignment_contingency",
+    "bgap_from_ugap",
+    "build_ring_graph",
+    "fpmf_from_bgap",
+    "h1_instance_from_hypergraph",
+    "h1_query",
+    "h2_instance_from_formula",
+    "h2_query",
+    "h3_instance_from_h2",
+    "h3_query",
+    "has_budget_contingency",
+    "reachability_via_responsibility",
+    "responsibility_instance_from_fpmf",
+    "satisfying_assignment_via_contingency",
+    "selfjoin_instance_from_graph",
+    "selfjoin_query",
+    "theorem_415_query",
+]

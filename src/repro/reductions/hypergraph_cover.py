@@ -1,0 +1,117 @@
+"""Hardness of ``h∗1``: reduction from 3-partite 3-uniform hypergraph vertex cover.
+
+Theorem 4.1 proves that computing responsibility for
+
+    ``h∗1 :- Aⁿ(x), Bⁿ(y), Cⁿ(z), W(x, y, z)``
+
+is NP-hard by reduction from minimum vertex cover in a 3-partite 3-uniform
+hypergraph: nodes of the three partitions become tuples of ``A``, ``B`` and
+``C``, hyperedges become ``W`` tuples, and one extra "private" valuation
+``(x0, y0, z0)`` is added.  The responsibility of the private tuple
+``A(x0)`` is then ``1 / (1 + k)`` where ``k`` is the minimum vertex cover
+size (Fig. 6 shows the example instance).
+
+This module builds the reduction instance and provides helpers that recover a
+minimum vertex cover from a responsibility computation — used by the
+``bench_thm41_hard_queries`` benchmark and by tests that cross-check the
+reduction against the exhaustive vertex-cover solver.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, Optional, Tuple as TypingTuple
+
+from ..core.responsibility import exact_responsibility
+from ..relational.database import Database
+from ..relational.query import ConjunctiveQuery, parse_query
+from ..relational.tuples import Tuple
+from ..workloads.hypergraphs import TripartiteHypergraph
+
+
+def h1_query(centre_endogenous: bool = True) -> ConjunctiveQuery:
+    """The canonical hard query ``h∗1`` (centre relation W endogenous by default)."""
+    marker = "^n" if centre_endogenous else "^x"
+    return parse_query(f"h1 :- A^n(x), B^n(y), C^n(z), W{marker}(x, y, z)")
+
+
+class H1Instance:
+    """The database produced by the reduction, plus the inspected tuple.
+
+    Attributes
+    ----------
+    database:
+        The instance over relations A, B, C, W.
+    inspected:
+        The private tuple ``A(x0)`` whose responsibility encodes the vertex
+        cover size.
+    query:
+        The ``h∗1`` query.
+    hypergraph:
+        The source hypergraph.
+    """
+
+    def __init__(self, database: Database, inspected: Tuple,
+                 query: ConjunctiveQuery, hypergraph: TripartiteHypergraph):
+        self.database = database
+        self.inspected = inspected
+        self.query = query
+        self.hypergraph = hypergraph
+
+    def minimum_cover_size_via_responsibility(self) -> int:
+        """``k = 1/ρ − 1`` for the private tuple (exact, exponential engine)."""
+        result = exact_responsibility(self.query, self.database, self.inspected)
+        rho = result.responsibility
+        if rho == 0:
+            raise RuntimeError("the private tuple must be a cause by construction")
+        return int(1 / rho) - 1
+
+    def cover_from_contingency(self) -> FrozenSet[str]:
+        """A minimum vertex cover read off a minimum contingency.
+
+        ``W`` tuples in the contingency are swapped for the ``A`` node of
+        their edge (as in the proof), so the returned set contains hypergraph
+        nodes only.
+        """
+        result = exact_responsibility(self.query, self.database, self.inspected)
+        if result.min_contingency is None:
+            raise RuntimeError("the private tuple must be a cause by construction")
+        cover = set()
+        for tup in result.min_contingency:
+            if tup.relation == "W":
+                cover.add(tup.values[0])
+            else:
+                cover.add(tup.values[0])
+        return frozenset(cover)
+
+
+def h1_instance_from_hypergraph(graph: TripartiteHypergraph,
+                                centre_endogenous: bool = True) -> H1Instance:
+    """Build the Theorem 4.1 reduction instance from a 3-partite hypergraph."""
+    db = Database()
+    for x in graph.x_nodes:
+        db.add_fact("A", x)
+    for y in graph.y_nodes:
+        db.add_fact("B", y)
+    for z in graph.z_nodes:
+        db.add_fact("C", z)
+    for x, y, z in graph.edges:
+        db.add_fact("W", x, y, z, endogenous=centre_endogenous)
+    # The private valuation (x0, y0, z0): its A tuple is the inspected tuple.
+    inspected = db.add_fact("A", "_x0")
+    db.add_fact("B", "_y0")
+    db.add_fact("C", "_z0")
+    db.add_fact("W", "_x0", "_y0", "_z0", endogenous=centre_endogenous)
+    return H1Instance(db, inspected, h1_query(centre_endogenous), graph)
+
+
+def responsibility_encodes_cover(graph: TripartiteHypergraph) -> TypingTuple[int, int]:
+    """Convenience: (cover size via responsibility, cover size via exhaustive VC).
+
+    The two numbers must be equal — this is the correctness statement of the
+    reduction and is asserted in the test-suite.
+    """
+    instance = h1_instance_from_hypergraph(graph)
+    via_responsibility = instance.minimum_cover_size_via_responsibility()
+    via_search = len(graph.minimum_vertex_cover())
+    return via_responsibility, via_search

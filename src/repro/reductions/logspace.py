@@ -1,0 +1,235 @@
+"""The LOGSPACE-hardness chain of Theorem 4.15.
+
+Theorem 4.15 shows that even when Why-So responsibility is PTIME it cannot be
+computed by a first-order (SQL) query: responsibility for the linear query
+
+    ``q :- Rⁿ(x, u1, y), Sⁿ(y, u2, z), Tⁿ(z, u3, w)``
+
+is hard for LOGSPACE.  The proof chains three reductions, all implemented
+here:
+
+1. **UGAP → BGAP** — undirected graph accessibility reduces to accessibility
+   in a bipartite graph (``X`` = original nodes, ``Y`` = original edges plus a
+   fresh node ``c`` attached to the target);
+2. **BGAP → FPMF** — a bipartite accessibility instance becomes a four-partite
+   max-flow instance with edge capacities 1 and 2: the flow is ``|E|`` when
+   the two distinguished nodes are disconnected and ``|E| + 1`` when a path
+   exists;
+3. **FPMF → responsibility** — the four-partite network becomes a database for
+   the three-atom chain query; a capacity-2 edge contributes two parallel
+   tuples, and one fresh private path supplies the inspected tuple
+   ``R(x0, 1, y0)``.  The minimum contingency of the inspected tuple equals
+   the max-flow of the FPMF instance.
+
+:func:`reachability_via_responsibility` runs the full pipeline and decides
+``s``–``t`` connectivity of the original undirected graph purely from the
+responsibility value — the end-to-end correctness check used in tests and in
+the ``bench_thm415_logspace`` benchmark.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set, Tuple as TypingTuple
+
+from ..core.responsibility import responsibility
+from ..exceptions import ReductionError
+from ..flow.maxflow import max_flow
+from ..flow.network import INFINITY, FlowNetwork
+from ..relational.database import Database
+from ..relational.query import ConjunctiveQuery, parse_query
+from ..relational.tuples import Tuple
+from ..workloads.hypergraphs import UndirectedGraph
+
+
+def theorem_415_query() -> ConjunctiveQuery:
+    """The linear-but-LOGSPACE-hard query of Theorem 4.15."""
+    return parse_query("q :- R^n(x, u1, y), S^n(y, u2, z), T^n(z, u3, w)")
+
+
+# --------------------------------------------------------------------------- #
+# step 1: UGAP → BGAP
+# --------------------------------------------------------------------------- #
+class BipartiteInstance:
+    """A bipartite accessibility instance: partitions X, Y; edges ⊆ X × Y."""
+
+    def __init__(self, x_nodes: Sequence[str], y_nodes: Sequence[str],
+                 edges: Sequence[TypingTuple[str, str]],
+                 source: str, target: str):
+        self.x_nodes = tuple(x_nodes)
+        self.y_nodes = tuple(y_nodes)
+        self.edges = tuple(edges)
+        self.source = source
+        self.target = target
+        if source not in self.x_nodes:
+            raise ReductionError("the BGAP source must be an X node")
+        if target not in self.y_nodes:
+            raise ReductionError("the BGAP target must be a Y node")
+
+    def has_path(self) -> bool:
+        """Is the target reachable from the source (edges usable both ways)?"""
+        adjacency: Dict[str, Set[str]] = {}
+        for x, y in self.edges:
+            adjacency.setdefault(x, set()).add(y)
+            adjacency.setdefault(y, set()).add(x)
+        seen = {self.source}
+        frontier = [self.source]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in adjacency.get(node, ()):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return self.target in seen
+
+
+def bgap_from_ugap(graph: UndirectedGraph, source: str, target: str) -> BipartiteInstance:
+    """UGAP → BGAP: X = nodes, Y = edges ∪ {c}, plus the edge (target, c)."""
+    if source not in graph.nodes or target not in graph.nodes:
+        raise ReductionError("source/target must be nodes of the graph")
+    x_nodes = sorted(graph.nodes)
+    edge_names = {edge: f"e({u},{v})" for edge, (u, v) in
+                  ((frozenset((u, v)), (u, v)) for u, v in graph.edge_list())}
+    y_nodes = sorted(edge_names.values()) + ["_c"]
+    edges: List[TypingTuple[str, str]] = []
+    for u, v in graph.edge_list():
+        name = edge_names[frozenset((u, v))]
+        edges.append((u, name))
+        edges.append((v, name))
+    edges.append((target, "_c"))
+    return BipartiteInstance(x_nodes, y_nodes, edges, source, "_c")
+
+
+# --------------------------------------------------------------------------- #
+# step 2: BGAP → FPMF
+# --------------------------------------------------------------------------- #
+class FPMFInstance:
+    """A four-partite max-flow instance with capacities 1 and 2.
+
+    ``layer_edges[i]`` holds the edges between partition ``i`` and partition
+    ``i + 1`` (0: U→X, 1: X→Y, 2: Y→V) as ``(left, right, capacity)`` triples.
+    ``threshold`` is the flow value to compare against (``|E| + 1``).
+    """
+
+    def __init__(self, partitions: Sequence[Sequence[str]],
+                 layer_edges: Sequence[Sequence[TypingTuple[str, str, int]]],
+                 threshold: int):
+        if len(partitions) != 4 or len(layer_edges) != 3:
+            raise ReductionError("an FPMF instance has 4 partitions and 3 edge layers")
+        self.partitions = [tuple(p) for p in partitions]
+        self.layer_edges = [tuple(layer) for layer in layer_edges]
+        self.threshold = threshold
+
+    def to_flow_network(self) -> FlowNetwork:
+        """Materialise the instance as a :class:`FlowNetwork` with s and t."""
+        network = FlowNetwork()
+        for node in self.partitions[0]:
+            network.add_edge("_s", ("U", node), INFINITY)
+        for node in self.partitions[3]:
+            network.add_edge(("V", node), "_t", INFINITY)
+        labels = ["U", "X", "Y", "V"]
+        for layer_index, layer in enumerate(self.layer_edges):
+            left_label = labels[layer_index]
+            right_label = labels[layer_index + 1]
+            for left, right, capacity in layer:
+                network.add_edge((left_label, left), (right_label, right), capacity)
+        return network
+
+    def max_flow_value(self) -> float:
+        return max_flow(self.to_flow_network(), "_s", "_t").value
+
+    def meets_threshold(self) -> bool:
+        return self.max_flow_value() >= self.threshold
+
+
+def fpmf_from_bgap(instance: BipartiteInstance) -> FPMFInstance:
+    """BGAP → FPMF, following the proof of Theorem 4.15.
+
+    The X–Y layer keeps the bipartite edges with capacity 2; the U (resp. V)
+    partition has one node per bipartite edge connected with capacity 1 to its
+    X (resp. Y) endpoint; the distinguished nodes get private capacity-1
+    attachments ``a'`` and ``b'``.  The flow is ``|E| + 1`` iff the BGAP
+    instance has a path.
+    """
+    edge_ids = [f"u{i}" for i in range(len(instance.edges))]
+    u_nodes = edge_ids + ["_aprime"]
+    v_nodes = [f"v{i}" for i in range(len(instance.edges))] + ["_bprime"]
+
+    u_to_x: List[TypingTuple[str, str, int]] = []
+    y_to_v: List[TypingTuple[str, str, int]] = []
+    x_to_y: List[TypingTuple[str, str, int]] = []
+    for index, (x, y) in enumerate(instance.edges):
+        u_to_x.append((f"u{index}", x, 1))
+        y_to_v.append((y, f"v{index}", 1))
+        x_to_y.append((x, y, 2))
+    u_to_x.append(("_aprime", instance.source, 1))
+    y_to_v.append((instance.target, "_bprime", 1))
+
+    threshold = len(instance.edges) + 1
+    return FPMFInstance(
+        [u_nodes, list(instance.x_nodes), list(instance.y_nodes), v_nodes],
+        [u_to_x, x_to_y, y_to_v],
+        threshold,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# step 3: FPMF → responsibility for the chain query
+# --------------------------------------------------------------------------- #
+class ResponsibilityInstance:
+    """Database + inspected tuple encoding an FPMF instance."""
+
+    def __init__(self, database: Database, inspected: Tuple,
+                 query: ConjunctiveQuery, threshold: int):
+        self.database = database
+        self.inspected = inspected
+        self.query = query
+        self.threshold = threshold
+
+    def minimum_contingency_size(self) -> int:
+        """``1/ρ − 1`` for the inspected tuple, via the PTIME flow algorithm."""
+        result = responsibility(self.query, self.database, self.inspected)
+        if result.responsibility == 0:
+            raise ReductionError("the private tuple must be a cause by construction")
+        return int(1 / result.responsibility) - 1
+
+    def meets_threshold(self) -> bool:
+        return self.minimum_contingency_size() >= self.threshold
+
+
+def responsibility_instance_from_fpmf(instance: FPMFInstance) -> ResponsibilityInstance:
+    """FPMF → database for ``q :- R(x, u1, y), S(y, u2, z), T(z, u3, w)``.
+
+    Capacity-2 edges contribute two parallel tuples (middle attribute 1 and
+    2), capacity-1 edges one tuple; the fresh private path
+    ``R(x0,1,y0), S(y0,1,z0), T(z0,1,w0)`` supplies the inspected tuple.
+    """
+    db = Database()
+    relations = ["R", "S", "T"]
+    for layer_index, layer in enumerate(instance.layer_edges):
+        relation = relations[layer_index]
+        for left, right, capacity in layer:
+            for copy in range(1, capacity + 1):
+                db.add_fact(relation, left, copy, right)
+    inspected = db.add_fact("R", "_x0", 1, "_y0")
+    db.add_fact("S", "_y0", 1, "_z0")
+    db.add_fact("T", "_z0", 1, "_w0")
+    return ResponsibilityInstance(db, inspected, theorem_415_query(),
+                                  instance.threshold)
+
+
+# --------------------------------------------------------------------------- #
+# the full chain
+# --------------------------------------------------------------------------- #
+def reachability_via_responsibility(graph: UndirectedGraph, source: str,
+                                    target: str) -> bool:
+    """Decide UGAP through the whole reduction chain.
+
+    Returns ``True`` iff ``target`` is reachable from ``source`` in ``graph``,
+    computed *only* from the responsibility of the private tuple of the final
+    instance.
+    """
+    bgap = bgap_from_ugap(graph, source, target)
+    fpmf = fpmf_from_bgap(bgap)
+    final = responsibility_instance_from_fpmf(fpmf)
+    return final.meets_threshold()

@@ -1,0 +1,314 @@
+"""Hardness of ``h∗2``: the 3SAT → 3-coloured ring-graph reduction.
+
+Theorem 4.1 proves NP-hardness of responsibility for the triangle query
+
+    ``h∗2 :- Rⁿ(x, y), Sⁿ(y, z), Tⁿ(z, x)``
+
+by encoding a 3SAT formula ``φ`` as a 3-coloured graph ``G_φ`` (Appendix C):
+
+* every variable gets a *local ring* of length ``m_i`` (odd, multiple of 3,
+  ``≥ 9·|C_{X_i}|``) with forward edges (solid in Fig. 7) and backward edges
+  (dotted) whose triangles force a minimum contingency to pick one of two
+  "all-forward" edge sets ``S⁺`` (variable true) or ``S⁻`` (variable false) of
+  size ``m_i`` each (Lemmas C.1, C.2);
+* every clause adds one extra triangle built from one forward edge per literal,
+  with the edges' endpoint nodes across the three rings identified (Fig. 8), so
+  the clause triangle is hit exactly when some literal's ring choice matches
+  the literal's polarity;
+* ``φ`` is satisfiable iff ``G_φ`` has a contingency (a set of edges meeting
+  every triangle) of size ``Σ_i m_i`` (Lemma C.3).
+
+A 3-coloured graph maps to an ``h∗2`` instance: ``a→b`` edges become ``R``
+tuples, ``b→c`` edges ``S`` tuples, ``c→a`` edges ``T`` tuples; with one extra
+private triangle ``R(a0,b0), S(b0,c0), T(c0,a0)``, the minimum contingency of
+``R(a0, b0)`` equals the minimum contingency of ``G_φ``.
+
+Besides the instance builder, this module contains a *structure-aware* exact
+solver that exploits Lemmas C.1/C.2 (search only over the ``2^n`` per-ring
+``S⁺``/``S⁻`` choices) so the reduction can be validated end-to-end on
+formulas that would be far out of reach for the generic hitting-set solver.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple as TypingTuple
+
+from ..exceptions import ReductionError
+from ..relational.database import Database
+from ..relational.query import ConjunctiveQuery, parse_query
+from ..relational.tuples import Tuple
+from ..workloads.hypergraphs import CNF3Formula
+
+#: colour cycle of ring positions: position 1 is an a-node, 2 a b-node, 3 a c-node, ...
+_COLOURS = ("a", "b", "c")
+
+
+def h2_query() -> ConjunctiveQuery:
+    """The canonical hard query ``h∗2``."""
+    return parse_query("h2 :- R^n(x, y), S^n(y, z), T^n(z, x)")
+
+
+def _colour_of_position(position: int) -> str:
+    """Colour of ring position ``position`` (1-based)."""
+    return _COLOURS[(position - 1) % 3]
+
+
+class RingGraph:
+    """The 3-coloured graph ``G_φ`` produced by the reduction.
+
+    Nodes are strings; ``colour[node]`` is ``"a"``, ``"b"`` or ``"c"``.
+    Edges are directed pairs; each edge knows whether it is a *forward* or a
+    *backward* edge and which variable ring it belongs to.  ``triangles``
+    lists every length-3 cycle the contingency must hit: the ring triangles
+    and one triangle per clause.
+    """
+
+    def __init__(self):
+        self.colour: Dict[str, str] = {}
+        self.edges: Set[TypingTuple[str, str]] = set()
+        self.edge_kind: Dict[TypingTuple[str, str], str] = {}
+        self.edge_ring: Dict[TypingTuple[str, str], str] = {}
+        self.triangles: List[FrozenSet[TypingTuple[str, str]]] = []
+        self.forward_plus: Dict[str, FrozenSet[TypingTuple[str, str]]] = {}
+        self.forward_minus: Dict[str, FrozenSet[TypingTuple[str, str]]] = {}
+        self.ring_length: Dict[str, int] = {}
+
+    def add_node(self, node: str, colour: str) -> str:
+        existing = self.colour.get(node)
+        if existing is not None and existing != colour:
+            raise ReductionError(
+                f"node {node!r} would get colours {existing!r} and {colour!r}"
+            )
+        self.colour[node] = colour
+        return node
+
+    def add_edge(self, source: str, target: str, kind: str, ring: str) -> TypingTuple[str, str]:
+        edge = (source, target)
+        self.edges.add(edge)
+        self.edge_kind[edge] = kind
+        self.edge_ring[edge] = ring
+        return edge
+
+    def forward_edges(self, ring: Optional[str] = None) -> List[TypingTuple[str, str]]:
+        return sorted(e for e in self.edges
+                      if self.edge_kind[e] == "forward"
+                      and (ring is None or self.edge_ring[e] == ring))
+
+    def total_ring_length(self) -> int:
+        return sum(self.ring_length.values())
+
+    def is_contingency(self, edges: Set[TypingTuple[str, str]]) -> bool:
+        """Does ``edges`` hit every triangle of the graph?"""
+        return all(triangle & edges for triangle in self.triangles)
+
+    def __repr__(self) -> str:
+        return (f"RingGraph({len(self.colour)} nodes, {len(self.edges)} edges, "
+                f"{len(self.triangles)} triangles)")
+
+
+def _ring_length(occurrences: int) -> int:
+    """Smallest odd multiple of 3 that is ≥ 9·occurrences (and ≥ 9)."""
+    minimum = max(9, 9 * occurrences)
+    length = minimum
+    while length % 3 != 0 or length % 2 == 0:
+        length += 1
+    return length
+
+
+def build_ring_graph(formula: CNF3Formula) -> RingGraph:
+    """Construct ``G_φ`` from a 3-CNF formula (Appendix C construction)."""
+    graph = RingGraph()
+    variables = formula.variables()
+
+    # Node naming: f"{variable}:{sign}{position}" before clause identification.
+    def node_name(variable: str, sign: str, position: int) -> str:
+        return f"{variable}:{sign}{position}"
+
+    # ------------------------------------------------------------------ #
+    # local rings
+    # ------------------------------------------------------------------ #
+    for variable in variables:
+        length = _ring_length(len(formula.clauses_with(variable)))
+        graph.ring_length[variable] = length
+        for sign in ("+", "-"):
+            for position in range(1, length + 1):
+                graph.add_node(node_name(variable, sign, position),
+                               _colour_of_position(position))
+
+        def nxt(position: int) -> int:
+            return position + 1 if position < length else 1
+
+        plus_edges: List[TypingTuple[str, str]] = []
+        minus_edges: List[TypingTuple[str, str]] = []
+        for position in range(1, length + 1):
+            forward_plus = graph.add_edge(
+                node_name(variable, "+", position),
+                node_name(variable, "-", nxt(position)),
+                "forward", variable)
+            forward_minus = graph.add_edge(
+                node_name(variable, "-", position),
+                node_name(variable, "+", nxt(position)),
+                "forward", variable)
+            plus_edges.append(forward_plus)
+            minus_edges.append(forward_minus)
+        graph.forward_plus[variable] = frozenset(plus_edges)
+        graph.forward_minus[variable] = frozenset(minus_edges)
+
+        # Backward edges and the ring triangles they close.
+        for sign in ("+", "-"):
+            for position in range(1, length + 1):
+                two_ahead = position + 2 if position + 2 <= length else position + 2 - length
+                backward = graph.add_edge(
+                    node_name(variable, sign, two_ahead),
+                    node_name(variable, sign, position),
+                    "backward", variable)
+                # The triangle: position --f--> other sign, position+1 --f--> sign,
+                # position+2 --b--> position.
+                other = "-" if sign == "+" else "+"
+                first = (node_name(variable, sign, position),
+                         node_name(variable, other, nxt(position)))
+                second = (node_name(variable, other, nxt(position)),
+                          node_name(variable, sign, nxt(nxt(position))))
+                graph.triangles.append(frozenset({first, second, backward}))
+
+    # ------------------------------------------------------------------ #
+    # clause gadgets: one extra triangle per clause, with node identification
+    # ------------------------------------------------------------------ #
+    identification: Dict[str, str] = {}
+
+    def canonical(node: str) -> str:
+        while node in identification:
+            node = identification[node]
+        return node
+
+    occurrence_counter: Dict[str, int] = {v: 0 for v in variables}
+    clause_edge_lists: List[List[TypingTuple[str, str]]] = []
+    for clause in formula.clauses:
+        if len(clause) != 3:
+            raise ReductionError(
+                "the h∗2 reduction requires exactly three literals per clause"
+            )
+        if len({variable for variable, _ in clause}) != 3:
+            raise ReductionError(
+                "the h∗2 reduction requires three distinct variables per clause"
+            )
+        literal_edges: List[TypingTuple[str, str]] = []
+        endpoints: List[TypingTuple[str, str]] = []
+        for literal_index, (variable, polarity) in enumerate(clause, start=1):
+            start = 9 * occurrence_counter[variable] + 1
+            occurrence_counter[variable] += 1
+            position = start + literal_index - 1
+            if polarity:
+                edge = (f"{variable}:+{position}", f"{variable}:-{position + 1}")
+            else:
+                edge = (f"{variable}:-{position}", f"{variable}:+{position + 1}")
+            if edge not in graph.edges:
+                raise ReductionError(f"literal edge {edge!r} missing from the ring")
+            literal_edges.append(edge)
+            endpoints.append(edge)
+        # Identify nodes so the three literal edges close a triangle:
+        # tail(e1) ≡ head(e3), head(e1) ≡ tail(e2), head(e2) ≡ tail(e3).
+        (a1, b1), (b2, c2), (c3, a3) = endpoints
+        identification[a3] = a1
+        identification[b2] = b1
+        identification[c3] = c2
+        clause_edge_lists.append(literal_edges)
+
+    # Apply the identification to every node, edge, triangle and edge-set.
+    def map_edge(edge: TypingTuple[str, str]) -> TypingTuple[str, str]:
+        return (canonical(edge[0]), canonical(edge[1]))
+
+    merged = RingGraph()
+    for node, colour in graph.colour.items():
+        merged.add_node(canonical(node), colour)
+    for edge in graph.edges:
+        mapped = map_edge(edge)
+        merged.add_edge(mapped[0], mapped[1], graph.edge_kind[edge], graph.edge_ring[edge])
+    merged.triangles = [frozenset(map_edge(e) for e in triangle)
+                        for triangle in graph.triangles]
+    for variable in variables:
+        merged.forward_plus[variable] = frozenset(map_edge(e)
+                                                  for e in graph.forward_plus[variable])
+        merged.forward_minus[variable] = frozenset(map_edge(e)
+                                                   for e in graph.forward_minus[variable])
+    merged.ring_length = dict(graph.ring_length)
+    for literal_edges in clause_edge_lists:
+        merged.triangles.append(frozenset(map_edge(e) for e in literal_edges))
+    return merged
+
+
+# --------------------------------------------------------------------------- #
+# structure-aware exact reasoning (Lemmas C.1–C.3)
+# --------------------------------------------------------------------------- #
+def assignment_contingency(graph: RingGraph, assignment: Dict[str, bool]
+                           ) -> FrozenSet[TypingTuple[str, str]]:
+    """The edge set ``∪_i S⁺/S⁻`` selected by a truth assignment."""
+    edges: Set[TypingTuple[str, str]] = set()
+    for variable, value in assignment.items():
+        edges |= graph.forward_plus[variable] if value else graph.forward_minus[variable]
+    return frozenset(edges)
+
+
+def satisfying_assignment_via_contingency(formula: CNF3Formula
+                                          ) -> Optional[Dict[str, bool]]:
+    """A truth assignment whose ring choice is a contingency of size ``Σ m_i``.
+
+    By Lemma C.3 such an assignment exists iff the formula is satisfiable, so
+    this function doubles as a (deliberately exponential-in-the-number-of-
+    variables) SAT solver driven entirely by the reduction's graph structure.
+    """
+    graph = build_ring_graph(formula)
+    variables = formula.variables()
+    for bits in itertools.product([True, False], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if graph.is_contingency(set(assignment_contingency(graph, assignment))):
+            return assignment
+    return None
+
+
+def has_budget_contingency(formula: CNF3Formula) -> bool:
+    """Does ``G_φ`` admit a contingency of size ``Σ m_i``?  (⇔ φ satisfiable.)"""
+    return satisfying_assignment_via_contingency(formula) is not None
+
+
+# --------------------------------------------------------------------------- #
+# database instance for h∗2
+# --------------------------------------------------------------------------- #
+class H2Instance:
+    """``h∗2`` reduction instance: database, inspected tuple, budget ``Σ m_i``."""
+
+    def __init__(self, database: Database, inspected: Tuple,
+                 query: ConjunctiveQuery, graph: RingGraph, budget: int):
+        self.database = database
+        self.inspected = inspected
+        self.query = query
+        self.graph = graph
+        self.budget = budget
+
+
+def h2_instance_from_formula(formula: CNF3Formula) -> H2Instance:
+    """Build the ``h∗2`` database from a 3-CNF formula.
+
+    ``a→b`` edges populate ``R``, ``b→c`` edges ``S`` and ``c→a`` edges ``T``;
+    a private triangle over fresh nodes supplies the inspected tuple
+    ``R(a0, b0)``.  The minimum contingency of the inspected tuple equals the
+    minimum contingency of ``G_φ``, which is ``Σ m_i`` iff ``φ`` is
+    satisfiable (Lemma C.3).
+    """
+    graph = build_ring_graph(formula)
+    db = Database()
+    relation_for = {("a", "b"): "R", ("b", "c"): "S", ("c", "a"): "T"}
+    for source, target in sorted(graph.edges):
+        key = (graph.colour[source], graph.colour[target])
+        relation = relation_for.get(key)
+        if relation is None:
+            raise ReductionError(
+                f"edge {(source, target)!r} has colour pair {key!r}, which should "
+                "not occur in the construction"
+            )
+        db.add_fact(relation, source, target)
+    inspected = db.add_fact("R", "_a0", "_b0")
+    db.add_fact("S", "_b0", "_c0")
+    db.add_fact("T", "_c0", "_a0")
+    return H2Instance(db, inspected, h2_query(), graph, graph.total_ring_length())

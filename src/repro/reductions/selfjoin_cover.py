@@ -1,0 +1,80 @@
+"""Hardness with self-joins (Proposition 4.16): reduction from vertex cover.
+
+For the self-join query
+
+    ``q :- Rⁿ(x), S(x, y), Rⁿ(y)``
+
+computing responsibility is NP-hard: given a graph, create one ``R`` tuple per
+node and one ``S`` tuple per edge, plus a private node ``x0`` with a loop
+``S(x0, x0)``.  A minimum contingency for ``R(x0)`` corresponds to a minimum
+vertex cover (removing the cover's ``R`` tuples kills every other join result
+while the private loop keeps the query true until ``R(x0)`` itself is
+removed).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple as TypingTuple
+
+from ..core.responsibility import exact_responsibility
+from ..relational.database import Database
+from ..relational.query import ConjunctiveQuery, parse_query
+from ..relational.tuples import Tuple
+from ..workloads.hypergraphs import UndirectedGraph
+
+
+def selfjoin_query(s_endogenous: bool = False) -> ConjunctiveQuery:
+    """The Prop. 4.16 query (the reduction works for both types of S)."""
+    marker = "^n" if s_endogenous else "^x"
+    return parse_query(f"q :- R^n(x), S{marker}(x, y), R^n(y)")
+
+
+class SelfJoinInstance:
+    """Reduction instance: database, inspected tuple, query, source graph."""
+
+    def __init__(self, database: Database, inspected: Tuple,
+                 query: ConjunctiveQuery, graph: UndirectedGraph):
+        self.database = database
+        self.inspected = inspected
+        self.query = query
+        self.graph = graph
+
+    def minimum_cover_size_via_responsibility(self) -> int:
+        result = exact_responsibility(self.query, self.database, self.inspected)
+        rho = result.responsibility
+        if rho == 0:
+            raise RuntimeError("the private tuple must be a cause by construction")
+        return int(1 / rho) - 1
+
+    def cover_from_contingency(self) -> FrozenSet[str]:
+        """A vertex cover extracted from a minimum contingency (S tuples are
+        swapped for one of their endpoints, as in the proof)."""
+        result = exact_responsibility(self.query, self.database, self.inspected)
+        if result.min_contingency is None:
+            raise RuntimeError("the private tuple must be a cause by construction")
+        cover = set()
+        for tup in result.min_contingency:
+            cover.add(tup.values[0])
+        return frozenset(cover)
+
+
+def selfjoin_instance_from_graph(graph: UndirectedGraph,
+                                 s_endogenous: bool = False) -> SelfJoinInstance:
+    """Build the Prop. 4.16 reduction instance from an undirected graph."""
+    db = Database()
+    for node in sorted(graph.nodes):
+        db.add_fact("R", node)
+    for u, v in graph.edge_list():
+        db.add_fact("S", u, v, endogenous=s_endogenous)
+        db.add_fact("S", v, u, endogenous=s_endogenous)
+    inspected = db.add_fact("R", "_x0")
+    db.add_fact("S", "_x0", "_x0", endogenous=s_endogenous)
+    return SelfJoinInstance(db, inspected, selfjoin_query(s_endogenous), graph)
+
+
+def responsibility_encodes_cover(graph: UndirectedGraph) -> TypingTuple[int, int]:
+    """(cover size via responsibility, cover size via exhaustive search)."""
+    instance = selfjoin_instance_from_graph(graph)
+    via_responsibility = instance.minimum_cover_size_via_responsibility()
+    via_search = len(graph.minimum_vertex_cover())
+    return via_responsibility, via_search

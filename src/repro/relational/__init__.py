@@ -1,0 +1,51 @@
+"""Relational substrate: schemas, tuples, databases, conjunctive queries and
+their evaluation.
+
+This subpackage provides the data model the paper's definitions are stated
+over: a database instance ``D`` partitioned into endogenous tuples ``Dn`` and
+exogenous tuples ``Dx``, and (Boolean) conjunctive queries evaluated via
+valuations ``θ : Var(q) → Adom(D)``.
+"""
+
+from .database import Database, database_from_dict
+from .evaluation import (
+    QueryEvaluator,
+    Valuation,
+    evaluate,
+    evaluate_boolean,
+    find_valuations,
+    is_answer,
+)
+from .query import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Term,
+    Variable,
+    parse_atom,
+    parse_query,
+)
+from .schema import RelationSchema, Schema
+from .tuples import Tuple, make_tuple
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Constant",
+    "Database",
+    "QueryEvaluator",
+    "RelationSchema",
+    "Schema",
+    "Term",
+    "Tuple",
+    "Valuation",
+    "Variable",
+    "database_from_dict",
+    "evaluate",
+    "evaluate_boolean",
+    "find_valuations",
+    "is_answer",
+    "make_tuple",
+    "parse_atom",
+    "parse_query",
+]

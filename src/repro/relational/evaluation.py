@@ -1,0 +1,259 @@
+"""Evaluation of conjunctive queries over database instances.
+
+The central notion is a *valuation* (Sect. 3 of the paper): a mapping
+``θ : Var(q) → Adom(D)`` such that the instantiation of every atom is a tuple
+of the database.  Valuations drive everything downstream — the lineage of the
+query is the disjunction of one conjunct per valuation, and counterfactual
+checks simply ask whether any valuation survives in a modified instance.
+
+The evaluator is a straightforward backtracking join with per-relation hash
+indexes on individual positions.  It is not a competitive query engine, but
+its complexity is polynomial in the size of the database for a fixed query
+(which is all the data-complexity statements of the paper require) and it is
+easy to audit — an important property for a reference implementation used as
+ground truth in tests.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple as TypingTuple,
+)
+
+from .database import Database
+from .query import Atom, ConjunctiveQuery, Constant, Variable
+from .tuples import Tuple
+
+
+class Valuation:
+    """A single valuation ``θ`` of a query: variable bindings + matched tuples.
+
+    Attributes
+    ----------
+    assignment:
+        Mapping from :class:`Variable` to the value assigned by ``θ``.
+    atom_tuples:
+        The tuple matched by each atom, in query-atom order.
+    """
+
+    __slots__ = ("assignment", "atom_tuples")
+
+    def __init__(self, assignment: Mapping[Variable, Any],
+                 atom_tuples: Sequence[Tuple]):
+        self.assignment: Dict[Variable, Any] = dict(assignment)
+        self.atom_tuples: TypingTuple[Tuple, ...] = tuple(atom_tuples)
+
+    def tuples(self) -> FrozenSet[Tuple]:
+        """The set of database tuples used by this valuation."""
+        return frozenset(self.atom_tuples)
+
+    def value_of(self, variable: Variable) -> Any:
+        return self.assignment[variable]
+
+    def __repr__(self) -> str:
+        binding = ", ".join(f"{v}={val!r}" for v, val in sorted(
+            self.assignment.items(), key=lambda item: item[0].name))
+        return f"Valuation({binding})"
+
+
+class _RelationIndex:
+    """Hash indexes on every position of a relation, built lazily."""
+
+    __slots__ = ("tuples", "by_position")
+
+    def __init__(self, tuples: FrozenSet[Tuple]):
+        self.tuples = tuples
+        self.by_position: Dict[int, Dict[Any, Set[Tuple]]] = {}
+
+    def candidates(self, constraints: Sequence[TypingTuple[int, Any]]) -> Set[Tuple]:
+        """Tuples matching every ``(position, value)`` constraint."""
+        if not constraints:
+            return set(self.tuples)
+        best: Optional[Set[Tuple]] = None
+        for position, value in constraints:
+            index = self.by_position.get(position)
+            if index is None:
+                index = {}
+                for tup in self.tuples:
+                    index.setdefault(tup[position], set()).add(tup)
+                self.by_position[position] = index
+            matching = index.get(value, set())
+            if best is None or len(matching) < len(best):
+                best = matching
+            if not best:
+                return set()
+        assert best is not None
+        # Verify the remaining constraints tuple by tuple.
+        return {
+            tup for tup in best
+            if all(tup[pos] == val for pos, val in constraints)
+        }
+
+
+class QueryEvaluator:
+    """Evaluates conjunctive queries over a fixed database instance.
+
+    The evaluator caches per-relation indexes, so reuse one instance when
+    issuing many queries against the same database.
+
+    Parameters
+    ----------
+    database:
+        The instance to evaluate against.
+    respect_annotations:
+        When ``True`` (default), atoms annotated ``Rⁿ`` only match endogenous
+        tuples and atoms annotated ``Rˣ`` only match exogenous tuples — the
+        semantics of the refined queries used in Sect. 3.  Unannotated atoms
+        always match every tuple of their relation.
+    """
+
+    def __init__(self, database: Database, respect_annotations: bool = True):
+        self.database = database
+        self.respect_annotations = respect_annotations
+        self._indexes: Dict[TypingTuple[str, Optional[bool]], _RelationIndex] = {}
+
+    # ------------------------------------------------------------------ #
+    def _index_for(self, atom: Atom) -> _RelationIndex:
+        status = atom.endogenous if self.respect_annotations else None
+        key = (atom.relation, status)
+        index = self._indexes.get(key)
+        if index is None:
+            if status is True:
+                tuples = self.database.endogenous_tuples(atom.relation)
+            elif status is False:
+                tuples = self.database.exogenous_tuples(atom.relation)
+            else:
+                tuples = self.database.tuples_of(atom.relation)
+            index = _RelationIndex(tuples)
+            self._indexes[key] = index
+        return index
+
+    @staticmethod
+    def _atom_order(query: ConjunctiveQuery) -> List[int]:
+        """Greedy join order: start with the most-constrained atom, then
+        repeatedly pick the atom sharing the most variables with the atoms
+        already placed."""
+        remaining = set(range(len(query.atoms)))
+        placed_vars: Set[Variable] = set()
+        order: List[int] = []
+
+        def score(index: int) -> TypingTuple[int, int, int]:
+            atom = query.atoms[index]
+            shared = len(atom.variables() & placed_vars)
+            constants = len(atom.constants())
+            return (shared, constants, -atom.arity)
+
+        while remaining:
+            best = max(remaining, key=score)
+            order.append(best)
+            placed_vars |= query.atoms[best].variables()
+            remaining.discard(best)
+        return order
+
+    # ------------------------------------------------------------------ #
+    def valuations(self, query: ConjunctiveQuery) -> Iterator[Valuation]:
+        """Yield every valuation of ``query`` over the database."""
+        order = self._atom_order(query)
+        atoms = query.atoms
+        assignment: Dict[Variable, Any] = {}
+        matched: Dict[int, Tuple] = {}
+
+        def backtrack(depth: int) -> Iterator[Valuation]:
+            if depth == len(order):
+                yield Valuation(assignment, [matched[i] for i in range(len(atoms))])
+                return
+            atom_index = order[depth]
+            atom = atoms[atom_index]
+            constraints: List[TypingTuple[int, Any]] = []
+            unbound: List[TypingTuple[int, Variable]] = []
+            for pos, term in enumerate(atom.terms):
+                if isinstance(term, Constant):
+                    constraints.append((pos, term.value))
+                else:
+                    assert isinstance(term, Variable)
+                    if term in assignment:
+                        constraints.append((pos, assignment[term]))
+                    else:
+                        unbound.append((pos, term))
+            for candidate in self._index_for(atom).candidates(constraints):
+                # Bind the unbound variables; positions sharing a variable
+                # must agree on the value.
+                local: Dict[Variable, Any] = {}
+                consistent = True
+                for pos, var in unbound:
+                    value = candidate[pos]
+                    if var in local and local[var] != value:
+                        consistent = False
+                        break
+                    local[var] = value
+                if not consistent:
+                    continue
+                assignment.update(local)
+                matched[atom_index] = candidate
+                yield from backtrack(depth + 1)
+                del matched[atom_index]
+                for var in local:
+                    assignment.pop(var, None)
+
+        yield from backtrack(0)
+
+    def holds(self, query: ConjunctiveQuery) -> bool:
+        """``D ⊨ q`` for a Boolean query: does at least one valuation exist?"""
+        for _ in self.valuations(query):
+            return True
+        return False
+
+    def answers(self, query: ConjunctiveQuery) -> FrozenSet[TypingTuple[Any, ...]]:
+        """The answer relation of a non-Boolean query (set of head tuples)."""
+        results: Set[TypingTuple[Any, ...]] = set()
+        for valuation in self.valuations(query):
+            row = []
+            for term in query.head:
+                if isinstance(term, Variable):
+                    row.append(valuation.assignment[term])
+                else:
+                    assert isinstance(term, Constant)
+                    row.append(term.value)
+            results.add(tuple(row))
+        return frozenset(results)
+
+
+# --------------------------------------------------------------------------- #
+# module-level convenience wrappers
+# --------------------------------------------------------------------------- #
+def find_valuations(query: ConjunctiveQuery, database: Database,
+                    respect_annotations: bool = True) -> List[Valuation]:
+    """All valuations of ``query`` over ``database`` as a list."""
+    evaluator = QueryEvaluator(database, respect_annotations=respect_annotations)
+    return list(evaluator.valuations(query))
+
+
+def evaluate_boolean(query: ConjunctiveQuery, database: Database,
+                     respect_annotations: bool = True) -> bool:
+    """``D ⊨ q`` for a Boolean query."""
+    evaluator = QueryEvaluator(database, respect_annotations=respect_annotations)
+    return evaluator.holds(query)
+
+
+def evaluate(query: ConjunctiveQuery, database: Database,
+             respect_annotations: bool = True) -> FrozenSet[TypingTuple[Any, ...]]:
+    """Answer set of a (possibly non-Boolean) query."""
+    evaluator = QueryEvaluator(database, respect_annotations=respect_annotations)
+    if query.is_boolean:
+        return frozenset({()} if evaluator.holds(query) else set())
+    return evaluator.answers(query)
+
+
+def is_answer(query: ConjunctiveQuery, database: Database,
+              answer: Sequence[Any]) -> bool:
+    """``D ⊨ q(ā)``: is ``answer`` returned by ``query`` on ``database``?"""
+    return evaluate_boolean(query.bind(answer), database)

@@ -1,0 +1,463 @@
+"""Conjunctive queries: terms, atoms and query objects.
+
+The paper studies (Boolean) conjunctive queries ``q :- g1, ..., gm`` where
+each atom ``gi`` is a relation name applied to variables and constants.
+Non-Boolean queries are reduced to Boolean ones by substituting the answer
+tuple into the head (Sect. 2, last paragraph); :meth:`ConjunctiveQuery.bind`
+performs exactly this substitution.
+
+Atoms carry an optional ``endogenous`` annotation mirroring the paper's
+``Rⁿ`` / ``Rˣ`` notation.  The annotation is used by relation-level analyses
+(the Datalog cause programs of Sect. 3 and the responsibility dichotomy of
+Sect. 4); when it is ``None`` the status is taken from the database at
+evaluation time (tuple-level partitioning).
+
+A small parser is provided so that queries can be written the way the paper
+writes them::
+
+    parse_query("q() :- R(x, y), S(y)")
+    parse_query("h1 :- A^n(x), B^n(y), C^n(z), W(x, y, z)")
+    parse_query("q(x) :- R(x, y), S(y, 'a3')")
+
+Bare identifiers are variables; quoted strings and numeric literals are
+constants.  ``R^n`` / ``R^x`` annotate an atom as endogenous / exogenous.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple as TypingTuple,
+    Union,
+)
+
+from ..exceptions import ParseError, QueryError
+
+
+# --------------------------------------------------------------------------- #
+# Terms
+# --------------------------------------------------------------------------- #
+class Term:
+    """Abstract base class for terms (variables and constants)."""
+
+    __slots__ = ()
+
+    @property
+    def is_variable(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.is_variable
+
+
+class Variable(Term):
+    """A query variable, identified by its name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = str(name)
+
+    @property
+    def is_variable(self) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+    def __lt__(self, other: "Variable") -> bool:
+        if not isinstance(other, Variable):
+            return NotImplemented
+        return self.name < other.name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Constant(Term):
+    """A constant value appearing in a query atom."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    @property
+    def is_variable(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+TermLike = Union[Term, str, int, float]
+
+
+def _coerce_term(term: TermLike) -> Term:
+    """Turn a raw Python value into a :class:`Term`.
+
+    Strings become variables (matching the convention used throughout the
+    library when atoms are built programmatically); to pass a string constant
+    wrap it in :class:`Constant` explicitly.
+    Numbers become constants.
+    """
+    if isinstance(term, Term):
+        return term
+    if isinstance(term, str):
+        return Variable(term)
+    return Constant(term)
+
+
+# --------------------------------------------------------------------------- #
+# Atoms
+# --------------------------------------------------------------------------- #
+class Atom:
+    """A query atom ``R(t1, ..., tk)`` with an optional endogenous annotation.
+
+    Parameters
+    ----------
+    relation:
+        Relation name.
+    terms:
+        Variables and constants.  Plain strings are interpreted as variables,
+        numbers as constants (wrap in :class:`Constant` / :class:`Variable`
+        to override).
+    endogenous:
+        ``True`` for ``Rⁿ``, ``False`` for ``Rˣ``, ``None`` when the
+        endogenous status is tuple-level (decided by the database).
+
+    Examples
+    --------
+    >>> a = Atom("R", ["x", "y"])
+    >>> sorted(v.name for v in a.variables())
+    ['x', 'y']
+    >>> Atom("S", ["y", Constant("a3")]).constants()
+    frozenset({'a3'})
+    """
+
+    __slots__ = ("relation", "terms", "endogenous")
+
+    def __init__(self, relation: str, terms: Sequence[TermLike],
+                 endogenous: Optional[bool] = None):
+        self.relation = str(relation)
+        self.terms: TypingTuple[Term, ...] = tuple(_coerce_term(t) for t in terms)
+        self.endogenous = endogenous
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> FrozenSet[Variable]:
+        """The set of variables occurring in the atom."""
+        return frozenset(t for t in self.terms if isinstance(t, Variable))
+
+    def variable_names(self) -> FrozenSet[str]:
+        return frozenset(t.name for t in self.terms if isinstance(t, Variable))
+
+    def constants(self) -> FrozenSet[Any]:
+        return frozenset(t.value for t in self.terms if isinstance(t, Constant))
+
+    def substitute(self, mapping: Mapping[Variable, Any]) -> "Atom":
+        """Replace variables by constants/terms according to ``mapping``.
+
+        Values in ``mapping`` may be :class:`Term` instances or raw values
+        (raw values become constants).
+        """
+        new_terms: List[Term] = []
+        for term in self.terms:
+            if isinstance(term, Variable) and term in mapping:
+                value = mapping[term]
+                new_terms.append(value if isinstance(value, Term) else Constant(value))
+            else:
+                new_terms.append(term)
+        return Atom(self.relation, new_terms, endogenous=self.endogenous)
+
+    def with_endogenous(self, endogenous: Optional[bool]) -> "Atom":
+        """A copy of the atom with a different endogenous annotation."""
+        return Atom(self.relation, self.terms, endogenous=endogenous)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return (self.relation == other.relation and self.terms == other.terms
+                and self.endogenous == other.endogenous)
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.terms, self.endogenous))
+
+    def __repr__(self) -> str:
+        marker = {True: "^n", False: "^x", None: ""}[self.endogenous]
+        inner = ", ".join(str(t) for t in self.terms)
+        return f"{self.relation}{marker}({inner})"
+
+
+# --------------------------------------------------------------------------- #
+# Conjunctive queries
+# --------------------------------------------------------------------------- #
+class ConjunctiveQuery:
+    """A conjunctive query ``q(head) :- g1, ..., gm``.
+
+    A query with an empty head is Boolean.  The atom list is ordered (the
+    order matters for display and for linearizations) but equality treats it
+    as a sequence, not a set.
+
+    Examples
+    --------
+    >>> q = parse_query("q(x) :- R(x, y), S(y)")
+    >>> q.is_boolean
+    False
+    >>> bq = q.bind(("a2",))
+    >>> bq.is_boolean
+    True
+    >>> sorted(v.name for v in bq.variables())
+    ['y']
+    """
+
+    __slots__ = ("name", "head", "atoms")
+
+    def __init__(self, atoms: Sequence[Atom], head: Sequence[TermLike] = (),
+                 name: str = "q"):
+        self.name = str(name)
+        self.atoms: TypingTuple[Atom, ...] = tuple(atoms)
+        self.head: TypingTuple[Term, ...] = tuple(_coerce_term(t) for t in head)
+        if not self.atoms:
+            raise QueryError("a conjunctive query needs at least one atom")
+        body_vars = self.variables()
+        for term in self.head:
+            if isinstance(term, Variable) and term not in body_vars:
+                raise QueryError(
+                    f"head variable {term!r} does not occur in the body"
+                )
+
+    # -- structure ------------------------------------------------------- #
+    @property
+    def is_boolean(self) -> bool:
+        return len(self.head) == 0
+
+    def variables(self) -> FrozenSet[Variable]:
+        """``Var(q)``: all variables occurring in the body."""
+        result: set = set()
+        for atom in self.atoms:
+            result |= atom.variables()
+        return frozenset(result)
+
+    def variable_names(self) -> FrozenSet[str]:
+        return frozenset(v.name for v in self.variables())
+
+    def constants(self) -> FrozenSet[Any]:
+        result: set = set()
+        for atom in self.atoms:
+            result |= atom.constants()
+        return frozenset(result)
+
+    def head_variables(self) -> TypingTuple[Variable, ...]:
+        return tuple(t for t in self.head if isinstance(t, Variable))
+
+    def relation_names(self) -> TypingTuple[str, ...]:
+        """Relation names in atom order (with repetitions for self-joins)."""
+        return tuple(atom.relation for atom in self.atoms)
+
+    def has_self_joins(self) -> bool:
+        """True iff some relation name occurs in more than one atom."""
+        names = self.relation_names()
+        return len(names) != len(set(names))
+
+    def atoms_of(self, relation: str) -> TypingTuple[Atom, ...]:
+        return tuple(a for a in self.atoms if a.relation == relation)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    # -- transformations -------------------------------------------------- #
+    def bind(self, answer: Sequence[Any]) -> "ConjunctiveQuery":
+        """Substitute the answer tuple into the head: ``q[ā/x̄]``.
+
+        Returns the Boolean query whose causes/responsibilities are the causes
+        and responsibilities of the answer ``ā`` (Sect. 2).
+        """
+        if len(answer) != len(self.head):
+            raise QueryError(
+                f"answer arity {len(answer)} does not match head arity {len(self.head)}"
+            )
+        mapping: Dict[Variable, Any] = {}
+        for term, value in zip(self.head, answer):
+            if isinstance(term, Variable):
+                if term in mapping and mapping[term] != value:
+                    raise QueryError(
+                        f"inconsistent binding for head variable {term!r}"
+                    )
+                mapping[term] = value
+            else:
+                if term.value != value:
+                    raise QueryError(
+                        f"answer value {value!r} conflicts with head constant {term!r}"
+                    )
+        return self.substitute(mapping).as_boolean()
+
+    def substitute(self, mapping: Mapping[Variable, Any]) -> "ConjunctiveQuery":
+        """Apply a variable substitution to every atom (and the head)."""
+        atoms = [atom.substitute(mapping) for atom in self.atoms]
+        head = [
+            (mapping[t] if isinstance(mapping.get(t), Term) else Constant(mapping[t]))
+            if isinstance(t, Variable) and t in mapping else t
+            for t in self.head
+        ]
+        return ConjunctiveQuery(atoms, head=head, name=self.name)
+
+    def as_boolean(self) -> "ConjunctiveQuery":
+        """Drop the head (turn the query into a Boolean query)."""
+        return ConjunctiveQuery(self.atoms, head=(), name=self.name)
+
+    def with_atoms(self, atoms: Sequence[Atom]) -> "ConjunctiveQuery":
+        return ConjunctiveQuery(atoms, head=self.head, name=self.name)
+
+    def with_endogenous_relations(self, endogenous: Iterable[str]) -> "ConjunctiveQuery":
+        """Annotate atoms: relations in ``endogenous`` become ``Rⁿ``, others ``Rˣ``."""
+        endo = set(endogenous)
+        atoms = [a.with_endogenous(a.relation in endo) for a in self.atoms]
+        return self.with_atoms(atoms)
+
+    def endogenous_relations(self) -> FrozenSet[str]:
+        """Relations annotated endogenous (``Rⁿ``) in the query."""
+        return frozenset(a.relation for a in self.atoms if a.endogenous is True)
+
+    def exogenous_relations(self) -> FrozenSet[str]:
+        """Relations annotated exogenous (``Rˣ``) in the query."""
+        return frozenset(a.relation for a in self.atoms if a.endogenous is False)
+
+    # -- equality ---------------------------------------------------------- #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return self.atoms == other.atoms and self.head == other.head
+
+    def __hash__(self) -> int:
+        return hash((self.atoms, self.head))
+
+    def __repr__(self) -> str:
+        head = f"{self.name}({', '.join(str(t) for t in self.head)})"
+        body = ", ".join(repr(a) for a in self.atoms)
+        return f"{head} :- {body}"
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+_ATOM_RE = re.compile(
+    r"\s*(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"(?P<marker>\^[nx])?"
+    r"\s*\(\s*(?P<args>[^)]*)\)\s*"
+)
+_NUMBER_RE = re.compile(r"^[+-]?\d+(\.\d+)?$")
+
+
+def _parse_term(token: str) -> Term:
+    token = token.strip()
+    if not token:
+        raise ParseError("empty term")
+    if (token[0] == token[-1]) and token[0] in "'\"" and len(token) >= 2:
+        return Constant(token[1:-1])
+    if _NUMBER_RE.match(token):
+        value = float(token)
+        if value.is_integer() and "." not in token:
+            return Constant(int(token))
+        return Constant(value)
+    if re.match(r"^[A-Za-z_][A-Za-z_0-9]*$", token):
+        return Variable(token)
+    raise ParseError(f"cannot parse term {token!r}")
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom like ``R^n(x, y)`` or ``S(y, 'a3')``."""
+    match = _ATOM_RE.fullmatch(text)
+    if match is None:
+        raise ParseError(f"cannot parse atom {text!r}")
+    marker = match.group("marker")
+    endogenous = None
+    if marker == "^n":
+        endogenous = True
+    elif marker == "^x":
+        endogenous = False
+    args = match.group("args").strip()
+    terms = [] if not args else [_parse_term(tok) for tok in args.split(",")]
+    return Atom(match.group("name"), terms, endogenous=endogenous)
+
+
+def _split_atoms(body: str) -> List[str]:
+    """Split a query body at commas that are not inside parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for ch in body:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query written Datalog-style.
+
+    Grammar (informal)::
+
+        query := head? ":-" atom ("," atom)*
+        head  := name | name "(" terms ")"
+        atom  := name ("^n" | "^x")? "(" terms ")"
+
+    Bare identifiers are variables, quoted strings and numbers are constants.
+
+    Examples
+    --------
+    >>> q = parse_query("q(x) :- R(x, y), S(y)")
+    >>> len(q.atoms), q.is_boolean
+    (2, False)
+    >>> h1 = parse_query("h1 :- A^n(x), B^n(y), C^n(z), W(x, y, z)")
+    >>> h1.is_boolean
+    True
+    """
+    if ":-" not in text:
+        raise ParseError(f"query {text!r} has no ':-' separator")
+    head_text, body_text = text.split(":-", 1)
+    head_text = head_text.strip()
+    name = "q"
+    head_terms: List[Term] = []
+    if head_text:
+        if "(" in head_text:
+            match = _ATOM_RE.fullmatch(head_text)
+            if match is None:
+                raise ParseError(f"cannot parse query head {head_text!r}")
+            name = match.group("name")
+            args = match.group("args").strip()
+            head_terms = [] if not args else [_parse_term(t) for t in args.split(",")]
+        else:
+            name = head_text
+    atoms = [parse_atom(part) for part in _split_atoms(body_text)]
+    if not atoms:
+        raise ParseError(f"query {text!r} has an empty body")
+    return ConjunctiveQuery(atoms, head=head_terms, name=name)

@@ -1,0 +1,130 @@
+"""Relational schemas.
+
+A schema is optional in this library — a :class:`~repro.relational.database.Database`
+can be used schema-less, inferring relations and arities from inserted tuples —
+but declaring one catches arity mistakes early and documents the intent of
+examples and workloads (e.g. the IMDB schema of Fig. 1 in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple as TypingTuple
+
+from ..exceptions import SchemaError
+
+
+class RelationSchema:
+    """Declaration of a single relation: its name, arity and attribute names.
+
+    Examples
+    --------
+    >>> movie = RelationSchema("Movie", ("mid", "name", "year", "rank"))
+    >>> movie.arity
+    4
+    >>> RelationSchema("R", arity=2).attributes
+    ('a0', 'a1')
+    """
+
+    __slots__ = ("name", "attributes")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Optional[Sequence[str]] = None,
+        arity: Optional[int] = None,
+    ):
+        if attributes is None:
+            if arity is None:
+                raise SchemaError(
+                    f"relation {name!r}: provide either attribute names or an arity"
+                )
+            attributes = tuple(f"a{i}" for i in range(arity))
+        else:
+            attributes = tuple(str(a) for a in attributes)
+            if arity is not None and arity != len(attributes):
+                raise SchemaError(
+                    f"relation {name!r}: arity {arity} does not match "
+                    f"{len(attributes)} attribute names"
+                )
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"relation {name!r}: duplicate attribute names")
+        self.name = str(name)
+        self.attributes: TypingTuple[str, ...] = attributes
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def position_of(self, attribute: str) -> int:
+        """Return the index of ``attribute`` in this relation."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+class Schema:
+    """A collection of :class:`RelationSchema` declarations.
+
+    Examples
+    --------
+    >>> schema = Schema([RelationSchema("R", arity=2), RelationSchema("S", arity=1)])
+    >>> schema.arity_of("R")
+    2
+    >>> "S" in schema
+    True
+    """
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()):
+        self._relations: Dict[str, RelationSchema] = {}
+        for rel in relations:
+            self.add(rel)
+
+    def add(self, relation: RelationSchema) -> None:
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation declaration: {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def declare(self, name: str, attributes: Optional[Sequence[str]] = None,
+                arity: Optional[int] = None) -> RelationSchema:
+        """Declare and return a new relation schema."""
+        rel = RelationSchema(name, attributes=attributes, arity=arity)
+        self.add(rel)
+        return rel
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def relation_names(self) -> TypingTuple[str, ...]:
+        return tuple(self._relations)
+
+    def arity_of(self, name: str) -> int:
+        return self[name].arity
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._relations.values())!r})"

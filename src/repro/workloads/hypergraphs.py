@@ -1,0 +1,213 @@
+"""Graph and hypergraph workloads for the appendix hardness reductions.
+
+The hardness proofs of Theorem 4.1 / Prop. 4.16 / Theorem 4.15 reduce from
+
+* minimum vertex cover in 3-partite 3-uniform hypergraphs (``h∗1``),
+* 3SAT (``h∗2``),
+* minimum vertex cover in ordinary graphs (self-join query),
+* undirected graph accessibility (LOGSPACE hardness).
+
+This module provides the combinatorial objects (with small exact solvers used
+as ground truth in tests) and random generators for the benchmark instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class TripartiteHypergraph:
+    """A 3-partite 3-uniform hypergraph (partitions X, Y, Z; edges ⊆ X×Y×Z)."""
+
+    def __init__(self, x_nodes: Iterable[str], y_nodes: Iterable[str],
+                 z_nodes: Iterable[str],
+                 edges: Iterable[Tuple[str, str, str]] = ()):
+        self.x_nodes: Tuple[str, ...] = tuple(x_nodes)
+        self.y_nodes: Tuple[str, ...] = tuple(y_nodes)
+        self.z_nodes: Tuple[str, ...] = tuple(z_nodes)
+        self.edges: List[Tuple[str, str, str]] = []
+        for edge in edges:
+            self.add_edge(*edge)
+
+    def add_edge(self, x: str, y: str, z: str) -> None:
+        if x not in self.x_nodes or y not in self.y_nodes or z not in self.z_nodes:
+            raise ValueError(f"edge ({x}, {y}, {z}) uses unknown nodes")
+        self.edges.append((x, y, z))
+
+    def nodes(self) -> Tuple[str, ...]:
+        return self.x_nodes + self.y_nodes + self.z_nodes
+
+    def is_vertex_cover(self, cover: Set[str]) -> bool:
+        """Does ``cover`` touch every hyperedge?"""
+        return all(set(edge) & cover for edge in self.edges)
+
+    def minimum_vertex_cover(self) -> FrozenSet[str]:
+        """Exact minimum vertex cover by exhaustive search (small instances)."""
+        nodes = self.nodes()
+        for size in range(len(nodes) + 1):
+            for candidate in itertools.combinations(nodes, size):
+                if self.is_vertex_cover(set(candidate)):
+                    return frozenset(candidate)
+        return frozenset(nodes)
+
+    def __repr__(self) -> str:
+        return (f"TripartiteHypergraph(|X|={len(self.x_nodes)}, |Y|={len(self.y_nodes)}, "
+                f"|Z|={len(self.z_nodes)}, |E|={len(self.edges)})")
+
+
+def figure6_hypergraph() -> TripartiteHypergraph:
+    """The example hypergraph of Fig. 6a (nodes r1–r3, s1–s3, t1–t2)."""
+    graph = TripartiteHypergraph(
+        ["x1", "x2", "x3"], ["y1", "y2", "y3"], ["z1", "z2"],
+    )
+    for edge in [("x1", "y1", "z2"), ("x1", "y2", "z1"), ("x2", "y1", "z1"),
+                 ("x3", "y3", "z2")]:
+        graph.add_edge(*edge)
+    return graph
+
+
+def random_tripartite_hypergraph(nodes_per_partition: int, edge_count: int,
+                                 seed: int = 0) -> TripartiteHypergraph:
+    """A random 3-partite 3-uniform hypergraph (no duplicate edges)."""
+    rng = random.Random(seed)
+    xs = [f"x{i}" for i in range(nodes_per_partition)]
+    ys = [f"y{i}" for i in range(nodes_per_partition)]
+    zs = [f"z{i}" for i in range(nodes_per_partition)]
+    graph = TripartiteHypergraph(xs, ys, zs)
+    seen: Set[Tuple[str, str, str]] = set()
+    attempts = 0
+    while len(seen) < edge_count and attempts < 100 * edge_count:
+        attempts += 1
+        edge = (rng.choice(xs), rng.choice(ys), rng.choice(zs))
+        if edge not in seen:
+            seen.add(edge)
+            graph.add_edge(*edge)
+    return graph
+
+
+class UndirectedGraph:
+    """A simple undirected graph with exact helpers for covers and reachability."""
+
+    def __init__(self, nodes: Iterable[str] = (),
+                 edges: Iterable[Tuple[str, str]] = ()):
+        self.nodes: Set[str] = set(nodes)
+        self.edges: Set[FrozenSet[str]] = set()
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def add_node(self, node: str) -> None:
+        self.nodes.add(node)
+
+    def add_edge(self, u: str, v: str) -> None:
+        if u == v:
+            raise ValueError("self-loops are not supported")
+        self.nodes.add(u)
+        self.nodes.add(v)
+        self.edges.add(frozenset((u, v)))
+
+    def edge_list(self) -> List[Tuple[str, str]]:
+        return sorted(tuple(sorted(edge)) for edge in self.edges)
+
+    def neighbours(self, node: str) -> Set[str]:
+        result = set()
+        for edge in self.edges:
+            if node in edge:
+                result |= edge - {node}
+        return result
+
+    def is_vertex_cover(self, cover: Set[str]) -> bool:
+        return all(edge & cover for edge in self.edges)
+
+    def minimum_vertex_cover(self) -> FrozenSet[str]:
+        """Exact minimum vertex cover by exhaustive search (small instances)."""
+        nodes = sorted(self.nodes)
+        for size in range(len(nodes) + 1):
+            for candidate in itertools.combinations(nodes, size):
+                if self.is_vertex_cover(set(candidate)):
+                    return frozenset(candidate)
+        return frozenset(nodes)
+
+    def reachable(self, source: str) -> Set[str]:
+        """Nodes reachable from ``source``."""
+        seen = {source}
+        frontier = [source]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in self.neighbours(node):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return seen
+
+    def has_path(self, source: str, target: str) -> bool:
+        return target in self.reachable(source)
+
+    def __repr__(self) -> str:
+        return f"UndirectedGraph({len(self.nodes)} nodes, {len(self.edges)} edges)"
+
+
+def random_graph(node_count: int, edge_probability: float, seed: int = 0
+                 ) -> UndirectedGraph:
+    """An Erdős–Rényi style random graph ``G(n, p)``."""
+    rng = random.Random(seed)
+    nodes = [f"v{i}" for i in range(node_count)]
+    graph = UndirectedGraph(nodes)
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+class CNF3Formula:
+    """A 3-CNF formula: clauses are triples of literals ``(variable, polarity)``.
+
+    ``polarity`` is ``True`` for a positive literal, ``False`` for a negated
+    one.
+    """
+
+    def __init__(self, clauses: Sequence[Sequence[Tuple[str, bool]]]):
+        self.clauses: List[Tuple[Tuple[str, bool], ...]] = []
+        for clause in clauses:
+            literals = tuple((str(v), bool(p)) for v, p in clause)
+            if not 1 <= len(literals) <= 3:
+                raise ValueError("each clause must have between 1 and 3 literals")
+            self.clauses.append(literals)
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(sorted({v for clause in self.clauses for v, _ in clause}))
+
+    def clauses_with(self, variable: str) -> List[int]:
+        """Indices of the clauses mentioning ``variable``."""
+        return [i for i, clause in enumerate(self.clauses)
+                if any(v == variable for v, _ in clause)]
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return all(
+            any(assignment[v] == polarity for v, polarity in clause)
+            for clause in self.clauses
+        )
+
+    def is_satisfiable(self) -> bool:
+        """Exact satisfiability by exhaustive search (small formulas)."""
+        variables = self.variables()
+        for bits in itertools.product([False, True], repeat=len(variables)):
+            if self.evaluate(dict(zip(variables, bits))):
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"CNF3Formula({len(self.clauses)} clauses over {len(self.variables())} variables)"
+
+
+def random_3sat(variable_count: int, clause_count: int, seed: int = 0) -> CNF3Formula:
+    """A random 3-CNF formula with distinct variables inside each clause."""
+    rng = random.Random(seed)
+    variables = [f"X{i}" for i in range(variable_count)]
+    clauses = []
+    for _ in range(clause_count):
+        chosen = rng.sample(variables, k=min(3, variable_count))
+        clauses.append([(v, rng.random() < 0.5) for v in chosen])
+    return CNF3Formula(clauses)

@@ -1,0 +1,219 @@
+"""Synthetic IMDB workload reproducing the Figs. 1–2 scenario of the paper.
+
+The paper's running example queries the IMDB dataset for the genres of movies
+directed by anyone named *Burton* and is surprised by the answers ``Music``
+and ``Musical``.  The real IMDB snapshot is not redistributable, so this
+module synthesizes a database whose Burton/Musical fragment is **exactly** the
+lineage shown in Fig. 2a:
+
+* three directors with last name Burton — Tim (23488), David (23456) and
+  Humphrey (23468);
+* six Musical movies — "Sweeney Todd" (Tim), "Let's Fall in Love" and
+  "The Melody Lingers On" (David), "Manon Lescaut", "Flight" and "Candide"
+  (Humphrey);
+
+plus optional random padding (other directors, movies and genres) that does
+not touch the Musical lineage, so the responsibility ranking of Fig. 2b is
+reproduced bit-exactly while the database can be scaled up for benchmarking.
+
+The schema follows Fig. 1::
+
+    Director(did, firstName, lastName)
+    Movie(mid, name, year, rank)
+    Movie_Directors(did, mid)
+    Genre(mid, genre)
+
+and the canonical endogenous/exogenous policy of Example 1.1: ``Director`` and
+``Movie`` tuples are endogenous, ``Movie_Directors`` and ``Genre`` exogenous.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple as TypingTuple
+
+from ..relational.database import Database
+from ..relational.query import ConjunctiveQuery, parse_query
+from ..relational.schema import RelationSchema, Schema
+from ..relational.tuples import Tuple
+
+
+#: The Fig. 2a lineage: (director id, first name) -> list of (movie id, title, year).
+BURTON_FILMOGRAPHY: Dict[TypingTuple[int, str], List[TypingTuple[int, str, int]]] = {
+    (23488, "Tim"): [
+        (526338, "Sweeney Todd: The Demon Barber of Fleet Street", 2007),
+    ],
+    (23456, "David"): [
+        (359516, "Let's Fall in Love", 1933),
+        (565577, "The Melody Lingers On", 1935),
+    ],
+    (23468, "Humphrey"): [
+        (389987, "Manon Lescaut", 1997),
+        (173629, "Flight", 1999),
+        (6539, "Candide", 1989),
+    ],
+}
+
+#: Genres other than Musical attached to Tim Burton movies in the padding data.
+PADDING_GENRES: Sequence[str] = (
+    "Drama", "Family", "Fantasy", "History", "Horror", "Music",
+    "Mystery", "Romance", "Sci-Fi", "Comedy", "Thriller", "Adventure",
+)
+
+
+def imdb_schema() -> Schema:
+    """The four-relation schema of Fig. 1."""
+    return Schema([
+        RelationSchema("Director", ("did", "firstName", "lastName")),
+        RelationSchema("Movie", ("mid", "name", "year", "rank")),
+        RelationSchema("Movie_Directors", ("did", "mid")),
+        RelationSchema("Genre", ("mid", "genre")),
+    ])
+
+
+def burton_genre_query() -> ConjunctiveQuery:
+    """The Fig. 1 query: genres of movies directed by someone named Burton.
+
+    ``q(genre) :- Director(d, fn, 'Burton'), Movie_Directors(d, m),
+    Movie(m, name, year, rank), Genre(m, genre)``
+    """
+    return parse_query(
+        "q(genre) :- Director(d, fn, 'Burton'), Movie_Directors(d, m), "
+        "Movie(m, name, year, rank), Genre(m, genre)"
+    )
+
+
+class ImdbScenario:
+    """The generated database plus handles on the tuples of Fig. 2.
+
+    Attributes
+    ----------
+    database:
+        The synthetic instance.
+    directors:
+        Mapping from the director's first name ("Tim", "David", "Humphrey") to
+        their ``Director`` tuple.
+    movies:
+        Mapping from the movie title of Fig. 2a to its ``Movie`` tuple.
+    query:
+        The Fig. 1 query.
+    """
+
+    def __init__(self, database: Database, directors: Dict[str, Tuple],
+                 movies: Dict[str, Tuple], query: ConjunctiveQuery):
+        self.database = database
+        self.directors = directors
+        self.movies = movies
+        self.query = query
+
+    def musical_query(self) -> ConjunctiveQuery:
+        """The Boolean query "is Musical one of the genres of a Burton movie?"."""
+        return self.query.bind(("Musical",))
+
+    def movie_title(self, tup: Tuple) -> str:
+        """Short display title of a ``Movie`` tuple."""
+        return str(tup.values[1])
+
+
+def generate_imdb(padding_directors: int = 0,
+                  movies_per_padding_director: int = 3,
+                  seed: int = 0,
+                  endogenous_relations: Sequence[str] = ("Director", "Movie")
+                  ) -> ImdbScenario:
+    """Build the synthetic IMDB instance.
+
+    Parameters
+    ----------
+    padding_directors:
+        Number of additional (non-Burton) directors to generate; their movies
+        get random non-Musical genres, so they enlarge the database (and the
+        lineages of other genres) without touching the Musical lineage.
+    movies_per_padding_director:
+        Movies generated per padding director.
+    seed:
+        Seed for the padding generator (the Fig. 2 fragment is deterministic).
+    endogenous_relations:
+        Relations whose tuples are endogenous; the paper's example uses
+        Director and Movie.
+
+    Examples
+    --------
+    >>> scenario = generate_imdb()
+    >>> scenario.database.size("Director")
+    3
+    >>> sorted(scenario.movies)[:2]
+    ['Candide', 'Flight']
+    """
+    rng = random.Random(seed)
+    endo = set(endogenous_relations)
+    db = Database(schema=imdb_schema())
+
+    directors: Dict[str, Tuple] = {}
+    movies: Dict[str, Tuple] = {}
+
+    for (did, first_name), filmography in sorted(BURTON_FILMOGRAPHY.items()):
+        director = db.add_fact("Director", did, first_name, "Burton",
+                               endogenous="Director" in endo)
+        directors[first_name] = director
+        for mid, title, year in filmography:
+            movie = db.add_fact("Movie", mid, title, year, round(rng.uniform(5, 9), 1),
+                                endogenous="Movie" in endo)
+            movies[_short_title(title)] = movie
+            db.add_fact("Movie_Directors", did, mid,
+                        endogenous="Movie_Directors" in endo)
+            db.add_fact("Genre", mid, "Musical", endogenous="Genre" in endo)
+
+    # Tim Burton's non-musical movies provide the expected genres of Fig. 1.
+    tim_extra = [
+        (363487, "Edward Scissorhands", 1990, ("Fantasy", "Drama", "Romance")),
+        (77362, "Beetlejuice", 1988, ("Comedy", "Fantasy", "Horror")),
+        (912838, "Alice in Wonderland", 2010, ("Adventure", "Family", "Fantasy")),
+        (554712, "Sleepy Hollow", 1999, ("Horror", "Mystery", "Fantasy")),
+    ]
+    for mid, title, year, genres in tim_extra:
+        movie = db.add_fact("Movie", mid, title, year, round(rng.uniform(6, 9), 1),
+                            endogenous="Movie" in endo)
+        movies[_short_title(title)] = movie
+        db.add_fact("Movie_Directors", 23488, mid,
+                    endogenous="Movie_Directors" in endo)
+        for genre in genres:
+            db.add_fact("Genre", mid, genre, endogenous="Genre" in endo)
+
+    # Random padding: unrelated directors and movies.
+    next_did = 900000
+    next_mid = 5000000
+    for d in range(padding_directors):
+        did = next_did + d
+        first = f"First{d}"
+        last = f"Last{d}"
+        db.add_fact("Director", did, first, last, endogenous="Director" in endo)
+        for m in range(movies_per_padding_director):
+            mid = next_mid + d * movies_per_padding_director + m
+            year = rng.randint(1930, 2010)
+            db.add_fact("Movie", mid, f"Padding Movie {d}-{m}", year,
+                        round(rng.uniform(3, 9), 1), endogenous="Movie" in endo)
+            db.add_fact("Movie_Directors", did, mid,
+                        endogenous="Movie_Directors" in endo)
+            for genre in rng.sample(PADDING_GENRES, k=rng.randint(1, 3)):
+                db.add_fact("Genre", mid, genre, endogenous="Genre" in endo)
+
+    return ImdbScenario(db, directors, movies, burton_genre_query())
+
+
+def _short_title(title: str) -> str:
+    """Key used in :attr:`ImdbScenario.movies`: the title up to a colon."""
+    return title.split(":")[0].strip()
+
+
+#: Expected Fig. 2b ranking for the Musical answer: (display label, ρ as float).
+FIGURE_2B_EXPECTED: Sequence[TypingTuple[str, float]] = (
+    ("Movie(Sweeney Todd)", 1 / 3),
+    ("Director(David Burton)", 1 / 3),
+    ("Director(Humphrey Burton)", 1 / 3),
+    ("Director(Tim Burton)", 1 / 3),
+    ("Movie(Let's Fall in Love)", 1 / 4),
+    ("Movie(The Melody Lingers On)", 1 / 4),
+    ("Movie(Candide)", 1 / 5),
+    ("Movie(Flight)", 1 / 5),
+    ("Movie(Manon Lescaut)", 1 / 5),
+)

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test-suite.
+
+The fixtures mirror the running examples of the paper so individual test
+modules can refer to "the Example 2.2 database" or "the Fig. 2 IMDB scenario"
+without re-building them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import Atom, ConjunctiveQuery, Constant, Database, parse_query
+from repro.workloads import generate_imdb
+
+
+@pytest.fixture
+def example22_db():
+    """The database of Example 2.2 (all tuples endogenous).
+
+    R = {(a1,a5), (a2,a1), (a3,a3), (a4,a3), (a4,a2)},  S = {a1..a4, a6}.
+    """
+    db = Database()
+    tuples = {}
+    for x, y in [("a1", "a5"), ("a2", "a1"), ("a3", "a3"), ("a4", "a3"), ("a4", "a2")]:
+        tuples[("R", x, y)] = db.add_fact("R", x, y)
+    for y in ["a1", "a2", "a3", "a4", "a6"]:
+        tuples[("S", y)] = db.add_fact("S", y)
+    return db, tuples
+
+
+@pytest.fixture
+def example22_query():
+    """q(x) :- R(x, y), S(y)."""
+    return parse_query("q(x) :- R(x, y), S(y)")
+
+
+@pytest.fixture
+def example33_db():
+    """The database of Example 3.3: R(a3,a3) endogenous, R(a4,a3) exogenous, S(a3)."""
+    db = Database()
+    tuples = {
+        ("R", "a3", "a3"): db.add_fact("R", "a3", "a3"),
+        ("R", "a4", "a3"): db.add_fact("R", "a4", "a3", endogenous=False),
+        ("S", "a3"): db.add_fact("S", "a3"),
+    }
+    return db, tuples
+
+
+@pytest.fixture
+def example33_query():
+    """q :- R(x, a3), S(a3) — the constant-selection Boolean query of Example 3.3."""
+    return ConjunctiveQuery([
+        Atom("R", ["x", Constant("a3")]),
+        Atom("S", [Constant("a3")]),
+    ])
+
+
+@pytest.fixture(scope="session")
+def imdb_scenario():
+    """The Fig. 2 IMDB scenario with a little padding (session-scoped: read-only)."""
+    return generate_imdb(padding_directors=3, movies_per_padding_director=2, seed=7)

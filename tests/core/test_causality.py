@@ -1,0 +1,134 @@
+"""Unit tests for Theorem 3.2: PTIME causality via the n-lineage."""
+
+import pytest
+
+from repro.core import (
+    CausalityMode,
+    actual_causes,
+    brute_force_is_cause,
+    causes_from_lineage,
+    causes_with_witnesses,
+    counterfactual_causes,
+    is_actual_cause,
+    is_valid_contingency,
+    witness_contingency,
+)
+from repro.exceptions import CausalityError
+from repro.lineage import PositiveDNF, build_whyno_instance, candidate_missing_tuples
+from repro.relational import Tuple, database_from_dict, parse_query
+
+
+class TestCausesFromLineage:
+    def test_variables_of_minimal_conjuncts(self):
+        phi = PositiveDNF([{"s"}, {"r", "s"}])
+        assert causes_from_lineage(phi) == frozenset({"s"})
+
+    def test_trivially_true_lineage_has_no_causes(self):
+        phi = PositiveDNF([set(), {"r"}])
+        assert causes_from_lineage(phi) == frozenset()
+
+    def test_unsatisfiable_lineage_has_no_causes(self):
+        assert causes_from_lineage(PositiveDNF.false()) == frozenset()
+
+
+class TestActualCauses:
+    def test_example33(self, example33_db, example33_query):
+        db, tuples = example33_db
+        assert actual_causes(example33_query, db) == frozenset({tuples[("S", "a3")]})
+        assert is_actual_cause(example33_query, db, tuples[("S", "a3")])
+        assert not is_actual_cause(example33_query, db, tuples[("R", "a3", "a3")])
+
+    def test_example22_answer_a4(self, example22_db, example22_query):
+        db, tuples = example22_db
+        bq = example22_query.bind(("a4",))
+        causes = actual_causes(bq, db)
+        assert causes == frozenset({
+            tuples[("R", "a4", "a3")], tuples[("R", "a4", "a2")],
+            tuples[("S", "a3")], tuples[("S", "a2")],
+        })
+
+    def test_agrees_with_brute_force_on_small_instances(self, example22_db, example22_query):
+        db, tuples = example22_db
+        for answer in [("a2",), ("a3",), ("a4",)]:
+            bq = example22_query.bind(answer)
+            fast = actual_causes(bq, db)
+            for t in db.endogenous_tuples():
+                assert (t in fast) == brute_force_is_cause(bq, db, t)
+
+    def test_requires_boolean_query(self, example22_db, example22_query):
+        db, _ = example22_db
+        with pytest.raises(CausalityError):
+            actual_causes(example22_query, db)
+
+    def test_exogenous_tuples_are_never_causes(self):
+        db = database_from_dict({"R": [(1, 2)], "S": [(2,)]})
+        db.set_relation_exogenous("S")
+        q = parse_query("q :- R(x, y), S(y)")
+        causes = actual_causes(q, db)
+        assert causes == frozenset({Tuple("R", (1, 2))})
+
+    def test_selfjoin_query_causes(self):
+        """Example 3.6 instance: S(a4) is not a cause, removing R(a3,a3) would make it one."""
+        db = database_from_dict({"R": [("a4", "a3"), ("a3", "a3")], "S": [("a3",), ("a4",)]})
+        db.set_relation_exogenous("R")
+        q = parse_query("q :- S(x), R(x, y), S(y)")
+        causes = actual_causes(q, db)
+        assert Tuple("S", ("a4",)) not in causes
+        assert Tuple("S", ("a3",)) in causes
+        # non-monotonicity: removing the exogenous R(a3,a3) makes S(a4) a cause
+        reduced = db.without([Tuple("R", ("a3", "a3"))])
+        assert Tuple("S", ("a4",)) in actual_causes(q, reduced)
+
+
+class TestCounterfactualCauses:
+    def test_example22(self, example22_db, example22_query):
+        db, tuples = example22_db
+        bq = example22_query.bind(("a2",))
+        cf = counterfactual_causes(bq, db)
+        assert cf == frozenset({tuples[("R", "a2", "a1")], tuples[("S", "a1")]})
+
+    def test_no_counterfactuals_when_two_disjoint_witnesses(self, example22_db, example22_query):
+        db, tuples = example22_db
+        bq = example22_query.bind(("a4",))
+        assert counterfactual_causes(bq, db) == frozenset()
+
+    def test_whyno_counterfactuals_are_single_insertions(self):
+        db = database_from_dict({"R": [("a", "b")], "S": [("c",)]})
+        q = parse_query("q :- R(x, y), S(y)")
+        combined = build_whyno_instance(db, candidate_missing_tuples(q, db))
+        cf = counterfactual_causes(q, combined, CausalityMode.WHY_NO)
+        assert Tuple("S", ("b",)) in cf
+        assert Tuple("R", ("a", "c")) in cf
+
+
+class TestWitnessContingencies:
+    def test_witness_is_a_valid_contingency(self, example22_db, example22_query):
+        db, tuples = example22_db
+        bq = example22_query.bind(("a4",))
+        for cause in actual_causes(bq, db):
+            gamma = witness_contingency(bq, db, cause)
+            assert gamma is not None
+            assert is_valid_contingency(bq, db, cause, gamma)
+
+    def test_non_cause_has_no_witness(self, example22_db, example22_query):
+        db, tuples = example22_db
+        bq = example22_query.bind(("a4",))
+        assert witness_contingency(bq, db, tuples[("S", "a6")]) is None
+
+    def test_causes_with_witnesses_covers_all_causes(self, example22_db, example22_query):
+        db, _ = example22_db
+        bq = example22_query.bind(("a4",))
+        packaged = causes_with_witnesses(bq, db)
+        assert {c.tuple for c in packaged} == actual_causes(bq, db)
+        for cause in packaged:
+            assert is_valid_contingency(bq, db, cause.tuple, cause.contingency)
+
+    def test_whyno_witness_contingency(self):
+        db = database_from_dict({"R": [("a", "b")], "S": [("c",)]})
+        q = parse_query("q :- R(x, y), S(y), T(y)")
+        combined = build_whyno_instance(db, candidate_missing_tuples(q, db))
+        gamma = witness_contingency(q, combined, Tuple("T", ("b",)),
+                                    CausalityMode.WHY_NO)
+        assert gamma is not None
+        assert is_valid_contingency(q, combined, Tuple("T", ("b",)), gamma,
+                                    CausalityMode.WHY_NO)

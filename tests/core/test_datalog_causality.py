@@ -1,0 +1,99 @@
+"""Unit tests for Theorem 3.4 / Corollary 3.7: causes as Datalog¬ programs."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import (
+    actual_causes,
+    causes_via_datalog,
+    corollary_conjunctive_program,
+    generate_cause_program,
+)
+from repro.exceptions import CausalityError
+from repro.relational import Database, Tuple, database_from_dict, parse_query
+
+
+class TestProgramShape:
+    def test_two_strata(self, example33_query):
+        program = generate_cause_program(parse_query("q :- R(x, y), S(y)"))
+        assert program.stratum_count() == 2
+
+    def test_cause_predicates_for_every_relation(self):
+        program = generate_cause_program(parse_query("q :- R(x, y), S(y, z), T(z)"))
+        assert {"Cause_R", "Cause_S", "Cause_T"} <= program.idb_relations()
+
+    def test_self_joins_rejected(self):
+        with pytest.raises(CausalityError):
+            generate_cause_program(parse_query("q :- R(x, y), R(y, z)"))
+
+    def test_non_boolean_rejected(self):
+        with pytest.raises(CausalityError):
+            generate_cause_program(parse_query("q(x) :- R(x, y)"))
+
+    def test_corollary_program_has_no_negation(self):
+        q = parse_query("q :- R(x, y), S(y)")
+        program = corollary_conjunctive_program(q, ["R", "S"])
+        assert all(literal.positive for rule in program for literal in rule.body)
+        assert len(program) == 2
+
+    def test_corollary_rejects_repeated_endogenous_relations(self):
+        q = parse_query("q :- R(x, y), R(y, z)")
+        with pytest.raises(CausalityError):
+            corollary_conjunctive_program(q, ["R"])
+
+
+class TestAgreementWithLineageAlgorithm:
+    def test_example33(self, example33_db, example33_query):
+        db, tuples = example33_db
+        assert causes_via_datalog(example33_query, db) == \
+            actual_causes(example33_query, db)
+
+    def test_example35_database(self):
+        db = database_from_dict({"R": [("a4", "a3"), ("a3", "a3")], "S": [("a3",)]})
+        db.set_endogenous(Tuple("R", ("a4", "a3")), False)
+        q = parse_query("q :- R(x, y), S(y)")
+        causes = causes_via_datalog(q, db)
+        assert causes == frozenset({Tuple("S", ("a3",))})
+        assert causes == actual_causes(q, db)
+
+    def test_corollary_case_matches_general_program(self, example22_db):
+        db, _ = example22_db
+        q = parse_query("q :- R(x, y), S(y)")
+        general = causes_via_datalog(q, db)
+        conjunctive = causes_via_datalog(q, db, corollary_conjunctive_program(q, ["R", "S"]))
+        assert general == conjunctive == actual_causes(q, db)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances_with_mixed_partitions(self, seed):
+        """Randomised agreement between the Datalog program and Theorem 3.2."""
+        rng = random.Random(seed)
+        q = parse_query("q :- R(x, y), S(y, z), T(z)")
+        db = Database()
+        for _ in range(rng.randint(3, 7)):
+            db.add_fact("R", rng.randint(0, 2), rng.randint(0, 2),
+                        endogenous=rng.random() < 0.6)
+        for _ in range(rng.randint(3, 7)):
+            db.add_fact("S", rng.randint(0, 2), rng.randint(0, 2),
+                        endogenous=rng.random() < 0.6)
+        for _ in range(rng.randint(2, 4)):
+            db.add_fact("T", rng.randint(0, 2), endogenous=rng.random() < 0.6)
+        assert causes_via_datalog(q, db) == actual_causes(q, db)
+
+    def test_query_with_constants(self):
+        db = database_from_dict({"R": [("a3", "a3"), ("a4", "a3"), ("a4", "a1")],
+                                 "S": [("a3",), ("a1",)]})
+        q = parse_query("q :- R(x, 'a3'), S('a3')")
+        assert causes_via_datalog(q, db) == actual_causes(q, db)
+
+
+class TestNonMonotonicity:
+    def test_example35_non_monotonicity(self):
+        """Removing the exogenous R(a4,a3) turns R(a3,a3) into a cause (Example 3.5)."""
+        db = database_from_dict({"R": [("a4", "a3"), ("a3", "a3")], "S": [("a3",)]})
+        db.set_endogenous(Tuple("R", ("a4", "a3")), False)
+        q = parse_query("q :- R(x, y), S(y)")
+        assert Tuple("R", ("a3", "a3")) not in causes_via_datalog(q, db)
+        reduced = db.without([Tuple("R", ("a4", "a3"))])
+        assert Tuple("R", ("a3", "a3")) in causes_via_datalog(q, reduced)

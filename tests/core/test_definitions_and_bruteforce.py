@@ -1,0 +1,147 @@
+"""Unit tests for Definition 2.1/2.3 checkers and the brute-force reference."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    CausalityMode,
+    brute_force_causes,
+    brute_force_is_cause,
+    brute_force_minimum_contingency,
+    brute_force_responsibility,
+    is_counterfactual_cause,
+    is_valid_contingency,
+    responsibility_value,
+)
+from repro.exceptions import CausalityError
+from repro.lineage import build_whyno_instance, candidate_missing_tuples
+from repro.relational import Tuple, database_from_dict, parse_query
+
+
+class TestResponsibilityValue:
+    def test_definition(self):
+        assert responsibility_value(0) == 1
+        assert responsibility_value(2) == Fraction(1, 3)
+        assert responsibility_value(None) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(CausalityError):
+            responsibility_value(-1)
+
+
+class TestWhySoCheckers:
+    def test_example22_counterfactual(self, example22_db, example22_query):
+        db, tuples = example22_db
+        bq = example22_query.bind(("a2",))
+        assert is_counterfactual_cause(bq, db, tuples[("S", "a1")])
+        assert is_counterfactual_cause(bq, db, tuples[("R", "a2", "a1")])
+
+    def test_example22_actual_cause_via_contingency(self, example22_db, example22_query):
+        db, tuples = example22_db
+        bq = example22_query.bind(("a4",))
+        s3 = tuples[("S", "a3")]
+        assert not is_counterfactual_cause(bq, db, s3)
+        assert is_valid_contingency(bq, db, s3, {tuples[("S", "a2")]})
+
+    def test_contingency_must_be_endogenous_and_exclude_t(self, example22_db, example22_query):
+        db, tuples = example22_db
+        bq = example22_query.bind(("a4",))
+        s3 = tuples[("S", "a3")]
+        # Γ containing t itself is invalid.
+        assert not is_valid_contingency(bq, db, s3, {s3})
+        # Γ with a tuple not in the database is invalid.
+        assert not is_valid_contingency(bq, db, s3, {Tuple("S", ("zz",))})
+
+    def test_exogenous_tuple_is_never_a_cause(self):
+        db = database_from_dict({"R": [(1, 2)], "S": [(2,)]})
+        db.set_relation_exogenous("R")
+        q = parse_query("q :- R(x, y), S(y)")
+        assert not is_counterfactual_cause(q, db, Tuple("R", (1, 2)))
+
+    def test_boolean_query_required(self, example22_db, example22_query):
+        db, tuples = example22_db
+        with pytest.raises(CausalityError):
+            is_counterfactual_cause(example22_query, db, tuples[("S", "a1")])
+
+    def test_example23_boolean_query_with_exogenous_tuples(self, example22_db):
+        """Second part of Example 2.2: R^n(a3,a3) is not a cause of R(x,a3),S(a3)."""
+        db, tuples = example22_db
+        for key in [("R", "a4", "a3"), ("R", "a4", "a2")]:
+            db.set_endogenous(tuples[key], False)
+        q = parse_query("q :- R(x, 'a3'), S('a3')")
+        assert not brute_force_is_cause(q, db, tuples[("R", "a3", "a3")])
+        assert brute_force_is_cause(q, db, tuples[("S", "a3")])
+
+
+class TestBruteForceWhySo:
+    def test_minimum_contingency_size(self, example22_db, example22_query):
+        db, tuples = example22_db
+        bq = example22_query.bind(("a4",))
+        gamma = brute_force_minimum_contingency(bq, db, tuples[("S", "a3")])
+        assert gamma is not None and len(gamma) == 1
+
+    def test_responsibility_values(self, example22_db, example22_query):
+        db, tuples = example22_db
+        bq = example22_query.bind(("a4",))
+        assert brute_force_responsibility(bq, db, tuples[("S", "a3")]) == Fraction(1, 2)
+        assert brute_force_responsibility(bq, db, tuples[("S", "a1")]) == 0
+
+    def test_all_causes_sorted_by_responsibility(self, example22_db, example22_query):
+        db, tuples = example22_db
+        bq = example22_query.bind(("a4",))
+        causes = brute_force_causes(bq, db, with_responsibility=True)
+        rhos = [c.responsibility for c in causes]
+        assert rhos == sorted(rhos, reverse=True)
+        assert {c.tuple for c in causes} == {
+            tuples[("R", "a4", "a3")], tuples[("R", "a4", "a2")],
+            tuples[("S", "a3")], tuples[("S", "a2")],
+        }
+
+    def test_non_cause_returns_none(self, example22_db, example22_query):
+        db, tuples = example22_db
+        bq = example22_query.bind(("a4",))
+        assert brute_force_minimum_contingency(bq, db, tuples[("S", "a6")]) is None
+
+    def test_max_size_cutoff(self, example22_db, example22_query):
+        db, tuples = example22_db
+        bq = example22_query.bind(("a4",))
+        assert brute_force_minimum_contingency(
+            bq, db, tuples[("S", "a3")], max_size=0) is None
+
+
+class TestWhyNo:
+    def build_whyno(self):
+        db = database_from_dict({"R": [("a", "b")], "S": [("c",)]})
+        q = parse_query("q :- R(x, y), S(y)")
+        candidates = candidate_missing_tuples(q, db)
+        combined = build_whyno_instance(db, candidates)
+        return q, combined
+
+    def test_counterfactual_whyno_cause(self):
+        q, combined = self.build_whyno()
+        # Adding S(b) alone completes the witness with the existing R(a,b).
+        assert is_counterfactual_cause(q, combined, Tuple("S", ("b",)),
+                                       CausalityMode.WHY_NO)
+
+    def test_actual_whyno_cause_needs_contingency(self):
+        q, combined = self.build_whyno()
+        # R(a,c) is a cause only together with the insertion of nothing else
+        # (S(c) already exists), so it is counterfactual too.
+        assert is_valid_contingency(q, combined, Tuple("R", ("a", "c")), set(),
+                                    CausalityMode.WHY_NO)
+
+    def test_brute_force_whyno_responsibility(self):
+        q, combined = self.build_whyno()
+        rho = brute_force_responsibility(q, combined, Tuple("S", ("b",)),
+                                         CausalityMode.WHY_NO)
+        assert rho == 1
+
+    def test_whyno_cause_with_two_insertions(self):
+        db = database_from_dict({"R": [("a", "b")], "S": [("c",)]})
+        q = parse_query("q :- R(x, y), S(y), T(y)")
+        candidates = candidate_missing_tuples(q, db)
+        combined = build_whyno_instance(db, candidates)
+        rho = brute_force_responsibility(q, combined, Tuple("T", ("b",)),
+                                         CausalityMode.WHY_NO)
+        assert rho == Fraction(1, 2)

@@ -1,0 +1,118 @@
+"""Unit tests for the responsibility dichotomy classifier (Cor. 4.14, Fig. 3)."""
+
+import pytest
+
+from repro.core import ComplexityCategory, classify, classify_abstract, is_ptime_responsibility
+from repro.core import abstract_query, canonical_h1, canonical_h2, canonical_h3
+from repro.relational import Database, parse_query
+from repro.workloads import paper_query_catalog
+
+
+class TestCategories:
+    def test_linear_query(self):
+        result = classify(parse_query("q :- R^n(x, y), S^n(y, z)"))
+        assert result.category is ComplexityCategory.LINEAR
+        assert result.is_ptime and not result.is_hard
+        assert result.order is not None
+
+    def test_weakly_linear_query(self):
+        result = classify(parse_query("q :- R^n(x, y), S^x(y, z), T^n(z, x)"))
+        assert result.category is ComplexityCategory.WEAKLY_LINEAR
+        assert result.is_ptime
+        assert result.weakening is not None and result.weakening.steps
+
+    def test_np_hard_query_with_certificate(self):
+        result = classify(parse_query("h2 :- R^n(x, y), S^n(y, z), T^n(z, x)"))
+        assert result.category is ComplexityCategory.NP_HARD
+        assert result.hard_query == "h2"
+        assert not result.is_ptime and result.is_hard
+
+    def test_self_join_query(self):
+        result = classify(parse_query("q :- R^n(x), S^x(x, y), R^n(y)"))
+        assert result.category is ComplexityCategory.SELF_JOIN
+        assert not result.is_ptime
+
+    def test_certificate_can_be_skipped(self):
+        result = classify(parse_query("q :- R^n(x, y), S^n(y, z), T^n(z, u), K^n(u, x)"),
+                          compute_certificate=False)
+        assert result.category is ComplexityCategory.NP_HARD
+        assert result.certificate is None
+
+    def test_describe_mentions_the_category(self):
+        linear = classify(parse_query("q :- R^n(x, y), S^n(y, z)"))
+        assert "linear" in linear.describe()
+        hard = classify(parse_query("h1 :- A^n(x), B^n(y), C^n(z), W^x(x, y, z)"))
+        assert "NP-hard" in hard.describe()
+
+
+class TestEndogenousPolicies:
+    def test_endogenous_relations_argument_changes_the_verdict(self):
+        triangle = parse_query("q :- R(x, y), S(y, z), T(z, x)")
+        hard = classify(triangle, endogenous_relations=["R", "S", "T"])
+        easy = classify(triangle, endogenous_relations=["R", "T"])
+        assert hard.category is ComplexityCategory.NP_HARD
+        assert easy.category in (ComplexityCategory.LINEAR, ComplexityCategory.WEAKLY_LINEAR)
+
+    def test_database_driven_classification(self):
+        triangle = parse_query("q :- R(x, y), S(y, z), T(z, x)")
+        db = Database()
+        db.add_fact("R", 1, 2)
+        db.add_fact("S", 2, 3, endogenous=False)
+        db.add_fact("T", 3, 1)
+        result = classify(triangle, database=db)
+        assert result.category is ComplexityCategory.WEAKLY_LINEAR
+
+    def test_is_ptime_responsibility_shortcut(self):
+        assert is_ptime_responsibility(parse_query("q :- R^n(x, y), S^n(y, z)"))
+        assert not is_ptime_responsibility(
+            parse_query("h1 :- A^n(x), B^n(y), C^n(z), W^x(x, y, z)"))
+
+
+class TestPaperCatalog:
+    """Every named query of the paper is classified as the paper claims."""
+
+    @pytest.mark.parametrize("entry", paper_query_catalog(), ids=lambda e: e.key)
+    def test_catalog_classification(self, entry):
+        result = classify(entry.query)
+        expected = {
+            "linear": {ComplexityCategory.LINEAR},
+            "weakly-linear": {ComplexityCategory.WEAKLY_LINEAR},
+            "np-hard": {ComplexityCategory.NP_HARD},
+            "self-join": {ComplexityCategory.SELF_JOIN},
+        }[entry.expected]
+        assert result.category in expected, entry.key
+
+
+class TestCanonicalQueriesRemainHardUnderTypeFlips:
+    """Theorem 4.1: unspecified-type atoms may be endogenous or exogenous."""
+
+    def test_h1_both_centre_types(self):
+        for marker in ("^n", "^x"):
+            q = parse_query(f"h1 :- A^n(x), B^n(y), C^n(z), W{marker}(x, y, z)")
+            assert classify(q).category is ComplexityCategory.NP_HARD
+
+    def test_h3_both_binary_types(self):
+        for marker in ("^n", "^x"):
+            q = parse_query(
+                f"h3 :- A^n(x), B^n(y), C^n(z), R{marker}(x, y), "
+                f"S{marker}(y, z), T{marker}(z, x)")
+            assert classify(q).category is ComplexityCategory.NP_HARD
+
+    def test_h2_with_one_exogenous_atom_becomes_easy(self):
+        """Example 4.12: flipping one atom of h∗2 to exogenous lands in PTIME."""
+        q = parse_query("q :- R^n(x, y), S^x(y, z), T^n(z, x)")
+        assert classify(q).is_ptime
+
+
+class TestAbstractClassification:
+    def test_classify_abstract_matches_classify(self):
+        query = parse_query("q :- R^n(x, y), S^n(y, z), T^n(z, x)")
+        assert classify_abstract(abstract_query(query)).category is \
+            classify(query).category
+
+    def test_canonical_queries_directly(self):
+        for hard, name in [(canonical_h1(), "h1"), (canonical_h2(), "h2"),
+                           (canonical_h3(), "h3")]:
+            result = classify_abstract(hard)
+            assert result.category is ComplexityCategory.NP_HARD
+            assert result.hard_query == name

@@ -1,0 +1,154 @@
+"""Unit tests for Algorithm 1: flow-based responsibility for linear queries."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    brute_force_responsibility,
+    example_flow_network,
+    flow_responsibility,
+    flow_responsibility_value,
+    is_valid_contingency,
+)
+from repro.exceptions import CausalityError, NotLinearError
+from repro.flow import max_flow
+from repro.relational import Database, Tuple, database_from_dict, parse_query
+from repro.workloads import random_two_table_instance
+
+
+FIG4_QUERY = parse_query("q :- R(x, y), S(y, z)")
+
+
+class TestExample42:
+    def build(self):
+        """A small R ⋈ S instance where contingencies are easy to see by hand."""
+        return database_from_dict({
+            "R": [("x1", "y1"), ("x1", "y2"), ("x2", "y2")],
+            "S": [("y1", "z1"), ("y2", "z1"), ("y2", "z2")],
+        })
+
+    def test_responsibility_of_an_r_tuple(self):
+        db = self.build()
+        t = Tuple("R", ("x1", "y2"))
+        result = flow_responsibility(FIG4_QUERY, db, t)
+        assert result.responsibility == brute_force_responsibility(FIG4_QUERY, db, t)
+
+    def test_contingency_returned_is_valid_and_minimum(self):
+        db = self.build()
+        for t in sorted(db.endogenous_tuples()):
+            result = flow_responsibility(FIG4_QUERY, db, t)
+            if result.responsibility == 0:
+                assert result.min_contingency is None
+                continue
+            assert is_valid_contingency(FIG4_QUERY, db, t, result.min_contingency)
+            assert Fraction(1, 1 + len(result.min_contingency)) == result.responsibility
+
+    def test_counterfactual_tuple(self):
+        db = database_from_dict({"R": [("x1", "y1")], "S": [("y1", "z1")]})
+        assert flow_responsibility_value(FIG4_QUERY, db, Tuple("R", ("x1", "y1"))) == 1
+
+    def test_non_cause_has_zero_responsibility(self):
+        db = self.build()
+        db.add_fact("R", "x9", "y9")  # joins with nothing
+        assert flow_responsibility_value(FIG4_QUERY, db, Tuple("R", ("x9", "y9"))) == 0
+
+    def test_exogenous_tuple_has_zero_responsibility(self):
+        db = self.build()
+        t = Tuple("R", ("x1", "y2"))
+        db.set_endogenous(t, False)
+        assert flow_responsibility_value(FIG4_QUERY, db, t) == 0
+
+    def test_exogenous_other_relation_blocks_contingencies(self):
+        """If S is exogenous and two S-tuples share y with t, t may not be a cause."""
+        db = database_from_dict({
+            "R": [("x1", "y1"), ("x2", "y1")],
+            "S": [("y1", "z1")],
+        })
+        db.set_relation_exogenous("S")
+        # Removing R(x2,y1) (the only possible contingency tuple) is enough.
+        t = Tuple("R", ("x1", "y1"))
+        assert flow_responsibility_value(FIG4_QUERY, db, t) == Fraction(1, 2)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_fig4_instances(self, seed):
+        db = random_two_table_instance(n_r=5, n_s=5, domain_size=3, seed=seed)
+        for t in sorted(db.endogenous_tuples()):
+            flow = flow_responsibility_value(FIG4_QUERY, db, t)
+            brute = brute_force_responsibility(FIG4_QUERY, db, t)
+            assert flow == brute, (seed, t)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_three_atom_chain(self, seed):
+        query = parse_query("q :- R(x, y), S(y, z), T(z, w)")
+        db = random_two_table_instance(n_r=4, n_s=4, domain_size=2, seed=seed)
+        import random as _random
+        rng = _random.Random(seed + 100)
+        for _ in range(4):
+            db.add_fact("T", rng.randrange(2), rng.randrange(2))
+        for t in sorted(db.endogenous_tuples()):
+            flow = flow_responsibility_value(query, db, t)
+            brute = brute_force_responsibility(query, db, t)
+            assert flow == brute, (seed, t)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_weakly_linear_triangle_with_exogenous_s(self, seed):
+        """Example 4.12-a: the dissociation-based weakening preserves responsibility."""
+        query = parse_query("q :- R(x, y), S(y, z), T(z, x)")
+        import random as _random
+        rng = _random.Random(seed)
+        db = Database()
+        for _ in range(5):
+            db.add_fact("R", rng.randrange(3), rng.randrange(3))
+            db.add_fact("S", rng.randrange(3), rng.randrange(3), endogenous=False)
+            db.add_fact("T", rng.randrange(3), rng.randrange(3))
+        for t in sorted(db.endogenous_tuples()):
+            flow = flow_responsibility_value(query, db, t)
+            brute = brute_force_responsibility(query, db, t)
+            assert flow == brute, (seed, t)
+
+
+class TestGuards:
+    def test_non_boolean_query_rejected(self):
+        db = database_from_dict({"R": [(1, 2)], "S": [(2, 3)]})
+        with pytest.raises(CausalityError):
+            flow_responsibility(parse_query("q(x) :- R(x, y), S(y, z)"), db,
+                                Tuple("R", (1, 2)))
+
+    def test_self_join_rejected(self):
+        db = database_from_dict({"R": [(1, 2), (2, 3)]})
+        with pytest.raises(NotLinearError):
+            flow_responsibility(parse_query("q :- R(x, y), R(y, z)"), db,
+                                Tuple("R", (1, 2)))
+
+    def test_non_weakly_linear_query_rejected(self):
+        db = database_from_dict({"A": [(1,)], "B": [(2,)], "C": [(3,)],
+                                 "W": [(1, 2, 3)]})
+        q = parse_query("h1 :- A(x), B(y), C(z), W(x, y, z)")
+        with pytest.raises(NotLinearError):
+            flow_responsibility(q, db, Tuple("A", (1,)))
+
+    def test_tuple_relation_must_occur_in_query(self):
+        db = database_from_dict({"R": [(1, 2)], "S": [(2, 3)], "Z": [(9,)]})
+        with pytest.raises(CausalityError):
+            flow_responsibility(FIG4_QUERY, db, Tuple("Z", (9,)))
+
+
+class TestFigure4Network:
+    def test_min_cut_equals_minimum_tuples_to_falsify(self):
+        db = database_from_dict({
+            "R": [("x1", "y1"), ("x2", "y2")],
+            "S": [("y1", "z1"), ("y2", "z1")],
+        })
+        network = example_flow_network(FIG4_QUERY, db)
+        result = max_flow(network, ("source",), ("target",))
+        # two disjoint witnesses -> need to remove 2 tuples to make q false
+        assert result.value == 2
+
+    def test_network_edges_are_labelled_with_tuples(self):
+        db = database_from_dict({"R": [("x1", "y1")], "S": [("y1", "z1")]})
+        network = example_flow_network(FIG4_QUERY, db)
+        labels = {e.label for e in network.edges if e.label is not None}
+        assert labels == set(db.all_tuples())

@@ -1,0 +1,121 @@
+"""Unit tests for dual hypergraphs, linearity and the abstract query layer."""
+
+import pytest
+
+from repro.core import (
+    AbstractAtom,
+    AbstractQuery,
+    DualHypergraph,
+    abstract_query,
+    canonical_h1,
+    canonical_h2,
+    canonical_h3,
+    find_linear_order,
+    is_linear,
+    linear_order,
+)
+from repro.core.hypergraph import variable_span
+from repro.relational import Database, parse_query
+
+
+class TestAbstractQuery:
+    def test_conversion_keeps_variables_and_annotations(self):
+        q = parse_query("q :- R^n(x, y), S^x(y, z)")
+        abstract = abstract_query(q)
+        assert abstract.atoms[0].variables == frozenset({"x", "y"})
+        assert abstract.atoms[0].endogenous is True
+        assert abstract.atoms[1].endogenous is False
+
+    def test_endogenous_relations_argument(self):
+        q = parse_query("q :- R(x, y), S(y)")
+        abstract = abstract_query(q, endogenous_relations=["R"])
+        assert abstract.atoms[0].endogenous and not abstract.atoms[1].endogenous
+
+    def test_database_relation_level_status(self):
+        q = parse_query("q :- R(x, y), S(y)")
+        db = Database()
+        db.add_fact("R", 1, 2)
+        db.add_fact("S", 2, endogenous=False)
+        abstract = abstract_query(q, database=db)
+        assert abstract.atoms[0].endogenous and not abstract.atoms[1].endogenous
+
+    def test_constants_are_dropped(self):
+        q = parse_query("q :- R(x, 'a3')")
+        abstract = abstract_query(q)
+        assert abstract.atoms[0].variables == frozenset({"x"})
+
+    def test_self_join_labels_are_distinct(self):
+        q = parse_query("q :- R(x, y), R(y, z)")
+        abstract = abstract_query(q)
+        assert {a.label for a in abstract.atoms} == {"R#1", "R#2"}
+
+    def test_subgoals_containing_and_neighbors(self):
+        abstract = abstract_query(parse_query("q :- R(x, y), S(y, z), T(z)"))
+        assert [a.label for a in abstract.subgoals_containing("y")] == ["R", "S"]
+        assert abstract.neighbors(0) == (1,)
+        assert abstract.neighbors(1) == (0, 2)
+
+    def test_isomorphism_up_to_variable_renaming(self):
+        one = abstract_query(parse_query("q :- R^n(x, y), S^n(y, z), T^n(z, x)"))
+        two = abstract_query(parse_query("q :- R^n(u, v), S^n(v, w), T^n(w, u)"))
+        assert one.is_isomorphic_to(two)
+        assert one.is_isomorphic_to(canonical_h2())
+
+    def test_isomorphism_respects_endogenous_flags(self):
+        endo = abstract_query(parse_query("q :- R^n(x, y), S^n(y, z), T^n(z, x)"))
+        mixed = abstract_query(parse_query("q :- R^n(x, y), S^x(y, z), T^n(z, x)"))
+        assert not endo.is_isomorphic_to(mixed)
+        assert endo.is_isomorphic_to(mixed, match_endogenous=False)
+
+
+class TestDualHypergraph:
+    def test_edges_are_variables(self):
+        abstract = abstract_query(parse_query("q :- R(x, y), S(y, z)"))
+        hypergraph = DualHypergraph(abstract)
+        assert hypergraph.edges["y"] == frozenset({0, 1})
+        assert hypergraph.degree("x") == 1
+
+    def test_h1_dual_hypergraph_shape(self):
+        hypergraph = DualHypergraph(canonical_h1())
+        assert hypergraph.edges["x"] == frozenset({0, 3})
+        assert hypergraph.edges["y"] == frozenset({1, 3})
+        assert hypergraph.edges["z"] == frozenset({2, 3})
+
+
+class TestLinearity:
+    def test_chain_is_linear(self):
+        assert is_linear(abstract_query(parse_query("q :- R(x, y), S(y, z), T(z, w)")))
+
+    def test_figure5a_is_linear(self):
+        q = parse_query(
+            "q :- A(x), S1(x, v), S2(v, y), R(y, u), S3(y, z), T(z, w), B(z)")
+        order = linear_order(abstract_query(q))
+        assert order is not None
+
+    def test_canonical_hard_queries_are_not_linear(self):
+        assert not is_linear(canonical_h1())
+        assert not is_linear(canonical_h2())
+        assert not is_linear(canonical_h3())
+
+    def test_linear_order_witness_is_consecutive(self):
+        q = parse_query("q :- A(x), R(x, y), S(y, z), B(z)")
+        abstract = abstract_query(q)
+        order = linear_order(abstract)
+        variable_sets = abstract.atom_variable_sets()
+        for variable in abstract.variables():
+            first, last = variable_span(order, variable_sets, variable)
+            positions = [i for i in range(len(order))
+                         if variable in variable_sets[order[i]]]
+            assert positions == list(range(first, last + 1))
+
+    def test_single_and_two_atom_queries_are_linear(self):
+        assert find_linear_order([frozenset({"x"})]) == [0]
+        assert find_linear_order([frozenset({"x"}), frozenset({"x", "y"})]) == [0, 1]
+
+    def test_variable_span_of_missing_variable(self):
+        with pytest.raises(KeyError):
+            variable_span([0], [frozenset({"x"})], "missing")
+
+    def test_triangle_is_not_linear(self):
+        q = parse_query("q :- R(x, y), S(y, z), T(z, x)")
+        assert not is_linear(abstract_query(q))

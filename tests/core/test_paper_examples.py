@@ -1,0 +1,141 @@
+"""End-to-end checks of every numbered example in the paper.
+
+These tests are the "does the reproduction actually reproduce the paper"
+gate: each one re-states a concrete claim from the paper's text and asserts
+that the library derives it.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    ComplexityCategory,
+    actual_causes,
+    causes_via_datalog,
+    classify,
+    counterfactual_causes,
+    explain,
+    is_counterfactual_cause,
+    is_valid_contingency,
+    responsibility,
+)
+from repro.relational import Tuple, database_from_dict, parse_query
+from repro.workloads import FIGURE_2B_EXPECTED, generate_imdb
+
+
+class TestExample22:
+    """Example 2.2: counterfactual vs actual causes on the toy R/S instance."""
+
+    def test_s_a1_is_counterfactual_for_a2(self, example22_db, example22_query):
+        db, tuples = example22_db
+        bq = example22_query.bind(("a2",))
+        assert is_counterfactual_cause(bq, db, tuples[("S", "a1")])
+
+    def test_s_a3_is_actual_but_not_counterfactual_for_a4(self, example22_db, example22_query):
+        db, tuples = example22_db
+        bq = example22_query.bind(("a4",))
+        s3, s2 = tuples[("S", "a3")], tuples[("S", "a2")]
+        assert not is_counterfactual_cause(bq, db, s3)
+        assert is_valid_contingency(bq, db, s3, {s2})
+        assert s3 in actual_causes(bq, db)
+
+    def test_boolean_query_with_exogenous_r_tuples(self, example22_db):
+        """Second half of Example 2.2: Rⁿ(a3,a3) is not an actual cause."""
+        db, tuples = example22_db
+        db.set_endogenous(tuples[("R", "a4", "a3")], False)
+        db.set_endogenous(tuples[("R", "a4", "a2")], False)
+        q = parse_query("q :- R(x, 'a3'), S('a3')")
+        causes = actual_causes(q, db)
+        assert tuples[("R", "a3", "a3")] not in causes
+        assert tuples[("S", "a3")] in causes
+
+
+class TestExample24AndFigure2:
+    """Example 2.4 / Fig. 2: the IMDB Musical responsibilities."""
+
+    def test_sweeney_todd_has_responsibility_one_third(self, imdb_scenario):
+        sc = imdb_scenario
+        result = responsibility(sc.musical_query(), sc.database,
+                                sc.movies["Sweeney Todd"])
+        assert result.responsibility == Fraction(1, 3)
+
+    def test_manon_lescaut_has_responsibility_one_fifth(self, imdb_scenario):
+        sc = imdb_scenario
+        result = responsibility(sc.musical_query(), sc.database,
+                                sc.movies["Manon Lescaut"])
+        assert result.responsibility == Fraction(1, 5)
+
+    def test_full_figure_2b_ranking(self, imdb_scenario):
+        sc = imdb_scenario
+        explanation = explain(sc.query, sc.database, answer=("Musical",))
+        expected_rhos = sorted((Fraction(v).limit_denominator(10)
+                                for _, v in FIGURE_2B_EXPECTED), reverse=True)
+        actual_rhos = sorted((c.responsibility for c in explanation.ranked()), reverse=True)
+        assert actual_rhos == expected_rhos
+
+    def test_directors_rank_at_one_third(self, imdb_scenario):
+        sc = imdb_scenario
+        explanation = explain(sc.query, sc.database, answer=("Musical",))
+        for name in ("Tim", "David", "Humphrey"):
+            assert explanation.responsibility_of(sc.directors[name]) == Fraction(1, 3)
+
+
+class TestExample33:
+    """Example 3.3: the n-lineage simplification leaves only S(a3)."""
+
+    def test_only_cause_is_s_a3(self, example33_db, example33_query):
+        db, tuples = example33_db
+        assert actual_causes(example33_query, db) == frozenset({tuples[("S", "a3")]})
+        assert counterfactual_causes(example33_query, db) == frozenset({tuples[("S", "a3")]})
+
+
+class TestExamples35And36:
+    """Examples 3.5 / 3.6: Datalog cause programs and their non-monotonicity."""
+
+    def test_example35_datalog_matches_paper(self):
+        db = database_from_dict({"R": [("a4", "a3"), ("a3", "a3")], "S": [("a3",)]})
+        db.set_endogenous(Tuple("R", ("a4", "a3")), False)
+        q = parse_query("q :- R(x, y), S(y)")
+        causes = causes_via_datalog(q, db)
+        assert causes == frozenset({Tuple("S", ("a3",))})
+
+    def test_example36_selfjoin_causes(self):
+        db = database_from_dict({"R": [("a4", "a3"), ("a3", "a3")],
+                                 "S": [("a3",), ("a4",)]})
+        db.set_relation_exogenous("R")
+        q = parse_query("q :- S(x), R(x, y), S(y)")
+        causes = actual_causes(q, db)
+        assert Tuple("S", ("a4",)) not in causes
+        reduced = db.without([Tuple("R", ("a3", "a3"))])
+        assert Tuple("S", ("a4",)) in actual_causes(q, reduced)
+
+
+class TestSection4Examples:
+    """Example 4.8 (rewriting) and 4.12 (weakening), plus Fig. 5."""
+
+    def test_example_48_is_hard_via_h2(self):
+        result = classify(parse_query("q :- R^n(x, y), S^n(y, z), T^n(z, u), K^n(u, x)"))
+        assert result.category is ComplexityCategory.NP_HARD
+        assert result.hard_query == "h2"
+
+    def test_example_412_queries_are_ptime(self):
+        first = classify(parse_query("q :- R^n(x, y), S^x(y, z), T^n(z, x)"))
+        second = classify(parse_query("q :- R^n(x, y), S^n(y, z), T^n(z, x), V^n(x)"))
+        assert first.category is ComplexityCategory.WEAKLY_LINEAR
+        assert second.category is ComplexityCategory.WEAKLY_LINEAR
+
+    def test_figure5_queries(self):
+        easy = classify(parse_query(
+            "q :- A^n(x), S1^n(x, v), S2^n(v, y), R^n(y, u), S3^n(y, z), "
+            "T^n(z, w), B^n(z)"))
+        hard = classify(parse_query("h1 :- A^n(x), B^n(y), C^n(z), W^x(x, y, z)"))
+        assert easy.category is ComplexityCategory.LINEAR
+        assert hard.category is ComplexityCategory.NP_HARD
+
+    def test_trivial_ptime_query_with_constant(self):
+        """The q :- R(a, y) warm-up example before Example 4.2."""
+        db = database_from_dict({"R": [("a", 1), ("a", 2), ("a", 3), ("b", 9)]})
+        q = parse_query("q :- R('a', y)")
+        result = responsibility(q, db, Tuple("R", ("a", 1)))
+        assert result.responsibility == Fraction(1, 3)

@@ -1,0 +1,132 @@
+"""Unit tests for Why-No responsibility (Theorem 4.17) and the high-level API."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    CausalityMode,
+    brute_force_responsibility,
+    causes_of,
+    explain,
+    whyno_causes_with_responsibility,
+    whyno_minimum_contingency,
+    whyno_responsibility,
+)
+from repro.exceptions import CausalityError
+from repro.lineage import build_whyno_instance, candidate_missing_tuples
+from repro.relational import Tuple, database_from_dict, parse_query
+
+
+@pytest.fixture
+def whyno_setup():
+    """Real database, query and the combined Why-No instance."""
+    db = database_from_dict({"R": [("a", "b"), ("a", "c")], "S": [("d",)]})
+    q = parse_query("q :- R(x, y), S(y), T(y)")
+    candidates = candidate_missing_tuples(q, db)
+    combined = build_whyno_instance(db, candidates)
+    return db, q, combined
+
+
+class TestWhyNoResponsibility:
+    def test_matches_brute_force(self, whyno_setup):
+        _, q, combined = whyno_setup
+        for t in sorted(combined.endogenous_tuples()):
+            fast = whyno_responsibility(q, combined, t)
+            brute = brute_force_responsibility(q, combined, t, CausalityMode.WHY_NO)
+            assert fast == brute, t
+
+    def test_minimum_contingency_is_bounded_by_query_size(self, whyno_setup):
+        _, q, combined = whyno_setup
+        for t in sorted(combined.endogenous_tuples()):
+            gamma = whyno_minimum_contingency(q, combined, t)
+            if gamma is not None:
+                assert len(gamma) <= len(q.atoms) - 1
+
+    def test_non_candidate_tuple_is_not_a_cause(self, whyno_setup):
+        _, q, combined = whyno_setup
+        # real (exogenous) tuples are never Why-No causes
+        assert whyno_responsibility(q, combined, Tuple("R", ("a", "b"))) == 0
+
+    def test_causes_ranked_by_responsibility(self, whyno_setup):
+        _, q, combined = whyno_setup
+        causes = whyno_causes_with_responsibility(q, combined)
+        rhos = [c.responsibility for c in causes]
+        assert rhos and rhos == sorted(rhos, reverse=True)
+
+    def test_answer_already_present_gives_no_causes(self):
+        db = database_from_dict({"R": [("a", "b")], "S": [("b",)]})
+        q = parse_query("q :- R(x, y), S(y)")
+        combined = build_whyno_instance(db, [Tuple("S", ("zz",))])
+        assert whyno_causes_with_responsibility(q, combined) == []
+        assert whyno_minimum_contingency(q, combined, Tuple("S", ("zz",))) is None
+
+    def test_requires_boolean_query(self, whyno_setup):
+        _, _, combined = whyno_setup
+        with pytest.raises(CausalityError):
+            whyno_minimum_contingency(parse_query("q(x) :- R(x, y)"), combined,
+                                      Tuple("R", ("a", "b")))
+
+
+class TestExplainWhySo:
+    def test_example22_explanation(self, example22_db, example22_query):
+        db, tuples = example22_db
+        explanation = explain(example22_query, db, answer=("a4",))
+        assert explanation.responsibility_of(tuples[("S", "a3")]) == Fraction(1, 2)
+        assert explanation.responsibility_of(tuples[("S", "a6")]) == 0
+        assert len(explanation) == 4
+
+    def test_boolean_query_explanation(self, example22_db):
+        db, _ = example22_db
+        explanation = explain(parse_query("q :- R(x, y), S(y)"), db)
+        assert len(explanation) > 0
+
+    def test_answer_required_for_non_boolean_query(self, example22_db, example22_query):
+        db, _ = example22_db
+        with pytest.raises(CausalityError):
+            explain(example22_query, db)
+
+    def test_non_answer_rejected_in_whyso_mode(self, example22_db, example22_query):
+        db, _ = example22_db
+        with pytest.raises(CausalityError):
+            explain(example22_query, db, answer=("a1",))
+
+    def test_table_rendering(self, example22_db, example22_query):
+        db, _ = example22_db
+        explanation = explain(example22_query, db, answer=("a4",))
+        table = explanation.to_table()
+        assert "ρ_t" in table and "0.50" in table
+
+    def test_top_k(self, example22_db, example22_query):
+        db, _ = example22_db
+        explanation = explain(example22_query, db, answer=("a4",))
+        assert len(explanation.top(2)) == 2
+
+    def test_causes_of_shortcut(self, example22_db, example22_query):
+        db, tuples = example22_db
+        causes = causes_of(example22_query, db, answer=("a2",))
+        assert tuples[("S", "a1")] in causes
+
+
+class TestExplainWhyNo:
+    def test_missing_answer_explanation(self):
+        db = database_from_dict({"R": [("a", "b")], "S": [("c",)]})
+        q = parse_query("q(x) :- R(x, y), S(y)")
+        explanation = explain(q, db, answer=("a",), mode="why-no")
+        assert explanation.mode is CausalityMode.WHY_NO
+        best = explanation.ranked()[0]
+        assert best.responsibility == 1
+
+    def test_explicit_candidates(self):
+        db = database_from_dict({"R": [("a", "b")], "S": [("c",)]})
+        q = parse_query("q :- R(x, y), S(y)")
+        explanation = explain(q, db, mode="why-no",
+                              whyno_candidates=[Tuple("S", ("b",))])
+        assert [c.tuple for c in explanation.ranked()] == [Tuple("S", ("b",))]
+
+    def test_whyno_mode_rejects_actual_answers(self):
+        db = database_from_dict({"R": [("a", "b")], "S": [("b",)]})
+        q = parse_query("q(x) :- R(x, y), S(y)")
+        with pytest.raises(CausalityError):
+            explain(q, db, answer=("a",), mode="why-no",
+                    whyno_candidates=[Tuple("S", ("zz",))])

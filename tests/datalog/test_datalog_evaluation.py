@@ -1,0 +1,97 @@
+"""Unit tests for bottom-up evaluation of stratified Datalog¬ programs."""
+
+import pytest
+
+from repro.datalog import Program, evaluate_program, parse_program, parse_rule
+from repro.exceptions import DatalogError
+from repro.relational import Tuple, database_from_dict
+
+
+class TestPositivePrograms:
+    def test_simple_join_rule(self):
+        db = database_from_dict({"R": [(1, 2), (2, 3)], "S": [(2,), (4,)]})
+        program = Program([parse_rule("Out(x) :- R(x, y), S(y)")])
+        result = evaluate_program(program, db)
+        assert result.rows("Out") == frozenset({(1,)})
+
+    def test_union_of_rules(self):
+        db = database_from_dict({"R": [(1,)], "S": [(2,)]})
+        program = parse_program("""
+            Out(x) :- R(x)
+            Out(x) :- S(x)
+        """)
+        assert evaluate_program(program, db).rows("Out") == frozenset({(1,), (2,)})
+
+    def test_chained_idb_predicates(self):
+        db = database_from_dict({"E": [(1, 2), (2, 3)]})
+        program = parse_program("""
+            Hop(x, z) :- E(x, y), E(y, z)
+            Out(x) :- Hop(x, z)
+        """)
+        result = evaluate_program(program, db)
+        assert result.rows("Hop") == frozenset({(1, 3)})
+        assert result.rows("Out") == frozenset({(1,)})
+
+    def test_constants_in_rules(self):
+        db = database_from_dict({"R": [("a", 1), ("b", 2)]})
+        program = Program([parse_rule("Out(y) :- R('a', y)")])
+        assert evaluate_program(program, db).rows("Out") == frozenset({(1,)})
+
+    def test_empty_idb_relation_reported(self):
+        db = database_from_dict({"R": [(1,)]})
+        program = Program([parse_rule("Out(x) :- R(x), Missing(x)")])
+        result = evaluate_program(program, db)
+        assert result.rows("Out") == frozenset()
+        assert result["Out"] == frozenset()
+
+
+class TestNegation:
+    def test_set_difference(self):
+        db = database_from_dict({"R": [(1,), (2,), (3,)], "Banned": [(2,)]})
+        program = Program([parse_rule("Out(x) :- R(x), not Banned(x)")])
+        assert evaluate_program(program, db).rows("Out") == frozenset({(1,), (3,)})
+
+    def test_negation_over_idb(self):
+        db = database_from_dict({"R": [(1, 2), (2, 3)], "S": [(3,)]})
+        program = parse_program("""
+            Covered(x) :- R(x, y), S(y)
+            Out(x) :- R(x, y), not Covered(x)
+        """)
+        assert evaluate_program(program, db).rows("Out") == frozenset({(1,)})
+
+    def test_negation_respects_annotations(self):
+        db = database_from_dict({"R": [(1,), (2,)], "S": [(1,), (2,)]})
+        db.set_endogenous(Tuple("S", (2,)), False)
+        program = Program([parse_rule("Out(x) :- R(x), not S^n(x)")])
+        # S(2) is exogenous, so 'not S^n(2)' holds.
+        assert evaluate_program(program, db).rows("Out") == frozenset({(2,)})
+
+    def test_example35_program(self):
+        """The Datalog program of Example 3.5 computes the right causes."""
+        db = database_from_dict({"R": [("a4", "a3"), ("a3", "a3")], "S": [("a3",)]})
+        db.set_endogenous(Tuple("R", ("a4", "a3")), False)
+        program = parse_program("""
+            I(y) :- R^x(x, y), S^n(y)
+            CR(x, y) :- R^n(x, y), S^n(y), not I(y)
+            CS(y) :- R^n(x, y), S^n(y), not I(y)
+            CS(y) :- R^x(x, y), S^n(y)
+        """)
+        result = evaluate_program(program, db)
+        assert result.rows("CR") == frozenset()
+        assert result.rows("CS") == frozenset({("a3",)})
+
+
+class TestGuards:
+    def test_idb_name_colliding_with_edb_rejected(self):
+        db = database_from_dict({"Out": [(1,)], "R": [(1,)]})
+        program = Program([parse_rule("Out(x) :- R(x)")])
+        with pytest.raises(DatalogError):
+            evaluate_program(program, db)
+
+    def test_result_database_contains_idb_tuples_as_exogenous(self):
+        db = database_from_dict({"R": [(1,)]})
+        program = Program([parse_rule("Out(x) :- R(x)")])
+        result = evaluate_program(program, db)
+        derived = Tuple("Out", (1,))
+        assert result.database.contains(derived)
+        assert result.database.is_exogenous(derived)

@@ -1,0 +1,99 @@
+"""Unit tests for Datalog rules, programs, safety and stratification."""
+
+import pytest
+
+from repro.datalog import Program, Rule, parse_literal, parse_program, parse_rule
+from repro.exceptions import DatalogError, ParseError
+from repro.relational import Atom
+
+
+class TestParsing:
+    def test_parse_rule(self):
+        rule = parse_rule("CS(y) :- R^x(x, y), S^n(y)")
+        assert rule.head.relation == "CS"
+        assert len(rule.body) == 2
+        assert rule.body[0].atom.endogenous is False
+
+    def test_parse_negation_syntaxes(self):
+        for text in ["not I(y)", "!I(y)", "¬I(y)", "NOT I(y)"]:
+            literal = parse_literal(text)
+            assert not literal.positive
+            assert literal.atom.relation == "I"
+
+    def test_parse_program_skips_comments_and_blank_lines(self):
+        program = parse_program("""
+            % causes of Example 3.5
+            I(y) :- R^x(x, y), S^n(y)
+
+            # second stratum
+            CS(y) :- R^n(x, y), S^n(y), not I(y)
+        """)
+        assert len(program) == 2
+
+    def test_parse_rule_without_separator(self):
+        with pytest.raises(ParseError):
+            parse_rule("I(y) R(x, y)")
+
+
+class TestSafety:
+    def test_head_variable_must_be_positively_bound(self):
+        with pytest.raises(DatalogError):
+            parse_rule("C(x, z) :- R(x, y)")
+
+    def test_negated_variable_must_be_positively_bound(self):
+        with pytest.raises(DatalogError):
+            parse_rule("C(x) :- R(x, y), not I(z)")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(DatalogError):
+            Rule(Atom("C", ["x"]), [])
+
+    def test_safe_rule_with_constants(self):
+        rule = parse_rule("C(x) :- R(x, 'a3'), not I(x)")
+        assert rule.head.relation == "C"
+
+
+class TestProgramStructure:
+    def build(self):
+        return Program([
+            parse_rule("I(y) :- R^x(x, y), S^n(y)"),
+            parse_rule("CR(x, y) :- R^n(x, y), S^n(y), not I(y)"),
+            parse_rule("CS(y) :- R^n(x, y), S^n(y), not I(y)"),
+            parse_rule("CS(y) :- R^x(x, y), S^n(y)"),
+        ])
+
+    def test_idb_and_edb(self):
+        program = self.build()
+        assert program.idb_relations() == frozenset({"I", "CR", "CS"})
+        assert program.edb_relations() == frozenset({"R", "S"})
+
+    def test_two_strata(self):
+        program = self.build()
+        strata = program.strata()
+        assert len(strata) == 2
+        assert strata[0] == ["I"]
+        assert set(strata[1]) == {"CR", "CS"}
+
+    def test_evaluation_order_puts_dependencies_first(self):
+        order = self.build().evaluation_order()
+        assert order.index("I") < order.index("CR")
+        assert order.index("I") < order.index("CS")
+
+    def test_recursion_rejected(self):
+        program = Program([
+            parse_rule("P(x) :- Q(x)"),
+            parse_rule("Q(x) :- P(x)"),
+        ])
+        with pytest.raises(DatalogError):
+            program.evaluation_order()
+
+    def test_rules_for(self):
+        program = self.build()
+        assert len(program.rules_for("CS")) == 2
+        assert len(program.rules_for("I")) == 1
+
+    def test_positive_and_negative_literals(self):
+        rule = parse_rule("C(x) :- R(x, y), not I(x), not J(y)")
+        assert len(rule.positive_literals()) == 1
+        assert len(rule.negative_literals()) == 2
+        assert rule.body_relations() == frozenset({"R", "I", "J"})

@@ -1,0 +1,131 @@
+"""Unit tests for the flow network and Edmonds–Karp max-flow / min-cut."""
+
+import math
+
+import pytest
+
+from repro.flow import INFINITY, FlowNetwork, max_flow, min_cut_labels, min_cut_value
+
+
+def build_diamond():
+    """s -> a -> t and s -> b -> t with mixed capacities."""
+    net = FlowNetwork()
+    net.add_edge("s", "a", 3, label="sa")
+    net.add_edge("a", "t", 2, label="at")
+    net.add_edge("s", "b", 2, label="sb")
+    net.add_edge("b", "t", 3, label="bt")
+    net.add_edge("a", "b", 1, label="ab")
+    return net
+
+
+class TestNetwork:
+    def test_nodes_and_edges(self):
+        net = build_diamond()
+        assert net.nodes == {"s", "a", "b", "t"}
+        assert len(net.edges) == 5
+        assert len(net.outgoing("s")) == 2
+        assert len(net.incoming("t")) == 2
+
+    def test_parallel_edges_supported(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 1)
+        net.add_edge("s", "t", 1)
+        assert max_flow(net, "s", "t").value == 2
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork()
+        with pytest.raises(ValueError):
+            net.add_edge("s", "t", -1)
+
+    def test_copy_is_independent(self):
+        net = build_diamond()
+        clone = net.copy()
+        clone.set_capacity(clone.edges[0], 100)
+        assert net.edges[0].capacity == 3
+
+    def test_edges_with_label(self):
+        net = build_diamond()
+        assert len(net.edges_with_label("ab")) == 1
+
+
+class TestMaxFlow:
+    def test_diamond_value(self):
+        assert max_flow(build_diamond(), "s", "t").value == 5
+
+    def test_single_bottleneck(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 10)
+        net.add_edge("a", "t", 1)
+        assert max_flow(net, "s", "t").value == 1
+
+    def test_disconnected_graph_has_zero_flow(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 5)
+        net.add_node("t")
+        result = max_flow(net, "s", "t")
+        assert result.value == 0 and result.cut_edges == []
+
+    def test_infinite_path_detected(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", INFINITY)
+        net.add_edge("a", "t", INFINITY)
+        result = max_flow(net, "s", "t")
+        assert result.is_infinite
+
+    def test_infinite_edges_off_the_cut_are_fine(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", INFINITY)
+        net.add_edge("a", "t", 4)
+        assert max_flow(net, "s", "t").value == 4
+
+    def test_source_equals_sink_rejected(self):
+        with pytest.raises(ValueError):
+            max_flow(FlowNetwork(), "s", "s")
+
+    def test_min_cut_capacity_matches_flow(self):
+        net = build_diamond()
+        result = max_flow(net, "s", "t")
+        assert sum(e.capacity for e in result.cut_edges) == result.value
+
+    def test_min_cut_labels(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 1, label="cut-me")
+        net.add_edge("a", "t", 5, label="keep")
+        assert min_cut_labels(net, "s", "t") == ["cut-me"]
+        assert min_cut_value(net, "s", "t") == 1
+
+    def test_classic_textbook_instance(self):
+        # CLRS-style example with known max flow 23.
+        net = FlowNetwork()
+        edges = [("s", "v1", 16), ("s", "v2", 13), ("v1", "v3", 12), ("v2", "v1", 4),
+                 ("v3", "v2", 9), ("v2", "v4", 14), ("v4", "v3", 7), ("v3", "t", 20),
+                 ("v4", "t", 4)]
+        for u, v, c in edges:
+            net.add_edge(u, v, c)
+        assert max_flow(net, "s", "t").value == 23
+
+    def test_against_networkx_on_random_graphs(self):
+        networkx = pytest.importorskip("networkx")
+        import random
+
+        rng = random.Random(3)
+        for trial in range(5):
+            node_count = 6
+            net = FlowNetwork()
+            graph = networkx.DiGraph()
+            for u in range(node_count):
+                for v in range(node_count):
+                    if u != v and rng.random() < 0.4:
+                        capacity = rng.randint(1, 6)
+                        net.add_edge(u, v, capacity)
+                        if graph.has_edge(u, v):
+                            graph[u][v]["capacity"] += capacity
+                        else:
+                            graph.add_edge(u, v, capacity=capacity)
+            graph.add_node(0)
+            graph.add_node(node_count - 1)
+            net.add_node(0)
+            net.add_node(node_count - 1)
+            expected = networkx.maximum_flow_value(graph, 0, node_count - 1) \
+                if graph.number_of_edges() else 0
+            assert max_flow(net, 0, node_count - 1).value == expected

@@ -1,0 +1,109 @@
+"""Integration tests: the full IMDB pipeline and cross-algorithm consistency.
+
+These tests exercise the whole stack end to end — query evaluation, lineage,
+causality, responsibility (flow and exact), the Datalog cause program and the
+dichotomy classifier — on the paper's running example and on random
+workloads, asserting that every algorithm that is supposed to compute the same
+quantity actually does.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    actual_causes,
+    brute_force_responsibility,
+    causes_via_datalog,
+    classify,
+    exact_responsibility,
+    explain,
+    flow_responsibility_value,
+    responsibilities,
+)
+from repro.lineage import lineage_support
+from repro.relational import evaluate
+from repro.workloads import (
+    chain_query,
+    generate_imdb,
+    random_database_for_query,
+)
+
+
+class TestImdbPipeline:
+    def test_musical_lineage_has_the_ten_tuples_of_figure_2a(self, imdb_scenario):
+        sc = imdb_scenario
+        support = lineage_support(sc.musical_query(), sc.database)
+        by_relation = {}
+        for t in support:
+            by_relation.setdefault(t.relation, set()).add(t)
+        assert len(by_relation["Director"]) == 3
+        assert len(by_relation["Movie"]) == 6
+        assert len(by_relation["Movie_Directors"]) == 6
+        assert len(by_relation["Genre"]) == 6
+
+    def test_causes_are_directors_and_movies_only(self, imdb_scenario):
+        sc = imdb_scenario
+        causes = actual_causes(sc.musical_query(), sc.database)
+        assert {t.relation for t in causes} == {"Director", "Movie"}
+        assert len(causes) == 9
+
+    def test_flow_and_exact_agree_on_every_cause(self, imdb_scenario):
+        sc = imdb_scenario
+        query = sc.musical_query()
+        for cause in sorted(actual_causes(query, sc.database)):
+            flow = flow_responsibility_value(query, sc.database, cause)
+            exact = exact_responsibility(query, sc.database, cause).responsibility
+            assert flow == exact, cause
+
+    def test_explanation_ranking_matches_figure_2b_structure(self, imdb_scenario):
+        sc = imdb_scenario
+        explanation = explain(sc.query, sc.database, answer=("Musical",))
+        ranked = explanation.ranked()
+        # top group: Sweeney Todd + the three directors at 1/3
+        assert all(c.responsibility == Fraction(1, 3) for c in ranked[:4])
+        # bottom group: Humphrey Burton's three movies at 1/5
+        assert all(c.responsibility == Fraction(1, 5) for c in ranked[-3:])
+
+    def test_why_no_for_a_missing_genre(self, imdb_scenario):
+        sc = imdb_scenario
+        assert ("Western",) not in evaluate(sc.query, sc.database)
+        explanation = explain(
+            sc.query, sc.database, answer=("Western",), mode="why-no",
+            whyno_candidates=[
+                # a hypothetical missing Genre tuple for an existing Burton movie
+                type(sc.movies["Sweeney Todd"])("Genre",
+                                                (sc.movies["Sweeney Todd"].values[0],
+                                                 "Western")),
+            ])
+        assert len(explanation) == 1
+        assert explanation.ranked()[0].responsibility == 1
+
+    def test_burton_query_classified_linear(self, imdb_scenario):
+        result = classify(imdb_scenario.query,
+                          endogenous_relations=["Director", "Movie"])
+        assert result.is_ptime
+
+
+class TestCrossAlgorithmConsistency:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_chain_query_all_engines_agree(self, seed):
+        query = chain_query(3).as_boolean()
+        db = random_database_for_query(query, tuples_per_relation=4, domain_size=2,
+                                       seed=seed)
+        causes_lineage = actual_causes(query, db)
+        causes_datalog = causes_via_datalog(query, db)
+        assert causes_lineage == causes_datalog
+        for t in sorted(db.endogenous_tuples()):
+            flow = flow_responsibility_value(query, db, t)
+            exact = exact_responsibility(query, db, t).responsibility
+            brute = brute_force_responsibility(query, db, t)
+            assert flow == exact == brute, (seed, t)
+            assert (flow > 0) == (t in causes_lineage)
+
+    def test_ranked_responsibilities_cover_exactly_the_causes(self, imdb_scenario):
+        sc = imdb_scenario
+        query = sc.musical_query()
+        ranked = responsibilities(query, sc.database)
+        positive = {r.tuple for r in ranked if r.responsibility > 0}
+        assert positive == actual_causes(query, sc.database)

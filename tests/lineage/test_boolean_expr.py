@@ -1,0 +1,109 @@
+"""Unit tests for positive DNF expressions (lineage algebra)."""
+
+import pytest
+
+from repro.lineage import PositiveDNF
+
+
+class TestConstruction:
+    def test_false_and_true(self):
+        assert not PositiveDNF.false().is_satisfiable()
+        assert PositiveDNF.true().is_satisfiable()
+        assert PositiveDNF.true().is_trivially_true()
+
+    def test_duplicate_conjuncts_collapse(self):
+        phi = PositiveDNF([{"a", "b"}, {"b", "a"}])
+        assert len(phi) == 1
+
+    def test_variables(self):
+        phi = PositiveDNF([{"a", "b"}, {"c"}])
+        assert phi.variables() == frozenset({"a", "b", "c"})
+
+
+class TestSemantics:
+    def test_evaluate(self):
+        phi = PositiveDNF([{"x1", "x3"}, {"x1", "x4"}])
+        assert phi.evaluate({"x1", "x3"})
+        assert phi.evaluate({"x1", "x4", "x9"})
+        assert not phi.evaluate({"x1"})
+        assert not phi.evaluate(set())
+
+    def test_assign_true_removes_variable(self):
+        phi = PositiveDNF([{"x", "y"}])
+        assert phi.set_true(["x"]).conjuncts == frozenset({frozenset({"y"})})
+
+    def test_assign_false_drops_conjuncts(self):
+        phi = PositiveDNF([{"x", "y"}, {"z"}])
+        assert phi.set_false(["x"]).conjuncts == frozenset({frozenset({"z"})})
+        assert not phi.set_false(["x", "z"]).is_satisfiable()
+
+    def test_mixed_assignment(self):
+        phi = PositiveDNF([{"x", "y"}, {"y", "z"}])
+        result = phi.assign({"x": True, "z": False})
+        assert result.conjuncts == frozenset({frozenset({"y"})})
+
+    def test_bool_conversion(self):
+        assert PositiveDNF([{"a"}])
+        assert not PositiveDNF.false()
+
+
+class TestRedundancy:
+    def test_paper_example(self):
+        # Φ = X1X3 ∨ X1X2X3 ∨ X1X4 simplifies to X1X3 ∨ X1X4 (Sect. 3).
+        phi = PositiveDNF([{"x1", "x3"}, {"x1", "x2", "x3"}, {"x1", "x4"}])
+        minimal = phi.remove_redundant()
+        assert minimal.conjuncts == frozenset({
+            frozenset({"x1", "x3"}), frozenset({"x1", "x4"}),
+        })
+        assert not phi.is_minimal()
+        assert minimal.is_minimal()
+
+    def test_empty_conjunct_dominates_everything(self):
+        phi = PositiveDNF([set(), {"a"}, {"a", "b"}])
+        assert phi.remove_redundant().conjuncts == frozenset({frozenset()})
+
+    def test_equal_conjuncts_are_not_redundant_to_each_other(self):
+        phi = PositiveDNF([{"a", "b"}])
+        assert phi.remove_redundant() == phi
+
+    def test_redundancy_removal_preserves_semantics(self):
+        phi = PositiveDNF([{"a"}, {"a", "b"}, {"b", "c"}])
+        minimal = phi.remove_redundant()
+        for assignment in [set(), {"a"}, {"b"}, {"c"}, {"b", "c"}, {"a", "b", "c"}]:
+            assert phi.evaluate(assignment) == minimal.evaluate(assignment)
+
+
+class TestCounterfactualHelper:
+    def test_counterfactual_without_removal(self):
+        phi = PositiveDNF([{"t", "u"}])
+        assert phi.is_counterfactual("t")
+        assert phi.is_counterfactual("u")
+
+    def test_counterfactual_needs_contingency(self):
+        # t appears in one of two disjoint witnesses: not counterfactual alone,
+        # counterfactual once the other witness is removed.
+        phi = PositiveDNF([{"t"}, {"u"}])
+        assert not phi.is_counterfactual("t")
+        assert phi.is_counterfactual("t", removed={"u"})
+
+    def test_removed_everything_is_not_counterfactual(self):
+        phi = PositiveDNF([{"t", "u"}])
+        assert not phi.is_counterfactual("t", removed={"u"})
+
+
+class TestCombination:
+    def test_or_with(self):
+        left = PositiveDNF([{"a"}])
+        right = PositiveDNF([{"b"}])
+        assert left.or_with(right).conjuncts == frozenset({
+            frozenset({"a"}), frozenset({"b"}),
+        })
+
+    def test_with_conjunct(self):
+        phi = PositiveDNF([{"a"}]).with_conjunct({"b", "c"})
+        assert len(phi) == 2
+
+    def test_conjuncts_with_and_without(self):
+        phi = PositiveDNF([{"a", "b"}, {"c"}])
+        assert phi.conjuncts_with("a") == frozenset({frozenset({"a", "b"})})
+        assert phi.conjuncts_without("a") == frozenset({frozenset({"c"})})

@@ -1,0 +1,90 @@
+"""Unit tests for lineage, n-lineage and why-provenance."""
+
+import pytest
+
+from repro.exceptions import CausalityError
+from repro.lineage import (
+    lineage,
+    lineage_of_answer,
+    lineage_support,
+    n_lineage,
+    why_provenance,
+)
+from repro.relational import Tuple, database_from_dict, parse_query
+
+
+@pytest.fixture
+def example33_instance():
+    """Example 3.3 / 3.5 database: R(a4,a3) exogenous, R(a3,a3) and S(a3) endogenous."""
+    db = database_from_dict({"R": [("a3", "a3"), ("a4", "a3")], "S": [("a3",)]})
+    db.set_endogenous(Tuple("R", ("a4", "a3")), False)
+    return db
+
+
+class TestLineage:
+    def test_lineage_requires_boolean_query(self, example33_instance):
+        q = parse_query("q(x) :- R(x, y), S(y)")
+        with pytest.raises(CausalityError):
+            lineage(q, example33_instance)
+
+    def test_example35_lineage(self, example33_instance):
+        q = parse_query("q :- R(x, y), S(y)")
+        phi = lineage(q, example33_instance)
+        expected = frozenset({
+            frozenset({Tuple("R", ("a3", "a3")), Tuple("S", ("a3",))}),
+            frozenset({Tuple("R", ("a4", "a3")), Tuple("S", ("a3",))}),
+        })
+        assert phi.conjuncts == expected
+
+    def test_lineage_of_answer(self):
+        db = database_from_dict({
+            "R": [("a2", "a1"), ("a4", "a3")], "S": [("a1",), ("a3",)],
+        })
+        q = parse_query("q(x) :- R(x, y), S(y)")
+        phi = lineage_of_answer(q, db, ("a2",))
+        assert phi.conjuncts == frozenset({
+            frozenset({Tuple("R", ("a2", "a1")), Tuple("S", ("a1",))}),
+        })
+
+    def test_lineage_support(self, example33_instance):
+        q = parse_query("q :- R(x, y), S(y)")
+        assert lineage_support(q, example33_instance) == frozenset({
+            Tuple("R", ("a3", "a3")), Tuple("R", ("a4", "a3")), Tuple("S", ("a3",)),
+        })
+
+    def test_lineage_of_false_query_is_unsatisfiable(self):
+        db = database_from_dict({"R": [(1, 2)]})
+        q = parse_query("q :- R(x, x)")
+        assert not lineage(q, db).is_satisfiable()
+
+
+class TestNLineage:
+    def test_example35_n_lineage_simplification(self, example33_instance):
+        # Φⁿ = X_S(a3) ∨ X_R(a3,a3) X_S(a3) ≡ X_S(a3)  (Example 3.5)
+        q = parse_query("q :- R(x, y), S(y)")
+        phi_n = n_lineage(q, example33_instance)
+        assert phi_n.conjuncts == frozenset({frozenset({Tuple("S", ("a3",))})})
+
+    def test_unsimplified_n_lineage_keeps_redundant_conjuncts(self, example33_instance):
+        q = parse_query("q :- R(x, y), S(y)")
+        phi_n = n_lineage(q, example33_instance, simplify=False)
+        assert len(phi_n) == 2
+
+    def test_all_exogenous_gives_trivially_true_n_lineage(self):
+        db = database_from_dict({"R": [(1, 2)]})
+        db.set_relation_exogenous("R")
+        q = parse_query("q :- R(x, y)")
+        assert n_lineage(q, db).is_trivially_true()
+
+    def test_all_endogenous_n_lineage_equals_lineage(self):
+        db = database_from_dict({"R": [(1, 2), (2, 3)], "S": [(2,), (3,)]})
+        q = parse_query("q :- R(x, y), S(y)")
+        assert n_lineage(q, db, simplify=False) == lineage(q, db)
+
+
+class TestWhyProvenance:
+    def test_minimal_witnesses(self, example33_instance):
+        q = parse_query("q :- R(x, y), S(y)")
+        witnesses = why_provenance(q, example33_instance)
+        # both witnesses are minimal (neither is a strict subset of the other)
+        assert len(witnesses) == 2

@@ -1,0 +1,167 @@
+"""Tests for the Theorem 4.1 / Prop. 4.16 hardness reductions."""
+
+import itertools
+
+import pytest
+
+from repro.core import actual_causes, exact_responsibility
+from repro.exceptions import ReductionError
+from repro.reductions import (
+    h1_instance_from_hypergraph,
+    h2_instance_from_formula,
+    h3_instance_from_h2,
+    selfjoin_instance_from_graph,
+)
+from repro.reductions.hypergraph_cover import responsibility_encodes_cover as h1_check
+from repro.reductions.selfjoin_cover import responsibility_encodes_cover as selfjoin_check
+from repro.reductions.sat_rings import (
+    assignment_contingency,
+    build_ring_graph,
+    has_budget_contingency,
+    satisfying_assignment_via_contingency,
+)
+from repro.relational import Database
+from repro.workloads import (
+    CNF3Formula,
+    figure6_hypergraph,
+    random_3sat,
+    random_graph,
+    random_tripartite_hypergraph,
+)
+
+
+class TestH1HypergraphCover:
+    def test_figure6_instance(self):
+        via_rho, via_search = h1_check(figure6_hypergraph())
+        assert via_rho == via_search == 2
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_hypergraphs(self, seed):
+        graph = random_tripartite_hypergraph(nodes_per_partition=3, edge_count=4,
+                                             seed=seed)
+        via_rho, via_search = h1_check(graph)
+        assert via_rho == via_search
+
+    def test_cover_extracted_from_contingency_is_a_cover(self):
+        graph = figure6_hypergraph()
+        instance = h1_instance_from_hypergraph(graph)
+        cover = instance.cover_from_contingency()
+        assert graph.is_vertex_cover(set(cover))
+
+    def test_private_tuple_is_always_a_cause(self):
+        instance = h1_instance_from_hypergraph(figure6_hypergraph())
+        assert instance.inspected in actual_causes(instance.query, instance.database)
+
+
+class TestSelfJoinCover:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, seed):
+        graph = random_graph(5, 0.5, seed=seed)
+        via_rho, via_search = selfjoin_check(graph)
+        assert via_rho == via_search
+
+    def test_cover_extracted_is_a_cover(self):
+        graph = random_graph(5, 0.5, seed=9)
+        instance = selfjoin_instance_from_graph(graph)
+        cover = instance.cover_from_contingency() - {"_x0"}
+        assert graph.is_vertex_cover(set(cover))
+
+    def test_endogenous_s_gives_same_cover_size(self):
+        graph = random_graph(4, 0.6, seed=1)
+        exo = selfjoin_instance_from_graph(graph, s_endogenous=False)
+        endo = selfjoin_instance_from_graph(graph, s_endogenous=True)
+        assert exo.minimum_cover_size_via_responsibility() == \
+            endo.minimum_cover_size_via_responsibility()
+
+
+class TestSatRings:
+    def satisfiable_formula(self):
+        return CNF3Formula([[("X", True), ("Y", True), ("Z", True)],
+                            [("X", False), ("Y", True), ("Z", False)]])
+
+    def unsatisfiable_formula(self):
+        clauses = [[("X", a), ("Y", b), ("Z", c)]
+                   for a, b, c in itertools.product([True, False], repeat=3)]
+        return CNF3Formula(clauses)
+
+    def test_ring_graph_shape(self):
+        graph = build_ring_graph(self.satisfiable_formula())
+        # each of the three variables appears in 2 clauses -> ring length 21
+        assert set(graph.ring_length.values()) == {21}
+        assert graph.total_ring_length() == 63
+        # every ring triangle contains exactly one backward edge
+        backward = {e for e, kind in graph.edge_kind.items() if kind == "backward"}
+        ring_triangles = [t for t in graph.triangles if t & backward]
+        assert all(len(t & backward) == 1 for t in ring_triangles)
+        # clause triangles consist of forward edges only
+        clause_triangles = [t for t in graph.triangles if not (t & backward)]
+        assert len(clause_triangles) == len(self.satisfiable_formula().clauses)
+
+    def test_sat_iff_budget_contingency(self):
+        assert has_budget_contingency(self.satisfiable_formula())
+        assert not has_budget_contingency(self.unsatisfiable_formula())
+
+    def test_assignment_from_contingency_satisfies_formula(self):
+        formula = self.satisfiable_formula()
+        assignment = satisfying_assignment_via_contingency(formula)
+        assert assignment is not None
+        assert formula.evaluate(assignment)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_formulas_agree_with_truth_table(self, seed):
+        formula = random_3sat(variable_count=3, clause_count=4, seed=seed)
+        assert has_budget_contingency(formula) == formula.is_satisfiable()
+
+    def test_assignment_edges_form_a_contingency_only_when_satisfying(self):
+        formula = self.satisfiable_formula()
+        graph = build_ring_graph(formula)
+        for bits in itertools.product([True, False], repeat=3):
+            assignment = dict(zip(formula.variables(), bits))
+            edges = set(assignment_contingency(graph, assignment))
+            assert graph.is_contingency(edges) == formula.evaluate(assignment)
+
+    def test_budget_matches_sum_of_ring_lengths(self):
+        formula = self.satisfiable_formula()
+        instance = h2_instance_from_formula(formula)
+        assert instance.budget == sum(instance.graph.ring_length.values())
+        # the database has one tuple per edge plus the private triangle
+        assert instance.database.size() == len(instance.graph.edges) + 3
+
+    def test_clauses_must_have_three_distinct_variables(self):
+        bad = CNF3Formula([[("X", True), ("Y", True)]])
+        with pytest.raises(ReductionError):
+            build_ring_graph(bad)
+
+
+class TestH3Transformation:
+    def build_h2_db(self):
+        db = Database()
+        for values in [("a1", "b1"), ("a2", "b1")]:
+            db.add_fact("R", *values)
+        db.add_fact("S", "b1", "c1")
+        for values in [("c1", "a1"), ("c1", "a2")]:
+            db.add_fact("T", *values)
+        return db
+
+    def test_unary_relations_mirror_source_tuples(self):
+        h2_db = self.build_h2_db()
+        instance = h3_instance_from_h2(h2_db)
+        assert instance.database.size("A") == h2_db.size("R")
+        assert instance.database.size("B") == h2_db.size("S")
+        assert instance.database.size("C") == h2_db.size("T")
+
+    def test_responsibilities_carry_over(self):
+        from repro.reductions import h2_query
+
+        h2_db = self.build_h2_db()
+        instance = h3_instance_from_h2(h2_db)
+        for source, image in instance.tuple_map.items():
+            rho_source = exact_responsibility(h2_query(), h2_db, source).responsibility
+            rho_image = exact_responsibility(instance.query, instance.database,
+                                             image).responsibility
+            assert rho_source == rho_image, source
+
+    def test_binary_relations_are_exogenous_by_default(self):
+        instance = h3_instance_from_h2(self.build_h2_db())
+        for relation in ("R", "S", "T"):
+            assert instance.database.relation_is_fully_exogenous(relation)

@@ -1,0 +1,90 @@
+"""Tests for the Theorem 4.15 LOGSPACE reduction chain."""
+
+import pytest
+
+from repro.core import ComplexityCategory, classify
+from repro.exceptions import ReductionError
+from repro.reductions import (
+    bgap_from_ugap,
+    fpmf_from_bgap,
+    reachability_via_responsibility,
+    responsibility_instance_from_fpmf,
+    theorem_415_query,
+)
+from repro.workloads import UndirectedGraph, random_graph
+
+
+def path_graph(length):
+    graph = UndirectedGraph()
+    for i in range(length):
+        graph.add_edge(f"v{i}", f"v{i + 1}")
+    return graph
+
+
+class TestQueryItself:
+    def test_theorem_415_query_is_linear(self):
+        """PTIME by the dichotomy — the point of the theorem is FO-inexpressibility."""
+        assert classify(theorem_415_query()).category is ComplexityCategory.LINEAR
+
+
+class TestBgap:
+    def test_path_preservation(self):
+        graph = path_graph(3)
+        connected = bgap_from_ugap(graph, "v0", "v3")
+        assert connected.has_path()
+        lonely = UndirectedGraph(["a", "b"], [])
+        lonely.add_edge("a", "b")
+        lonely.add_node("c")
+        disconnected = bgap_from_ugap(lonely, "c", "a")
+        assert not disconnected.has_path()
+
+    def test_unknown_nodes_rejected(self):
+        with pytest.raises(ReductionError):
+            bgap_from_ugap(path_graph(2), "v0", "missing")
+
+
+class TestFpmf:
+    def test_flow_threshold_tracks_connectivity(self):
+        graph = path_graph(3)
+        connected = fpmf_from_bgap(bgap_from_ugap(graph, "v0", "v3"))
+        assert connected.meets_threshold()
+        graph.add_node("island")
+        disconnected = fpmf_from_bgap(bgap_from_ugap(graph, "island", "v3"))
+        assert not disconnected.meets_threshold()
+
+    def test_base_flow_equals_number_of_bipartite_edges(self):
+        graph = path_graph(2)
+        bgap = bgap_from_ugap(graph, "v0", "v2")
+        fpmf = fpmf_from_bgap(bgap)
+        # with the private a'/b' attachments the flow is |E| or |E|+1
+        assert fpmf.max_flow_value() in (len(bgap.edges), len(bgap.edges) + 1)
+
+
+class TestFullChain:
+    def test_connected_pair(self):
+        graph = path_graph(4)
+        assert reachability_via_responsibility(graph, "v0", "v4")
+
+    def test_disconnected_pair(self):
+        graph = path_graph(2)
+        graph.add_edge("w0", "w1")
+        assert not reachability_via_responsibility(graph, "v0", "w1")
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs_agree_with_bfs(self, seed):
+        graph = random_graph(6, 0.3, seed=seed)
+        nodes = sorted(graph.nodes)
+        pairs = [(nodes[0], nodes[-1]), (nodes[1], nodes[2])]
+        for source, target in pairs:
+            if source == target:
+                continue
+            expected = graph.has_path(source, target)
+            assert reachability_via_responsibility(graph, source, target) == expected
+
+    def test_responsibility_instance_contingency_size(self):
+        graph = path_graph(2)
+        bgap = bgap_from_ugap(graph, "v0", "v2")
+        instance = responsibility_instance_from_fpmf(fpmf_from_bgap(bgap))
+        size = instance.minimum_contingency_size()
+        assert size in (len(bgap.edges), len(bgap.edges) + 1)
+        assert (size == len(bgap.edges) + 1) == bgap.has_path()

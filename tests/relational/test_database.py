@@ -1,0 +1,139 @@
+"""Unit tests for the Database class and its endogenous/exogenous partition."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational import (
+    Database,
+    RelationSchema,
+    Schema,
+    Tuple,
+    database_from_dict,
+)
+
+
+class TestInsertion:
+    def test_add_and_contains(self):
+        db = Database()
+        t = db.add_fact("R", 1, 2)
+        assert db.contains(t)
+        assert t in db
+        assert db.size() == 1
+        assert db.size("R") == 1
+        assert db.size("S") == 0
+
+    def test_duplicate_insertion_is_idempotent(self):
+        db = Database()
+        db.add_fact("R", 1, 2)
+        db.add_fact("R", 1, 2)
+        assert db.size() == 1
+
+    def test_schema_validation(self):
+        schema = Schema([RelationSchema("R", arity=2)])
+        db = Database(schema=schema)
+        db.add_fact("R", 1, 2)
+        with pytest.raises(SchemaError):
+            db.add_fact("R", 1, 2, 3)
+        with pytest.raises(SchemaError):
+            db.add_fact("Unknown", 1)
+
+    def test_remove(self):
+        db = Database()
+        t = db.add_fact("R", 1, 2)
+        db.remove(t)
+        assert db.size() == 0
+        assert "R" not in db.relations()
+        # removing a missing tuple is a no-op
+        db.remove(t)
+
+
+class TestPartition:
+    def test_default_endogenous(self):
+        db = Database()
+        t = db.add_fact("R", 1)
+        assert db.is_endogenous(t)
+        db2 = Database(default_endogenous=False)
+        t2 = db2.add_fact("R", 1)
+        assert db2.is_exogenous(t2)
+
+    def test_relation_level_flips(self):
+        db = Database()
+        r = db.add_fact("R", 1)
+        s = db.add_fact("S", 1)
+        db.set_relation_exogenous("R")
+        assert db.is_exogenous(r) and db.is_endogenous(s)
+        db.set_relation_endogenous("R")
+        assert db.is_endogenous(r)
+
+    def test_partition_by_predicate(self):
+        db = Database()
+        old = db.add_fact("Movie", 1, "Old", 1950)
+        new = db.add_fact("Movie", 2, "New", 2009)
+        db.partition_by(lambda t: t.values[2] > 2008)
+        assert db.is_endogenous(new) and db.is_exogenous(old)
+
+    def test_endogenous_and_exogenous_sets(self):
+        db = Database()
+        r = db.add_fact("R", 1)
+        s = db.add_fact("S", 1, endogenous=False)
+        assert db.endogenous_tuples() == frozenset({r})
+        assert db.exogenous_tuples() == frozenset({s})
+        assert db.endogenous_tuples("S") == frozenset()
+        assert db.relation_is_fully_endogenous("R")
+        assert db.relation_is_fully_exogenous("S")
+        assert not db.relation_is_fully_endogenous("S")
+
+    def test_set_endogenous_requires_presence(self):
+        db = Database()
+        with pytest.raises(SchemaError):
+            db.set_endogenous(Tuple("R", (1,)))
+
+
+class TestHypotheticalStates:
+    def test_without_is_non_destructive(self):
+        db = Database()
+        t = db.add_fact("R", 1)
+        u = db.add_fact("R", 2)
+        reduced = db.without([t])
+        assert not reduced.contains(t) and reduced.contains(u)
+        assert db.contains(t)
+
+    def test_with_tuples(self):
+        db = Database()
+        db.add_fact("R", 1)
+        extended = db.with_tuples([Tuple("R", (2,))], endogenous=True)
+        assert extended.size() == 2
+        assert db.size() == 1
+
+    def test_copy_preserves_partition(self):
+        db = Database()
+        r = db.add_fact("R", 1)
+        s = db.add_fact("S", 1, endogenous=False)
+        clone = db.copy()
+        assert clone.is_endogenous(r) and clone.is_exogenous(s)
+
+
+class TestMisc:
+    def test_active_domain(self):
+        db = Database()
+        db.add_fact("R", 1, "a")
+        db.add_fact("S", "a", 3)
+        assert db.active_domain() == frozenset({1, "a", 3})
+
+    def test_database_from_dict(self):
+        db = database_from_dict(
+            {"R": [(1, 2), (2, 3)], "S": [(3,)]},
+            endogenous_relations=["S"],
+        )
+        assert db.size() == 3
+        assert {t.relation for t in db.endogenous_tuples()} == {"S"}
+
+    def test_summary_mentions_every_relation(self):
+        db = database_from_dict({"R": [(1,)], "S": [(2,), (3,)]})
+        summary = db.summary()
+        assert "R: 1 tuples" in summary and "S: 2 tuples" in summary
+
+    def test_iteration_and_len(self):
+        db = database_from_dict({"R": [(1,), (2,)]})
+        assert len(db) == 2
+        assert {t.values[0] for t in db} == {1, 2}

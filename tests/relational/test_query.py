@@ -1,0 +1,131 @@
+"""Unit tests for query terms, atoms, conjunctive queries and the parser."""
+
+import pytest
+
+from repro.exceptions import ParseError, QueryError
+from repro.relational import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Variable,
+    parse_atom,
+    parse_query,
+)
+
+
+class TestTerms:
+    def test_variable_equality(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+        assert Variable("x") != Constant("x")
+
+    def test_constant_equality(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant("1")
+
+    def test_is_variable_flags(self):
+        assert Variable("x").is_variable and not Variable("x").is_constant
+        assert Constant(1).is_constant and not Constant(1).is_variable
+
+
+class TestAtom:
+    def test_strings_are_variables_numbers_are_constants(self):
+        atom = Atom("R", ["x", 3])
+        assert atom.variable_names() == frozenset({"x"})
+        assert atom.constants() == frozenset({3})
+
+    def test_substitute(self):
+        atom = Atom("R", ["x", "y"])
+        ground = atom.substitute({Variable("x"): "a"})
+        assert ground.terms[0] == Constant("a")
+        assert ground.terms[1] == Variable("y")
+
+    def test_with_endogenous(self):
+        atom = Atom("R", ["x"])
+        assert atom.endogenous is None
+        assert atom.with_endogenous(True).endogenous is True
+        assert "^n" in repr(atom.with_endogenous(True))
+        assert "^x" in repr(atom.with_endogenous(False))
+
+
+class TestConjunctiveQuery:
+    def test_structure_accessors(self):
+        q = parse_query("q(x) :- R(x, y), S(y), T(y, z)")
+        assert q.variable_names() == frozenset({"x", "y", "z"})
+        assert q.relation_names() == ("R", "S", "T")
+        assert not q.has_self_joins()
+        assert len(q) == 3
+
+    def test_self_join_detection(self):
+        q = parse_query("q :- R(x, y), R(y, z)")
+        assert q.has_self_joins()
+        assert len(q.atoms_of("R")) == 2
+
+    def test_bind_answer_produces_boolean_query(self):
+        q = parse_query("q(x) :- R(x, y), S(y)")
+        bound = q.bind(("a2",))
+        assert bound.is_boolean
+        assert Constant("a2") in bound.atoms[0].terms
+
+    def test_bind_arity_mismatch(self):
+        q = parse_query("q(x) :- R(x, y)")
+        with pytest.raises(QueryError):
+            q.bind(("a", "b"))
+
+    def test_head_variable_must_occur_in_body(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([Atom("R", ["x"])], head=["z"])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([])
+
+    def test_with_endogenous_relations(self):
+        q = parse_query("q :- R(x, y), S(y)")
+        annotated = q.with_endogenous_relations(["R"])
+        assert annotated.endogenous_relations() == frozenset({"R"})
+        assert annotated.exogenous_relations() == frozenset({"S"})
+
+    def test_bind_repeated_head_variable(self):
+        q = parse_query("q(x, x) :- R(x, y)")
+        assert q.bind(("a", "a")).is_boolean
+        with pytest.raises(QueryError):
+            q.bind(("a", "b"))
+
+
+class TestParser:
+    def test_parse_atom_annotations(self):
+        assert parse_atom("R^n(x, y)").endogenous is True
+        assert parse_atom("R^x(x, y)").endogenous is False
+        assert parse_atom("R(x, y)").endogenous is None
+
+    def test_parse_constants(self):
+        atom = parse_atom("S(y, 'a3', 42)")
+        assert atom.constants() == frozenset({"a3", 42})
+
+    def test_parse_float_constant(self):
+        atom = parse_atom("S(1.5)")
+        assert atom.constants() == frozenset({1.5})
+
+    def test_parse_boolean_query_without_head(self):
+        q = parse_query("h2 :- R(x, y), S(y, z), T(z, x)")
+        assert q.is_boolean and q.name == "h2"
+
+    def test_parse_query_with_head(self):
+        q = parse_query("answers(x, z) :- R(x, y), S(y, z)")
+        assert [t.name for t in q.head] == ["x", "z"]
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_query("no separator here")
+        with pytest.raises(ParseError):
+            parse_query("q :- ")
+        with pytest.raises(ParseError):
+            parse_atom("R(x,")
+        with pytest.raises(ParseError):
+            parse_atom("R(x y)")
+
+    def test_roundtrip_matches_manual_construction(self):
+        parsed = parse_query("q :- R(x, y), S(y)")
+        manual = ConjunctiveQuery([Atom("R", ["x", "y"]), Atom("S", ["y"])])
+        assert parsed.atoms == manual.atoms

@@ -1,0 +1,84 @@
+"""Unit tests for tuples and schemas."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational import RelationSchema, Schema, Tuple, make_tuple
+
+
+class TestTuple:
+    def test_equality_is_value_based(self):
+        assert Tuple("R", ("a", 1)) == Tuple("R", ["a", 1])
+        assert Tuple("R", ("a", 1)) != Tuple("S", ("a", 1))
+        assert Tuple("R", ("a", 1)) != Tuple("R", ("a", 2))
+
+    def test_hashable_and_usable_in_sets(self):
+        tuples = {Tuple("R", (1, 2)), Tuple("R", (1, 2)), Tuple("R", (2, 1))}
+        assert len(tuples) == 2
+
+    def test_accessors(self):
+        t = make_tuple("Movie", 42, "Sweeney Todd", 2007)
+        assert t.relation == "Movie"
+        assert t.arity == 3
+        assert t[1] == "Sweeney Todd"
+        assert list(t) == [42, "Sweeney Todd", 2007]
+        assert len(t) == 3
+
+    def test_ordering_is_deterministic_for_mixed_types(self):
+        tuples = [Tuple("R", (2,)), Tuple("R", ("a",)), Tuple("Q", (1,))]
+        ordered = sorted(tuples)
+        assert ordered[0].relation == "Q"
+        # sorting twice gives the same order (total order, no TypeError)
+        assert sorted(tuples) == ordered
+
+    def test_repr_shows_relation_and_values(self):
+        assert repr(Tuple("R", ("a1", "a5"))) == "R('a1', 'a5')"
+
+    def test_not_equal_to_other_types(self):
+        assert Tuple("R", (1,)) != ("R", (1,))
+
+
+class TestRelationSchema:
+    def test_attributes_or_arity(self):
+        named = RelationSchema("Movie", ("mid", "name", "year", "rank"))
+        assert named.arity == 4
+        anonymous = RelationSchema("R", arity=2)
+        assert anonymous.attributes == ("a0", "a1")
+
+    def test_requires_attributes_or_arity(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("a", "b"), arity=3)
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("a", "a"))
+
+    def test_position_of(self):
+        schema = RelationSchema("Director", ("did", "firstName", "lastName"))
+        assert schema.position_of("lastName") == 2
+        with pytest.raises(SchemaError):
+            schema.position_of("missing")
+
+
+class TestSchema:
+    def test_declare_and_lookup(self):
+        schema = Schema()
+        schema.declare("R", arity=2)
+        schema.declare("S", ("y",))
+        assert "R" in schema and "S" in schema
+        assert schema.arity_of("R") == 2
+        assert len(schema) == 2
+        assert set(schema.relation_names()) == {"R", "S"}
+
+    def test_duplicate_declaration_rejected(self):
+        schema = Schema([RelationSchema("R", arity=1)])
+        with pytest.raises(SchemaError):
+            schema.declare("R", arity=2)
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema()["missing"]

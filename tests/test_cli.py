@@ -1,0 +1,71 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    payload = {
+        "relations": {
+            "R": [["a1", "a5"], ["a2", "a1"], ["a4", "a3"], ["a4", "a2"]],
+            "S": [["a1"], ["a2"], ["a3"]],
+        },
+    }
+    path = tmp_path / "db.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestClassifyCommand:
+    def test_hard_query(self, capsys):
+        assert main(["classify", "h2 :- R^n(x,y), S^n(y,z), T^n(z,x)"]) == 0
+        out = capsys.readouterr().out
+        assert "np-hard" in out
+
+    def test_linear_query_with_endogenous_flag(self, capsys):
+        assert main(["classify", "q :- R(x,y), S(y,z)", "--endogenous", "R,S"]) == 0
+        out = capsys.readouterr().out
+        assert "linear" in out
+
+
+class TestExplainCommand:
+    def test_why_so(self, data_file, capsys):
+        code = main(["explain", "--data", data_file,
+                     "--query", "q(x) :- R(x, y), S(y)", "--answer", "a4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0.50" in out and "S('a3')" in out
+
+    def test_why_no(self, data_file, capsys):
+        code = main(["explain", "--data", data_file,
+                     "--query", "q(x) :- R(x, y), S(y)", "--answer", "a1",
+                     "--why-no"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "non-answer" in out
+
+    def test_integer_answers_are_parsed(self, tmp_path, capsys):
+        payload = {"relations": {"R": [[1, 2]], "S": [[2]]}}
+        path = tmp_path / "ints.json"
+        path.write_text(json.dumps(payload))
+        assert main(["explain", "--data", str(path),
+                     "--query", "q(x) :- R(x, y), S(y)", "--answer", "1"]) == 0
+        assert "1.00" in capsys.readouterr().out
+
+
+class TestDemoCommand:
+    def test_demo_prints_figure_2b(self, capsys):
+        assert main(["demo", "--padding", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "0.33" in out and "0.20" in out
+
+
+class TestParser:
+    def test_subcommand_required(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])

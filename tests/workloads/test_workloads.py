@@ -1,0 +1,162 @@
+"""Tests for the workload generators (IMDB scenario, random instances, catalog)."""
+
+import pytest
+
+from repro.core import ComplexityCategory, classify
+from repro.relational import evaluate, evaluate_boolean
+from repro.workloads import (
+    BURTON_FILMOGRAPHY,
+    CNF3Formula,
+    burton_genre_query,
+    catalog_by_key,
+    chain_query,
+    cycle_query,
+    figure6_hypergraph,
+    generate_imdb,
+    imdb_schema,
+    paper_query_catalog,
+    pick_endogenous_tuple,
+    random_3sat,
+    random_database_for_query,
+    random_graph,
+    random_tripartite_hypergraph,
+    random_two_table_instance,
+    star_instance,
+    star_query,
+)
+
+
+class TestImdbScenario:
+    def test_schema_matches_figure1(self):
+        schema = imdb_schema()
+        assert schema.arity_of("Director") == 3
+        assert schema.arity_of("Movie") == 4
+        assert schema.arity_of("Movie_Directors") == 2
+        assert schema.arity_of("Genre") == 2
+
+    def test_musical_answer_exists(self):
+        scenario = generate_imdb()
+        answers = evaluate(scenario.query, scenario.database)
+        assert ("Musical",) in answers
+        assert ("Fantasy",) in answers
+
+    def test_burton_fragment_is_exactly_figure2a(self):
+        scenario = generate_imdb()
+        assert scenario.database.size("Director") == 3
+        musical_movies = {mid for (_, _), films in BURTON_FILMOGRAPHY.items()
+                          for mid, _, _ in films}
+        assert len(musical_movies) == 6
+
+    def test_partition_policy(self):
+        scenario = generate_imdb()
+        db = scenario.database
+        assert db.relation_is_fully_endogenous("Director")
+        assert db.relation_is_fully_endogenous("Movie")
+        assert db.relation_is_fully_exogenous("Genre")
+        assert db.relation_is_fully_exogenous("Movie_Directors")
+
+    def test_padding_does_not_touch_musical_lineage(self):
+        small = generate_imdb(padding_directors=0)
+        padded = generate_imdb(padding_directors=5)
+        q = small.musical_query()
+        from repro.lineage import lineage_support
+        assert lineage_support(q, small.database) == lineage_support(q, padded.database)
+
+    def test_padding_scales_database(self):
+        small = generate_imdb(padding_directors=0)
+        padded = generate_imdb(padding_directors=10, movies_per_padding_director=2)
+        assert padded.database.size() > small.database.size() + 10
+
+    def test_burton_query_is_linear(self):
+        result = classify(burton_genre_query(),
+                          endogenous_relations=["Director", "Movie"])
+        assert result.category is ComplexityCategory.LINEAR
+
+
+class TestQueryShapes:
+    def test_chain_is_linear_and_cycle3_is_hard(self):
+        assert classify(chain_query(4), endogenous_relations=["R1", "R2", "R3", "R4"]) \
+            .category is ComplexityCategory.LINEAR
+        assert classify(cycle_query(3), endogenous_relations=["R1", "R2", "R3"]) \
+            .category is ComplexityCategory.NP_HARD
+
+    def test_star3_is_h1(self):
+        result = classify(star_query(3),
+                          endogenous_relations=["A1", "A2", "A3"])
+        assert result.category is ComplexityCategory.NP_HARD
+
+    def test_star2_is_easy(self):
+        result = classify(star_query(2), endogenous_relations=["A1", "A2", "W"])
+        assert result.is_ptime
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            chain_query(0)
+        with pytest.raises(ValueError):
+            cycle_query(1)
+        with pytest.raises(ValueError):
+            star_query(0)
+
+
+class TestRandomGenerators:
+    def test_random_database_respects_requested_sizes(self):
+        q = chain_query(3)
+        db = random_database_for_query(q, tuples_per_relation=5, domain_size=4, seed=1)
+        for relation in ("R1", "R2", "R3"):
+            assert db.size(relation) == 5
+
+    def test_random_database_endogenous_policy(self):
+        q = chain_query(2)
+        db = random_database_for_query(q, 3, 3, seed=0, endogenous_relations=["R1"])
+        assert db.relation_is_fully_endogenous("R1")
+        assert db.relation_is_fully_exogenous("R2")
+
+    def test_two_table_instance_sizes(self):
+        db = random_two_table_instance(6, 7, domain_size=4, seed=2)
+        assert db.size("R") <= 6 and db.size("S") <= 7
+        assert db.size("R") > 0 and db.size("S") > 0
+
+    def test_star_instance_usually_satisfies_the_query(self):
+        db = star_instance(rays=3, per_relation=5, domain_size=4, seed=3)
+        assert evaluate_boolean(star_query(3), db)
+
+    def test_pick_endogenous_tuple_is_deterministic(self):
+        db = random_two_table_instance(5, 5, 3, seed=4)
+        assert pick_endogenous_tuple(db, "R", seed=1) == pick_endogenous_tuple(db, "R", seed=1)
+        with pytest.raises(ValueError):
+            pick_endogenous_tuple(db, "Missing")
+
+    def test_random_graph_and_hypergraph_sizes(self):
+        graph = random_graph(8, 0.5, seed=0)
+        assert len(graph.nodes) == 8
+        hypergraph = random_tripartite_hypergraph(3, 5, seed=0)
+        assert len(hypergraph.edges) == 5
+        assert figure6_hypergraph().minimum_vertex_cover()
+
+    def test_random_3sat_structure(self):
+        formula = random_3sat(4, 6, seed=0)
+        assert len(formula.clauses) == 6
+        assert len(formula.variables()) <= 4
+        assert isinstance(formula.is_satisfiable(), bool)
+
+    def test_cnf_evaluation(self):
+        formula = CNF3Formula([[("X", True), ("Y", False), ("Z", True)]])
+        assert formula.evaluate({"X": False, "Y": False, "Z": False})
+        assert not formula.evaluate({"X": False, "Y": True, "Z": False})
+
+
+class TestCatalog:
+    def test_catalog_has_all_expected_entries(self):
+        keys = {entry.key for entry in paper_query_catalog()}
+        assert {"h1", "h2", "h3", "example-4.2", "example-4.8", "figure-5a",
+                "theorem-4.15", "prop-4.16-selfjoin"} <= keys
+
+    def test_catalog_by_key_roundtrip(self):
+        catalog = catalog_by_key()
+        assert catalog["h2"].expected == "np-hard"
+        assert catalog["figure-5a"].expected == "linear"
+
+    def test_every_entry_parses_to_a_boolean_or_bindable_query(self):
+        for entry in paper_query_catalog():
+            assert len(entry.query.atoms) >= 1
+            assert entry.expected in {"linear", "weakly-linear", "np-hard", "self-join"}
