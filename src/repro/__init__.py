@@ -13,6 +13,8 @@ substrates:
 * :mod:`repro.flow` — max-flow / min-cut (Algorithm 1's engine);
 * :mod:`repro.core` — causality, responsibility, the dichotomy classifier and
   the user-facing :func:`~repro.core.api.explain`;
+* :mod:`repro.engine` — the batch explanation subsystem (shared lineage,
+  memoized hitting sets, optional process-pool fan-out);
 * :mod:`repro.reductions` — the appendix hardness reductions;
 * :mod:`repro.workloads` — the synthetic IMDB scenario of Figs. 1–2, random
   generators, and the catalog of every query named in the paper.
@@ -31,6 +33,7 @@ Quickstart
 ['S']
 """
 
+from .engine import BatchExplainer, LineageCache, batch_explain
 from .core import (
     CausalityMode,
     Cause,
@@ -63,6 +66,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "Atom",
+    "BatchExplainer",
     "CausalityMode",
     "Cause",
     "ComplexityCategory",
@@ -70,12 +74,14 @@ __all__ = [
     "Constant",
     "Database",
     "Explanation",
+    "LineageCache",
     "RelationSchema",
     "Schema",
     "Tuple",
     "Variable",
     "__version__",
     "actual_causes",
+    "batch_explain",
     "causes_of",
     "classify",
     "database_from_dict",

@@ -8,6 +8,10 @@ driven without writing Python:
 * ``repro explain --data db.json --query "q(x) :- R(x,y), S(y)" --answer a4``
   — load a database from JSON, explain an answer (or a non-answer with
   ``--why-no``) and print the responsibility ranking;
+* ``repro explain-batch --data db.json --query "q(x) :- R(x,y), S(y)"`` —
+  explain *every* answer in one pass through the batch engine, printing the
+  Fig. 2b-style table per answer (``--workers N`` fans answers out over a
+  process pool);
 * ``repro demo`` — run the built-in Fig. 2 IMDB scenario.
 
 The JSON data format is ``{"relations": {"R": [[...], ...]},
@@ -25,6 +29,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from .core import CausalityMode, classify, explain
+from .engine import BatchExplainer
 from .relational import Database, database_from_dict, parse_query
 from .workloads import generate_imdb
 
@@ -74,6 +79,27 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain_batch(args: argparse.Namespace) -> int:
+    database = _load_database(args.data)
+    query = parse_query(args.query)
+    explainer = BatchExplainer(query, database, method=args.method)
+    explanations = explainer.explain_all(workers=args.workers)
+    if not explanations:
+        print("the query has no answers on this database")
+        return 0
+    print(f"{len(explanations)} answer(s) of {query!r}:")
+    for answer, explanation in explanations.items():
+        print(f"\ncauses of answer {answer!r}:")
+        print(explanation.to_table(top=args.top))
+    if args.cache_stats:
+        if args.workers is not None and args.workers > 1:
+            print("\nlineage cache: no in-process statistics — with --workers "
+                  "the caches live in the worker processes")
+        else:
+            print(f"\nlineage cache: {explainer.cache.stats}")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     scenario = generate_imdb(padding_directors=args.padding)
     explanation = explain(scenario.query, scenario.database, answer=("Musical",))
@@ -107,6 +133,22 @@ def build_parser() -> argparse.ArgumentParser:
     explain_parser.add_argument("--why-no", action="store_true",
                                 help="explain a missing answer instead of an existing one")
     explain_parser.set_defaults(func=_cmd_explain)
+
+    batch_parser = subparsers.add_parser(
+        "explain-batch",
+        help="explain every answer of a query in one pass (batch engine)")
+    batch_parser.add_argument("--data", required=True, help="path to the JSON database")
+    batch_parser.add_argument("--query", required=True, help="query text")
+    batch_parser.add_argument("--method", default="auto",
+                              choices=("auto", "exact", "flow"),
+                              help="responsibility engine (default: auto)")
+    batch_parser.add_argument("--workers", type=int, default=None,
+                              help="fan answers out over N worker processes")
+    batch_parser.add_argument("--top", type=int, default=None,
+                              help="print only the K best causes per answer")
+    batch_parser.add_argument("--cache-stats", action="store_true",
+                              help="print lineage-cache hit/miss statistics")
+    batch_parser.set_defaults(func=_cmd_explain_batch)
 
     demo_parser = subparsers.add_parser(
         "demo", help="run the built-in Fig. 2 IMDB scenario")

@@ -52,6 +52,7 @@ from .dichotomy import (
     is_ptime_responsibility,
 )
 from .flow_responsibility import (
+    FlowEngine,
     FlowResponsibilityResult,
     example_flow_network,
     flow_responsibility,
@@ -95,6 +96,7 @@ __all__ = [
     "DichotomyResult",
     "DualHypergraph",
     "Explanation",
+    "FlowEngine",
     "FlowResponsibilityResult",
     "ResponsibilityResult",
     "WeakeningResult",

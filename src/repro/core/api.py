@@ -29,8 +29,12 @@ from ..relational.query import ConjunctiveQuery
 from ..relational.tuples import Tuple
 from .causality import actual_causes
 from .definitions import CausalityMode, Cause
-from .responsibility import responsibilities
 from .whyno import whyno_causes_with_responsibility
+
+
+def _cause_rank_key(cause: Cause):
+    """Total, deterministic ranking key: ρ desc, then relation, then values."""
+    return (-(cause.responsibility or 0),) + cause.tuple.sort_key()
 
 
 class Explanation:
@@ -54,8 +58,14 @@ class Explanation:
         return len(self.causes)
 
     def ranked(self) -> List[Cause]:
-        """Causes sorted by decreasing responsibility (then by tuple)."""
-        return sorted(self.causes, key=lambda c: (-(c.responsibility or 0), c.tuple))
+        """Causes sorted by decreasing responsibility.
+
+        Responsibility ties are broken by relation name and then by the
+        canonical type-tolerant value key (:meth:`Tuple.sort_key`), so the
+        order is total and deterministic even when the causes span
+        heterogeneous relations or mix value types.
+        """
+        return sorted(self.causes, key=_cause_rank_key)
 
     def top(self, k: int = 5) -> List[Cause]:
         return self.ranked()[:k]
@@ -66,10 +76,14 @@ class Explanation:
                 return cause.responsibility or Fraction(0)
         return Fraction(0)
 
-    def to_table(self, precision: int = 2) -> str:
-        """Human-readable two-column table: ρ_t and the cause tuple."""
+    def to_table(self, precision: int = 2, top: Optional[int] = None) -> str:
+        """Human-readable two-column table: ρ_t and the cause tuple.
+
+        ``top`` limits the listing to the best-ranked ``top`` causes.
+        """
+        causes = self.ranked() if top is None else self.ranked()[:top]
         lines = [f"{'ρ_t':>6}  cause tuple"]
-        for cause in self.ranked():
+        for cause in causes:
             rho = float(cause.responsibility or 0)
             lines.append(f"{rho:>6.{precision}f}  {cause.tuple!r}")
         return "\n".join(lines)
@@ -104,33 +118,28 @@ def explain(query: ConjunctiveQuery, database: Database,
         per-variable domains used to generate candidates automatically.
 
     Returns an :class:`Explanation` whose causes carry exact responsibilities.
+
+    Why-So explanations are served by the batch subsystem
+    (:class:`repro.engine.BatchExplainer`) with a single-answer scope, so this
+    entry point and ``explain_all`` share one code path and stay consistent.
     """
     mode = CausalityMode.coerce(mode)
     if query.is_boolean:
-        boolean_query = query
         if answer not in (None, (), []):
             raise CausalityError("a Boolean query takes no answer tuple")
-    else:
-        if answer is None:
-            raise CausalityError(
-                "a non-Boolean query needs the answer (or non-answer) tuple to explain"
-            )
-        boolean_query = query.bind(answer)
+    elif answer is None:
+        raise CausalityError(
+            "a non-Boolean query needs the answer (or non-answer) tuple to explain"
+        )
 
     if mode is CausalityMode.WHY_SO:
-        if not evaluate_boolean(boolean_query, database):
-            raise CausalityError(
-                f"{answer!r} is not an answer on this database; use mode='why-no'"
-            )
-        results = responsibilities(boolean_query, database, mode=mode, method=method)
-        causes = [
-            Cause(r.tuple, mode, responsibility=r.responsibility,
-                  contingency=r.min_contingency)
-            for r in results if r.responsibility > 0
-        ]
-        return Explanation(query, answer, mode, causes)
+        from ..engine.batch import BatchExplainer  # local: engine builds on core
+
+        explainer = BatchExplainer(query, database, method=method)
+        return explainer.explain(answer)
 
     # Why-No
+    boolean_query = query if query.is_boolean else query.bind(answer)
     if whyno_candidates is not None:
         if evaluate_boolean(boolean_query, database):
             raise CausalityError(

@@ -232,6 +232,131 @@ def build_flow_network(layers: Sequence[_AtomLayer], database: Database,
 # --------------------------------------------------------------------------- #
 # main entry points
 # --------------------------------------------------------------------------- #
+class FlowEngine:
+    """Algorithm 1 with state shared across many inspected tuples.
+
+    For one Boolean query and database, the valuation set, the weakening
+    certificate per protected relation and the per-atom layers are all
+    independent of the inspected tuple; the batch engine asks for the
+    responsibility of dozens of tuples of the same bound query, so this class
+    computes each of those pieces once and reuses them.  A fresh engine per
+    call is exactly the historical :func:`flow_responsibility` behaviour.
+
+    Raises :class:`NotLinearError` at construction for self-joins, and from
+    :meth:`responsibility` when no weakening protects the inspected tuple's
+    relation — mirroring the per-call API.
+    """
+
+    def __init__(self, query: ConjunctiveQuery, database: Database,
+                 endogenous_relations: Optional[Iterable[str]] = None):
+        if not query.is_boolean:
+            raise CausalityError(
+                "flow_responsibility expects a Boolean query; bind the answer first"
+            )
+        if query.has_self_joins():
+            raise NotLinearError(
+                "the flow algorithm requires a query without self-joins")
+        self.query = query
+        self.database = database
+        self._abstract = abstract_query(query, endogenous_relations, database)
+        self._valuations: Optional[List] = None
+        # relation -> (weakening | None, layers | None), cached per relation
+        self._plans: Dict[str, TypingTuple[Optional[WeakeningResult],
+                                           Optional[List[_AtomLayer]]]] = {}
+
+    def _all_valuations(self) -> List:
+        if self._valuations is None:
+            evaluator = QueryEvaluator(self.database, respect_annotations=False)
+            self._valuations = list(evaluator.valuations(self.query))
+        return self._valuations
+
+    def _plan_for(self, relation: str
+                  ) -> TypingTuple[Optional[WeakeningResult],
+                                   Optional[List[_AtomLayer]]]:
+        if relation not in self._plans:
+            labels = [a.label for a in self._abstract.atoms
+                      if a.relation == relation]
+            if not labels:
+                raise CausalityError(
+                    f"relation {relation!r} does not occur in the query"
+                )
+            weakening = find_weakening(self._abstract, protect=labels)
+            layers = None if weakening is None else \
+                _build_layers(self.query, self.database, weakening)
+            self._plans[relation] = (weakening, layers)
+        return self._plans[relation]
+
+    def responsibility(self, tuple_: Tuple) -> FlowResponsibilityResult:
+        """The Why-So responsibility of ``tuple_`` (Algorithm 1)."""
+        query, database = self.query, self.database
+        if not database.is_endogenous(tuple_):
+            return FlowResponsibilityResult(
+                responsibility_value(None), None, 0,
+                WeakeningResult(self._abstract, self._abstract,
+                                (), tuple(range(len(query.atoms)))))
+
+        if not any(atom.relation == tuple_.relation for atom in query.atoms):
+            raise CausalityError(
+                f"tuple {tuple_!r} belongs to relation {tuple_.relation!r}, "
+                "which does not occur in the query"
+            )
+        weakening, layers = self._plan_for(tuple_.relation)
+        if weakening is None:
+            raise NotLinearError(
+                "query is not weakly linear (with the inspected tuple's relation "
+                "kept endogenous); use the exact algorithm instead"
+            )
+        assert layers is not None
+
+        # Witnessing valuations: valuations of the original query that map
+        # the atom of t's relation to t.
+        atom_index_of_t = next(i for i, atom in enumerate(query.atoms)
+                               if atom.relation == tuple_.relation)
+        witnesses = [v for v in self._all_valuations()
+                     if v.atom_tuples[atom_index_of_t] == tuple_]
+        if not witnesses:
+            return FlowResponsibilityResult(responsibility_value(None), None, 0,
+                                            weakening)
+
+        best_size: Optional[float] = None
+        best_cut: Optional[FrozenSet[Tuple]] = None
+        for witness in witnesses:
+            assignment = {v.name: value for v, value in witness.assignment.items()}
+            protected: Set[TypingTuple[int, int]] = set()
+            for layer_index, layer in enumerate(layers):
+                witness_tuple = next(
+                    t for t in witness.atom_tuples
+                    if t.relation == layer.concrete.relation
+                )
+                for match_index, (match_assignment, tup) in enumerate(layer.matches):
+                    if tup != witness_tuple:
+                        continue
+                    if all(assignment.get(var) == value
+                           for var, value in match_assignment.items()):
+                        protected.add((layer_index, match_index))
+                        break
+            network, _ = build_flow_network(layers, database, inspected=tuple_,
+                                            protected=frozenset(protected))
+            result = max_flow(network, ("source",), ("target",))
+            if result.is_infinite:
+                continue
+            cut_tuples = frozenset(
+                label for label in result.cut_labels() if label != tuple_
+            )
+            size = len(cut_tuples)
+            if best_size is None or size < best_size:
+                best_size = size
+                best_cut = cut_tuples
+
+        if best_size is None:
+            # Every witness admits only infinite cuts: the query can never be
+            # made false by removing endogenous tuples, hence t is not a cause.
+            return FlowResponsibilityResult(responsibility_value(None), None,
+                                            len(witnesses), weakening)
+        return FlowResponsibilityResult(responsibility_value(int(best_size)),
+                                        best_cut, len(witnesses), weakening)
+
+
 def flow_responsibility(query: ConjunctiveQuery, database: Database,
                         tuple_: Tuple,
                         endogenous_relations: Optional[Iterable[str]] = None
@@ -241,82 +366,10 @@ def flow_responsibility(query: ConjunctiveQuery, database: Database,
     Raises :class:`NotLinearError` when the query is not weakly linear (or no
     weakening exists that keeps the relation of ``t`` endogenous); callers
     should fall back to :func:`repro.core.responsibility.exact_responsibility`.
+    Use :class:`FlowEngine` directly to amortise the valuation and layer
+    construction over many tuples of the same query.
     """
-    if not query.is_boolean:
-        raise CausalityError(
-            "flow_responsibility expects a Boolean query; bind the answer first"
-        )
-    if query.has_self_joins():
-        raise NotLinearError("the flow algorithm requires a query without self-joins")
-    if not database.is_endogenous(tuple_):
-        return FlowResponsibilityResult(
-            responsibility_value(None), None, 0,
-            WeakeningResult(abstract_query(query, endogenous_relations, database),
-                            abstract_query(query, endogenous_relations, database),
-                            (), tuple(range(len(query.atoms)))))
-
-    abstract = abstract_query(query, endogenous_relations, database)
-    tuple_labels = [a.label for a in abstract.atoms if a.relation == tuple_.relation]
-    if not tuple_labels:
-        raise CausalityError(
-            f"tuple {tuple_!r} belongs to relation {tuple_.relation!r}, which does "
-            "not occur in the query"
-        )
-    weakening = find_weakening(abstract, protect=tuple_labels)
-    if weakening is None:
-        raise NotLinearError(
-            "query is not weakly linear (with the inspected tuple's relation kept "
-            "endogenous); use the exact algorithm instead"
-        )
-
-    layers = _build_layers(query, database, weakening)
-
-    # Enumerate witnessing valuations: valuations of the original query that
-    # map the atom of t's relation to t.
-    evaluator = QueryEvaluator(database, respect_annotations=False)
-    atom_index_of_t = next(i for i, atom in enumerate(query.atoms)
-                           if atom.relation == tuple_.relation)
-    witnesses = [v for v in evaluator.valuations(query)
-                 if v.atom_tuples[atom_index_of_t] == tuple_]
-    if not witnesses:
-        return FlowResponsibilityResult(responsibility_value(None), None, 0, weakening)
-
-    best_size: Optional[float] = None
-    best_cut: Optional[FrozenSet[Tuple]] = None
-    for witness in witnesses:
-        assignment = {v.name: value for v, value in witness.assignment.items()}
-        protected: Set[TypingTuple[int, int]] = set()
-        for layer_index, layer in enumerate(layers):
-            witness_tuple = next(
-                t for t in witness.atom_tuples if t.relation == layer.concrete.relation
-            )
-            for match_index, (match_assignment, tup) in enumerate(layer.matches):
-                if tup != witness_tuple:
-                    continue
-                if all(assignment.get(var) == value
-                       for var, value in match_assignment.items()):
-                    protected.add((layer_index, match_index))
-                    break
-        network, _ = build_flow_network(layers, database, inspected=tuple_,
-                                        protected=frozenset(protected))
-        result = max_flow(network, ("source",), ("target",))
-        if result.is_infinite:
-            continue
-        cut_tuples = frozenset(
-            label for label in result.cut_labels() if label != tuple_
-        )
-        size = len(cut_tuples)
-        if best_size is None or size < best_size:
-            best_size = size
-            best_cut = cut_tuples
-
-    if best_size is None:
-        # Every witness admits only infinite cuts: the query can never be made
-        # false by removing endogenous tuples, hence t is not a cause.
-        return FlowResponsibilityResult(responsibility_value(None), None,
-                                        len(witnesses), weakening)
-    return FlowResponsibilityResult(responsibility_value(int(best_size)), best_cut,
-                                    len(witnesses), weakening)
+    return FlowEngine(query, database, endogenous_relations).responsibility(tuple_)
 
 
 def flow_responsibility_value(query: ConjunctiveQuery, database: Database,

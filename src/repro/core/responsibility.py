@@ -61,13 +61,17 @@ class ResponsibilityResult:
 # --------------------------------------------------------------------------- #
 # exact engine (any conjunctive query)
 # --------------------------------------------------------------------------- #
-def minimum_contingency_from_lineage(phi_n: PositiveDNF, tuple_: Tuple
+def minimum_contingency_from_lineage(phi_n: PositiveDNF, tuple_: Tuple,
+                                     assume_minimal: bool = False
                                      ) -> Optional[FrozenSet[Tuple]]:
     """Minimum Why-So contingency of ``t`` given the n-lineage.
 
-    Returns ``None`` when ``t`` is not an actual cause.
+    Returns ``None`` when ``t`` is not an actual cause.  Pass
+    ``assume_minimal=True`` when ``phi_n`` is already redundancy-free to skip
+    the quadratic re-simplification (the batch engine calls this once per
+    candidate tuple on the same simplified formula).
     """
-    minimal = phi_n.remove_redundant()
+    minimal = phi_n if assume_minimal else phi_n.remove_redundant()
     if minimal.is_trivially_true():
         return None
     witnesses = [c for c in minimal.conjuncts if tuple_ in c]

@@ -1,0 +1,23 @@
+"""Batch explanation engine: shared lineage, memoized responsibilities.
+
+This subpackage turns the per-answer :func:`repro.core.api.explain` pipeline
+into a batch subsystem for "rank every answer" workloads:
+
+* :class:`~repro.engine.batch.BatchExplainer` — evaluate the open query once,
+  share the valuation set and n-lineage across all answers, optionally fan
+  independent answers out over a process pool;
+* :class:`~repro.engine.cache.LineageCache` — keyed memoization of the
+  hitting-set / contingency results, shareable across explainers.
+
+The single-answer :func:`repro.core.api.explain` is a thin wrapper over this
+path, so both entry points stay bit-compatible by construction.
+"""
+
+from .batch import BatchExplainer, batch_explain
+from .cache import LineageCache
+
+__all__ = [
+    "BatchExplainer",
+    "LineageCache",
+    "batch_explain",
+]

@@ -1,0 +1,292 @@
+"""Batch explanation: evaluate once, explain every answer.
+
+The per-answer :func:`repro.core.api.explain` pipeline re-enumerates
+valuations, rebuilds the lineage DNF and re-runs the hitting-set machinery
+from scratch for every (query, answer) pair.  For the Fig. 2-style workloads
+("rank *all* answers of q on IMDB by responsibility") almost all of that work
+is shared:
+
+* one pass over the valuations of the **open** query yields the lineage
+  conjuncts of *every* answer at once — a valuation whose head values equal
+  ``ā`` is exactly a valuation of the bound query ``q[ā/x̄]``, so grouping
+  valuations by head tuple reproduces each answer's lineage bit-exactly;
+* the relation indexes of the shared :class:`QueryEvaluator` are built once;
+* answers whose simplified n-lineages coincide pose identical
+  minimum-contingency instances, solved once through the shared
+  :class:`~repro.engine.cache.LineageCache`.
+
+Independent answers can optionally be fanned out over a
+``concurrent.futures`` process pool (``workers=N``); each worker re-derives
+its answer from the bound query, so results are identical to the serial path.
+
+Per-tuple responsibilities keep the complexity-aware dispatch of
+:func:`repro.core.responsibility.responsibility`: ``method="auto"`` runs
+Algorithm 1 (PTIME for weakly linear, self-join-free queries) through a
+shared :class:`~repro.core.flow_responsibility.FlowEngine` — one valuation
+pass and one layer construction per bound query instead of one per tuple —
+and falls back to the exact hitting-set solver over the shared n-lineage
+otherwise.  ``method="flow"`` / ``"exact"`` force one engine, like the
+single-answer dispatcher; Theorem 4.5 (pinned by the cross-engine property
+tests) guarantees the engines agree wherever both apply.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple as TypingTuple,
+)
+
+from ..core.api import Explanation
+from ..core.definitions import CausalityMode, Cause, responsibility_value
+from ..core.flow_responsibility import FlowEngine
+from ..exceptions import CausalityError, NotLinearError
+from ..lineage.boolean_expr import PositiveDNF
+from ..relational.database import Database
+from ..relational.evaluation import QueryEvaluator
+from ..relational.query import ConjunctiveQuery, Constant, Variable
+from ..relational.tuples import Tuple, value_sort_key
+from .cache import LineageCache
+
+Answer = TypingTuple[Any, ...]
+
+
+def _answer_order_key(answer: Answer) -> TypingTuple[Any, ...]:
+    """Deterministic ordering for answer tuples with mixed value types."""
+    return value_sort_key(answer)
+
+
+class BatchExplainer:
+    """Explain many answers of one query with shared evaluation state.
+
+    Parameters
+    ----------
+    query:
+        The (possibly non-Boolean) conjunctive query.
+    database:
+        The instance with its endogenous/exogenous partition.
+    method:
+        ``"auto"`` (default) dispatches like the single-answer API: Algorithm 1
+        (shared :class:`FlowEngine`) for weakly linear self-join-free queries,
+        exact hitting-set over the shared n-lineage otherwise.  ``"exact"``
+        forces the hitting-set engine; ``"flow"`` forces Algorithm 1 (raising
+        :class:`~repro.exceptions.NotLinearError` when not applicable).
+    cache:
+        A :class:`LineageCache` to share across explainers; a private one is
+        created when omitted.
+
+    Examples
+    --------
+    >>> from repro.relational import Database, parse_query
+    >>> db = Database()
+    >>> for x, y in [("a1", "a5"), ("a2", "a1"), ("a4", "a3")]:
+    ...     _ = db.add_fact("R", x, y)
+    >>> for y in ["a1", "a3"]:
+    ...     _ = db.add_fact("S", y)
+    >>> explainer = BatchExplainer(parse_query("q(x) :- R(x, y), S(y)"), db)
+    >>> sorted(explainer.answers())
+    [('a2',), ('a4',)]
+    >>> len(explainer.explain(("a2",)))
+    2
+    """
+
+    def __init__(self, query: ConjunctiveQuery, database: Database,
+                 method: str = "auto", cache: Optional[LineageCache] = None):
+        if method not in ("auto", "exact", "flow"):
+            raise CausalityError(f"unknown method {method!r}")
+        self.query = query
+        self.database = database
+        self.method = method
+        self.cache = cache if cache is not None else LineageCache()
+        self._evaluator = QueryEvaluator(database, respect_annotations=True)
+        self._exogenous = database.exogenous_tuples()
+        # answer -> lineage conjuncts; populated wholesale by the single
+        # open-query pass, or per answer by bound-query evaluation.
+        self._conjuncts: Dict[Answer, List[FrozenSet[Tuple]]] = {}
+        self._full_pass_done = False
+        # bound query -> FlowEngine (or NotLinearError for self-joins),
+        # sharing valuations and layers across that answer's tuples.
+        self._flow_engines: Dict[ConjunctiveQuery, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # shared evaluation
+    # ------------------------------------------------------------------ #
+    def _head_values(self, valuation) -> Answer:
+        row = []
+        for term in self.query.head:
+            if isinstance(term, Variable):
+                row.append(valuation.assignment[term])
+            else:
+                assert isinstance(term, Constant)
+                row.append(term.value)
+        return tuple(row)
+
+    def _run_full_pass(self) -> None:
+        """One evaluation of the open query; group conjuncts by answer."""
+        if self._full_pass_done:
+            return
+        grouped: Dict[Answer, List[FrozenSet[Tuple]]] = {}
+        for valuation in self._evaluator.valuations(self.query):
+            grouped.setdefault(self._head_values(valuation), []).append(
+                valuation.tuples())
+        self._conjuncts = grouped
+        self._full_pass_done = True
+
+    def _conjuncts_for(self, answer: Answer) -> List[FrozenSet[Tuple]]:
+        if self._full_pass_done:
+            return self._conjuncts.get(answer, [])
+        if answer not in self._conjuncts:
+            bound = self.query.bind(answer) if not self.query.is_boolean \
+                else self.query
+            self._conjuncts[answer] = [
+                v.tuples() for v in self._evaluator.valuations(bound)
+            ]
+        return self._conjuncts[answer]
+
+    def answers(self) -> List[Answer]:
+        """Every answer of the query, in deterministic order (one evaluation)."""
+        self._run_full_pass()
+        return sorted(self._conjuncts, key=_answer_order_key)
+
+    # ------------------------------------------------------------------ #
+    # per-answer explanation over the shared state
+    # ------------------------------------------------------------------ #
+    def _flow_engine(self, bound: ConjunctiveQuery) -> FlowEngine:
+        engine = self._flow_engines.get(bound)
+        if engine is None:
+            try:
+                engine = FlowEngine(bound, self.database)
+            except NotLinearError as error:
+                engine = error
+            self._flow_engines[bound] = engine
+        if isinstance(engine, NotLinearError):
+            raise engine
+        return engine
+
+    def _responsibility(self, bound: ConjunctiveQuery, get_phi_n, tuple_: Tuple):
+        if self.method in ("auto", "flow"):
+            try:
+                result = self._flow_engine(bound).responsibility(tuple_)
+                return result.responsibility, result.min_contingency
+            except NotLinearError:
+                if self.method == "flow":
+                    raise
+                # auto: fall back to the exact engine, like the dispatcher.
+        gamma = self.cache.minimum_contingency(get_phi_n(), tuple_)
+        rho = responsibility_value(None if gamma is None else len(gamma))
+        return rho, gamma
+
+    def explain(self, answer: Optional[Sequence[Any]] = None) -> Explanation:
+        """The Why-So :class:`Explanation` of one answer.
+
+        Raises :class:`~repro.exceptions.CausalityError` when ``answer`` is
+        not actually returned by the query on this database.
+        """
+        if self.query.is_boolean:
+            if answer not in (None, (), []):
+                raise CausalityError("a Boolean query takes no answer tuple")
+            key: Answer = ()
+        else:
+            if answer is None:
+                raise CausalityError(
+                    "a non-Boolean query needs the answer tuple to explain"
+                )
+            key = tuple(answer)
+        conjuncts = self._conjuncts_for(key)
+        if not conjuncts:
+            raise CausalityError(
+                f"{answer!r} is not an answer on this database; use mode='why-no'"
+            )
+        phi = PositiveDNF(conjuncts)
+        phi_n_raw = phi.set_true(self._exogenous)
+        candidates = sorted(
+            t for t in phi_n_raw.variables() if self.database.is_endogenous(t)
+        )
+
+        # The simplified lineage is only needed by the exact engine; when the
+        # flow engine serves every tuple, skip the quadratic simplification.
+        simplified: List[PositiveDNF] = []
+
+        def get_phi_n() -> PositiveDNF:
+            if not simplified:
+                simplified.append(phi_n_raw.remove_redundant())
+            return simplified[0]
+
+        bound = self.query if self.query.is_boolean else self.query.bind(key)
+        scored = []
+        for tuple_ in candidates:
+            rho, gamma = self._responsibility(bound, get_phi_n, tuple_)
+            if rho > 0:
+                scored.append((rho, tuple_, gamma))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        causes = [
+            Cause(tuple_, CausalityMode.WHY_SO, responsibility=rho,
+                  contingency=gamma)
+            for rho, tuple_, gamma in scored
+        ]
+        return Explanation(self.query, None if self.query.is_boolean else key,
+                           CausalityMode.WHY_SO, causes)
+
+    def explain_all(self, answers: Optional[Iterable[Sequence[Any]]] = None,
+                    workers: Optional[int] = None) -> Dict[Answer, Explanation]:
+        """Explanations for every answer (or the given subset), keyed by answer.
+
+        ``workers`` > 1 fans the answers out over a process pool in
+        contiguous chunks — one explainer (hence one shared evaluator, cache
+        and flow engine) per worker, so intra-worker sharing is preserved and
+        the results equal the serial ones.
+        """
+        if answers is None:
+            targets = self.answers()
+        else:
+            targets = [tuple(a) for a in answers]
+        if workers is not None and workers > 1 and len(targets) > 1:
+            pool_size = min(workers, len(targets))
+            chunks = [targets[i::pool_size] for i in range(pool_size)]
+            payloads = [(self.query, self.database, chunk, self.method)
+                        for chunk in chunks]
+            with concurrent.futures.ProcessPoolExecutor(max_workers=pool_size) as pool:
+                results: Dict[Answer, Explanation] = {}
+                for chunk_result in pool.map(_explain_chunk, payloads):
+                    results.update(chunk_result)
+                # Preserve the deterministic answer order of the serial path.
+                return {answer: results[answer] for answer in targets}
+        return {answer: self.explain(answer) for answer in targets}
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def n_lineage_of(self, answer: Optional[Sequence[Any]] = None,
+                     simplify: bool = True) -> PositiveDNF:
+        """The (shared) n-lineage of one answer, as the engine sees it."""
+        key = () if self.query.is_boolean else tuple(answer or ())
+        phi = PositiveDNF(self._conjuncts_for(key))
+        phi_n = phi.set_true(self._exogenous)
+        return phi_n.remove_redundant() if simplify else phi_n
+
+    def __repr__(self) -> str:
+        state = "evaluated" if self._full_pass_done else "lazy"
+        return (f"BatchExplainer({self.query!r}, {self.database!r}, "
+                f"method={self.method!r}, {state})")
+
+
+def _explain_chunk(payload) -> Dict[Answer, Explanation]:
+    """Process-pool worker: explain a chunk of answers with one explainer."""
+    query, database, answers, method = payload
+    explainer = BatchExplainer(query, database, method=method)
+    return {tuple(answer): explainer.explain(answer) for answer in answers}
+
+
+def batch_explain(query: ConjunctiveQuery, database: Database,
+                  method: str = "auto", workers: Optional[int] = None
+                  ) -> Dict[Answer, Explanation]:
+    """One-shot convenience: explanations for every answer of ``query``."""
+    return BatchExplainer(query, database, method=method).explain_all(
+        workers=workers)

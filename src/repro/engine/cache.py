@@ -1,0 +1,108 @@
+"""Keyed memoization of lineage-derived results.
+
+The expensive step of Why-So responsibility is the constrained minimum
+hitting set over the simplified n-lineage (Sect. 4, exact engine).  The
+hitting-set instance is *fully determined* by the pair (n-lineage, inspected
+tuple): two answers of a batch whose lineages coincide — common on the
+Fig. 2-style workloads, where many answers share the same join skeleton —
+pose literally the same instance.  :class:`LineageCache` memoizes those
+results under a canonical key so they are solved once per batch.
+
+Keys are database-independent by construction (a :class:`PositiveDNF` over
+:class:`~repro.relational.tuples.Tuple` variables hashes by value), so one
+cache may safely be shared across explainers, databases and queries.  Results
+that *do* depend on the concrete instance (e.g. flow min-cuts) are therefore
+not stored here; :class:`~repro.engine.batch.BatchExplainer` keeps those in a
+per-database side table instead.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, FrozenSet, Hashable, Optional
+
+from ..core.responsibility import minimum_contingency_from_lineage
+from ..lineage.boolean_expr import PositiveDNF
+from ..relational.tuples import Tuple
+
+
+class LineageCache:
+    """LRU memo table for lineage-keyed computations.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of entries kept (``None`` = unbounded).  Eviction is
+        least-recently-used.
+
+    Examples
+    --------
+    >>> cache = LineageCache()
+    >>> phi = PositiveDNF([{Tuple("R", (1,))}])
+    >>> cache.minimum_contingency(phi, Tuple("R", (1,)))
+    frozenset()
+    >>> cache.hits, cache.misses
+    (0, 1)
+    >>> _ = cache.minimum_contingency(phi, Tuple("R", (1,)))
+    >>> cache.hits
+    1
+    """
+
+    def __init__(self, maxsize: Optional[int] = None):
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be positive (or None for unbounded)")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """The memoized value for ``key``, computing (and storing) it on miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._entries[key] = value
+            if self.maxsize is not None and len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            return value
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def minimum_contingency(self, phi_n: PositiveDNF, tuple_: Tuple
+                            ) -> Optional[FrozenSet[Tuple]]:
+        """Memoized minimum Why-So contingency of ``tuple_`` given ``phi_n``.
+
+        ``phi_n`` must be the *simplified* (redundancy-free) n-lineage — that
+        is both the canonical cache key and what lets the solver skip
+        re-simplification.  The result is ``None`` when the tuple is not an
+        actual cause (matching
+        :func:`~repro.core.responsibility.minimum_contingency_from_lineage`).
+        """
+        return self.get_or_compute(
+            ("contingency", phi_n, tuple_),
+            lambda: minimum_contingency_from_lineage(phi_n, tuple_,
+                                                     assume_minimal=True),
+        )
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> str:
+        """One-line hit/miss summary, for logs and benchmark output."""
+        total = self.hits + self.misses
+        rate = (self.hits / total) if total else 0.0
+        return f"{self.hits} hits / {self.misses} misses ({rate:.0%} hit rate)"
+
+    def __repr__(self) -> str:
+        return f"LineageCache({len(self._entries)} entries, {self.stats})"

@@ -14,6 +14,7 @@ from .evaluation import (
     evaluate,
     evaluate_boolean,
     find_valuations,
+    greedy_atom_order,
     is_answer,
 )
 from .query import (
@@ -44,6 +45,7 @@ __all__ = [
     "evaluate",
     "evaluate_boolean",
     "find_valuations",
+    "greedy_atom_order",
     "is_answer",
     "make_tuple",
     "parse_atom",

@@ -6,12 +6,25 @@ of the database.  Valuations drive everything downstream — the lineage of the
 query is the disjunction of one conjunct per valuation, and counterfactual
 checks simply ask whether any valuation survives in a modified instance.
 
-The evaluator is a straightforward backtracking join with per-relation hash
-indexes on individual positions.  It is not a competitive query engine, but
-its complexity is polynomial in the size of the database for a fixed query
-(which is all the data-complexity statements of the paper require) and it is
-easy to audit — an important property for a reference implementation used as
-ground truth in tests.
+The evaluator is a backtracking join with per-relation hash indexes on
+individual positions.  Two statistics-free optimisations keep it fast on the
+batch-explanation workloads without changing the set of valuations produced:
+
+* **greedy join ordering** — atoms are joined most-bound / smallest-candidate
+  first: the seed atom is the one with the fewest matching tuples (constants
+  already applied), and each subsequent atom is the connected one binding the
+  most variables, tie-broken by candidate count.  Selectivity is read off the
+  pattern and the actual candidate sets, never off collected statistics.
+* **semi-join pruning** — before enumeration, per-atom candidate sets are
+  reduced to a fixpoint: a tuple survives only if, for every variable it
+  shares with another atom, some candidate of that atom agrees on the value.
+  Pruning only discards tuples that cannot participate in any valuation, and
+  an empty candidate set terminates evaluation early.
+
+Complexity stays polynomial in the size of the database for a fixed query
+(all the data-complexity statements of the paper require exactly that) and
+the enumeration remains easy to audit — an important property for a
+reference implementation used as ground truth in tests.
 """
 
 from __future__ import annotations
@@ -99,6 +112,53 @@ class _RelationIndex:
         }
 
 
+class _AtomPlan:
+    """Per-atom join state: candidate tuples plus term structure."""
+
+    __slots__ = ("atom", "const_positions", "var_positions", "candidates", "index")
+
+    def __init__(self, atom: Atom, tuples: FrozenSet[Tuple]):
+        self.atom = atom
+        self.const_positions: List[TypingTuple[int, Any]] = []
+        # variable -> first position it occupies (repeats checked at build time)
+        self.var_positions: Dict[Variable, int] = {}
+        repeats: List[TypingTuple[int, int]] = []
+        for pos, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                self.const_positions.append((pos, term.value))
+            else:
+                assert isinstance(term, Variable)
+                if term in self.var_positions:
+                    repeats.append((self.var_positions[term], pos))
+                else:
+                    self.var_positions[term] = pos
+        self.candidates: Set[Tuple] = {
+            tup for tup in tuples
+            if all(tup[pos] == value for pos, value in self.const_positions)
+            and all(tup[a] == tup[b] for a, b in repeats)
+        }
+        self.index: Optional[_RelationIndex] = None
+
+    def values_of(self, variable: Variable) -> Set[Any]:
+        position = self.var_positions[variable]
+        return {tup[position] for tup in self.candidates}
+
+    def restrict(self, variable: Variable, allowed: Set[Any]) -> bool:
+        """Drop candidates whose value for ``variable`` is not allowed.
+
+        Returns ``True`` when anything was removed.
+        """
+        position = self.var_positions[variable]
+        before = len(self.candidates)
+        self.candidates = {t for t in self.candidates if t[position] in allowed}
+        return len(self.candidates) != before
+
+    def build_index(self) -> _RelationIndex:
+        if self.index is None:
+            self.index = _RelationIndex(frozenset(self.candidates))
+        return self.index
+
+
 class QueryEvaluator:
     """Evaluates conjunctive queries over a fixed database instance.
 
@@ -114,11 +174,17 @@ class QueryEvaluator:
         tuples and atoms annotated ``Rˣ`` only match exogenous tuples — the
         semantics of the refined queries used in Sect. 3.  Unannotated atoms
         always match every tuple of their relation.
+    semijoin:
+        When ``True`` (default), per-atom candidate sets are reduced to a
+        semi-join fixpoint before enumeration.  Disable to get the plain
+        backtracking join (useful as a differential-testing baseline).
     """
 
-    def __init__(self, database: Database, respect_annotations: bool = True):
+    def __init__(self, database: Database, respect_annotations: bool = True,
+                 semijoin: bool = True):
         self.database = database
         self.respect_annotations = respect_annotations
+        self.semijoin = semijoin
         self._indexes: Dict[TypingTuple[str, Optional[bool]], _RelationIndex] = {}
 
     # ------------------------------------------------------------------ #
@@ -137,32 +203,73 @@ class QueryEvaluator:
             self._indexes[key] = index
         return index
 
+    def _build_plans(self, query: ConjunctiveQuery) -> Optional[List[_AtomPlan]]:
+        """Per-atom candidate sets, reduced to a semi-join fixpoint.
+
+        Returns ``None`` as soon as some atom has no candidates — the query
+        then has no valuations (early termination).
+        """
+        plans = [_AtomPlan(atom, self._index_for(atom).tuples)
+                 for atom in query.atoms]
+        if any(not plan.candidates for plan in plans):
+            return None
+        if not self.semijoin:
+            return plans
+        # variable -> the plans whose atom mentions it
+        occurrences: Dict[Variable, List[_AtomPlan]] = {}
+        for plan in plans:
+            for variable in plan.var_positions:
+                occurrences.setdefault(variable, []).append(plan)
+        shared = [(v, ps) for v, ps in occurrences.items() if len(ps) > 1]
+        changed = True
+        while changed:
+            changed = False
+            for variable, sharing in shared:
+                allowed = set.intersection(*(p.values_of(variable) for p in sharing))
+                for plan in sharing:
+                    if plan.restrict(variable, allowed):
+                        plan.index = None
+                        changed = True
+                    if not plan.candidates:
+                        return None
+        return plans
+
     @staticmethod
-    def _atom_order(query: ConjunctiveQuery) -> List[int]:
-        """Greedy join order: start with the most-constrained atom, then
-        repeatedly pick the atom sharing the most variables with the atoms
-        already placed."""
-        remaining = set(range(len(query.atoms)))
+    def _atom_order(plans: Sequence[_AtomPlan]) -> List[int]:
+        """Greedy selectivity order over the pruned candidate sets.
+
+        Seed with the smallest candidate set (most constants as tie-break),
+        then repeatedly pick a connected atom, preferring the one binding the
+        most already-placed variables and, among those, the fewest candidates.
+        """
+        remaining = set(range(len(plans)))
         placed_vars: Set[Variable] = set()
         order: List[int] = []
-
-        def score(index: int) -> TypingTuple[int, int, int]:
-            atom = query.atoms[index]
-            shared = len(atom.variables() & placed_vars)
-            constants = len(atom.constants())
-            return (shared, constants, -atom.arity)
-
         while remaining:
-            best = max(remaining, key=score)
+            if not order:
+                best = min(remaining, key=lambda i: (
+                    len(plans[i].candidates),
+                    -len(plans[i].const_positions),
+                    i,
+                ))
+            else:
+                best = min(remaining, key=lambda i: (
+                    -len(plans[i].var_positions.keys() & placed_vars),
+                    len(plans[i].candidates),
+                    i,
+                ))
             order.append(best)
-            placed_vars |= query.atoms[best].variables()
+            placed_vars |= set(plans[best].var_positions)
             remaining.discard(best)
         return order
 
     # ------------------------------------------------------------------ #
     def valuations(self, query: ConjunctiveQuery) -> Iterator[Valuation]:
         """Yield every valuation of ``query`` over the database."""
-        order = self._atom_order(query)
+        plans = self._build_plans(query)
+        if plans is None:
+            return
+        order = self._atom_order(plans)
         atoms = query.atoms
         assignment: Dict[Variable, Any] = {}
         matched: Dict[int, Tuple] = {}
@@ -172,19 +279,16 @@ class QueryEvaluator:
                 yield Valuation(assignment, [matched[i] for i in range(len(atoms))])
                 return
             atom_index = order[depth]
-            atom = atoms[atom_index]
+            plan = plans[atom_index]
+            atom = plan.atom
             constraints: List[TypingTuple[int, Any]] = []
             unbound: List[TypingTuple[int, Variable]] = []
-            for pos, term in enumerate(atom.terms):
-                if isinstance(term, Constant):
-                    constraints.append((pos, term.value))
+            for variable, pos in plan.var_positions.items():
+                if variable in assignment:
+                    constraints.append((pos, assignment[variable]))
                 else:
-                    assert isinstance(term, Variable)
-                    if term in assignment:
-                        constraints.append((pos, assignment[term]))
-                    else:
-                        unbound.append((pos, term))
-            for candidate in self._index_for(atom).candidates(constraints):
+                    unbound.append((pos, variable))
+            for candidate in plan.build_index().candidates(constraints):
                 # Bind the unbound variables; positions sharing a variable
                 # must agree on the value.
                 local: Dict[Variable, Any] = {}
@@ -230,10 +334,31 @@ class QueryEvaluator:
 # --------------------------------------------------------------------------- #
 # module-level convenience wrappers
 # --------------------------------------------------------------------------- #
+def greedy_atom_order(query: ConjunctiveQuery, database: Database,
+                      respect_annotations: bool = True,
+                      semijoin: bool = True) -> List[int]:
+    """The greedy join order the evaluator would use, as query-atom indices.
+
+    Exposed for inspection and testing: the order starts at the atom with the
+    fewest candidate tuples and grows along shared variables, so on selective
+    patterns it mirrors the "most bound / smallest relation first" heuristic.
+    Returns the identity order when some atom has no candidates at all (the
+    query is unsatisfiable and enumeration terminates before joining).
+    """
+    evaluator = QueryEvaluator(database, respect_annotations=respect_annotations,
+                               semijoin=semijoin)
+    plans = evaluator._build_plans(query)
+    if plans is None:
+        return list(range(len(query.atoms)))
+    return evaluator._atom_order(plans)
+
+
 def find_valuations(query: ConjunctiveQuery, database: Database,
-                    respect_annotations: bool = True) -> List[Valuation]:
+                    respect_annotations: bool = True,
+                    semijoin: bool = True) -> List[Valuation]:
     """All valuations of ``query`` over ``database`` as a list."""
-    evaluator = QueryEvaluator(database, respect_annotations=respect_annotations)
+    evaluator = QueryEvaluator(database, respect_annotations=respect_annotations,
+                               semijoin=semijoin)
     return list(evaluator.valuations(query))
 
 

@@ -78,17 +78,22 @@ class Tuple:
         # reproducible output in examples and benchmarks.
         if not isinstance(other, Tuple):
             return NotImplemented
-        return (self._relation, _sort_key(self._values)) < (
-            other._relation,
-            _sort_key(other._values),
-        )
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self) -> TypingTuple[Any, ...]:
+        """The ``(relation, values)`` ordering key behind ``__lt__``.
+
+        Public so callers composing larger sort keys (e.g. "responsibility,
+        then tuple") stay in sync with the canonical tuple ordering.
+        """
+        return (self._relation, value_sort_key(self._values))
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(v) for v in self._values)
         return f"{self._relation}({inner})"
 
 
-def _sort_key(values: Sequence[Any]) -> TypingTuple[Any, ...]:
+def value_sort_key(values: Sequence[Any]) -> TypingTuple[Any, ...]:
     """Build a comparison key that tolerates mixed value types."""
     return tuple((type(v).__name__, repr(v)) for v in values)
 

@@ -6,6 +6,8 @@ import pytest
 
 from repro.core import (
     CausalityMode,
+    Cause,
+    brute_force_minimum_contingency,
     brute_force_responsibility,
     causes_of,
     explain,
@@ -29,11 +31,31 @@ def whyno_setup():
 
 
 class TestWhyNoResponsibility:
+    @pytest.mark.exhaustive
     def test_matches_brute_force(self, whyno_setup):
+        """Unbounded subset search over every candidate — minutes of runtime."""
         _, q, combined = whyno_setup
         for t in sorted(combined.endogenous_tuples()):
             fast = whyno_responsibility(q, combined, t)
             brute = brute_force_responsibility(q, combined, t, CausalityMode.WHY_NO)
+            assert fast == brute, t
+
+    def test_matches_bounded_brute_force(self, whyno_setup):
+        """Same comparison with the search capped at |q| - 1.
+
+        Theorem 4.17's argument bounds every minimum Why-No contingency by
+        the number of atoms minus one (a witnessing valuation inserts at most
+        one tuple per atom), so the capped search is still complete — this
+        keeps the default tier's coverage while the unbounded sweep above
+        stays opt-in.
+        """
+        _, q, combined = whyno_setup
+        cap = len(q.atoms) - 1
+        for t in sorted(combined.endogenous_tuples()):
+            fast = whyno_responsibility(q, combined, t)
+            gamma = brute_force_minimum_contingency(
+                q, combined, t, CausalityMode.WHY_NO, max_size=cap)
+            brute = Fraction(0) if gamma is None else Fraction(1, 1 + len(gamma))
             assert fast == brute, t
 
     def test_minimum_contingency_is_bounded_by_query_size(self, whyno_setup):
@@ -106,6 +128,45 @@ class TestExplainWhySo:
         db, tuples = example22_db
         causes = causes_of(example22_query, db, answer=("a2",))
         assert tuples[("S", "a1")] in causes
+
+
+class TestRankedDeterminism:
+    """Responsibility ties must break by relation name, then values —
+    stably, for heterogeneous cause tuples and mixed value types."""
+
+    @staticmethod
+    def _tied_causes():
+        from repro.core.api import Explanation
+        tuples = [
+            Tuple("S", ("b",)),
+            Tuple("R", (2, "x")),
+            Tuple("R", ("a", 1)),
+            Tuple("T", (1,)),
+            Tuple("R", (1, "x")),
+        ]
+        causes = [Cause(t, CausalityMode.WHY_SO, responsibility=Fraction(1, 2))
+                  for t in tuples]
+        return Explanation(parse_query("q :- R(x, y)"), None,
+                           CausalityMode.WHY_SO, causes)
+
+    def test_ties_sorted_by_relation_then_values(self):
+        ranked = self._tied_causes().ranked()
+        assert [c.tuple.relation for c in ranked] == ["R", "R", "R", "S", "T"]
+
+    def test_order_is_independent_of_insertion_order(self):
+        import itertools
+        from repro.core.api import Explanation
+        explanation = self._tied_causes()
+        reference = [c.tuple for c in explanation.ranked()]
+        for permutation in itertools.permutations(explanation.causes):
+            shuffled = Explanation(explanation.query, None,
+                                   CausalityMode.WHY_SO, permutation)
+            assert [c.tuple for c in shuffled.ranked()] == reference
+
+    def test_mixed_value_types_do_not_raise(self):
+        ranked = self._tied_causes().ranked()
+        # int-valued and str-valued R tuples coexist; ordering is total.
+        assert len(ranked) == 5
 
 
 class TestExplainWhyNo:

@@ -1,0 +1,166 @@
+"""Unit tests for the batch explanation engine (BatchExplainer, LineageCache)."""
+
+import pytest
+
+from repro.core import explain
+from repro.engine import BatchExplainer, LineageCache, batch_explain
+from repro.exceptions import CausalityError
+from repro.lineage import PositiveDNF, n_lineage
+from repro.relational import Tuple, evaluate, parse_query
+
+
+def ranking(explanation):
+    return [(c.tuple, c.responsibility) for c in explanation.ranked()]
+
+
+@pytest.fixture
+def rs_query():
+    return parse_query("q(x) :- R(x, y), S(y)")
+
+
+class TestAnswers:
+    def test_answers_match_evaluation(self, example22_db, rs_query):
+        db, _ = example22_db
+        explainer = BatchExplainer(rs_query, db)
+        assert frozenset(explainer.answers()) == evaluate(rs_query, db)
+
+    def test_boolean_query_answers(self, example22_db):
+        db, _ = example22_db
+        explainer = BatchExplainer(parse_query("q :- R(x, y), S(y)"), db)
+        assert explainer.answers() == [()]
+
+    def test_unsatisfied_boolean_query(self, example22_db):
+        db, _ = example22_db
+        explainer = BatchExplainer(parse_query("q :- R(x, 'zz'), S(x)"), db)
+        assert explainer.answers() == []
+
+
+class TestExplain:
+    def test_matches_single_answer_explain(self, example22_db, rs_query):
+        db, _ = example22_db
+        explainer = BatchExplainer(rs_query, db)
+        for answer, explanation in explainer.explain_all().items():
+            assert ranking(explanation) == ranking(explain(rs_query, db, answer=answer))
+
+    def test_lazy_and_full_pass_agree(self, example22_db, rs_query):
+        db, _ = example22_db
+        lazy = BatchExplainer(rs_query, db).explain(("a4",))
+        full = BatchExplainer(rs_query, db).explain_all()[("a4",)]
+        assert ranking(lazy) == ranking(full)
+
+    def test_non_answer_raises(self, example22_db, rs_query):
+        db, _ = example22_db
+        with pytest.raises(CausalityError):
+            BatchExplainer(rs_query, db).explain(("a1",))
+
+    def test_boolean_query_explanation(self, example22_db):
+        db, _ = example22_db
+        explainer = BatchExplainer(parse_query("q :- R(x, y), S(y)"), db)
+        explanation = explainer.explain()
+        assert explanation.answer is None and len(explanation) > 0
+
+    def test_boolean_query_rejects_answer(self, example22_db):
+        db, _ = example22_db
+        explainer = BatchExplainer(parse_query("q :- R(x, y), S(y)"), db)
+        with pytest.raises(CausalityError):
+            explainer.explain(("a4",))
+
+    def test_answer_required_for_open_query(self, example22_db, rs_query):
+        db, _ = example22_db
+        with pytest.raises(CausalityError):
+            BatchExplainer(rs_query, db).explain()
+
+    def test_unknown_method_rejected(self, example22_db, rs_query):
+        db, _ = example22_db
+        with pytest.raises(CausalityError):
+            BatchExplainer(rs_query, db, method="magic")
+
+    def test_flow_and_exact_methods_agree(self, example22_db, rs_query):
+        db, _ = example22_db
+        flow = BatchExplainer(rs_query, db, method="flow")
+        exact = BatchExplainer(rs_query, db, method="exact")
+        for answer in flow.answers():
+            assert ranking(flow.explain(answer)) == ranking(exact.explain(answer))
+
+
+class TestSharedState:
+    def test_shared_lineage_matches_provenance_module(self, example22_db, rs_query):
+        db, _ = example22_db
+        explainer = BatchExplainer(rs_query, db)
+        explainer.answers()  # force the full pass
+        for answer in explainer.answers():
+            assert explainer.n_lineage_of(answer) == \
+                n_lineage(rs_query.bind(answer), db, simplify=True)
+
+    def test_cache_shared_across_explainers(self, example22_db, rs_query):
+        # method="exact" routes through the lineage cache (auto would dispatch
+        # this linear query to the flow engine, which keeps its own state).
+        db, _ = example22_db
+        cache = LineageCache()
+        BatchExplainer(rs_query, db, method="exact", cache=cache).explain_all()
+        misses_after_first = cache.misses
+        assert misses_after_first > 0
+        BatchExplainer(rs_query, db, method="exact", cache=cache).explain_all()
+        assert cache.misses == misses_after_first
+        assert cache.hits >= misses_after_first
+
+    def test_auto_dispatches_self_joins_to_exact_engine(self, example22_db):
+        # A self-join is never weakly linear for the flow engine; auto must
+        # fall back to the exact engine and still produce valid output.
+        db, _ = example22_db
+        query = parse_query("q(x) :- R(x, y), R(y, z)")
+        explainer = BatchExplainer(query, db)
+        explanations = explainer.explain_all()
+        assert explanations, "expected at least one answer"
+        assert explainer.cache.misses > 0  # exact engine was exercised
+        for explanation in explanations.values():
+            assert all(c.responsibility > 0 for c in explanation)
+
+    def test_process_pool_matches_serial(self, example22_db, rs_query):
+        db, _ = example22_db
+        explainer = BatchExplainer(rs_query, db)
+        serial = explainer.explain_all()
+        pooled = explainer.explain_all(workers=2)
+        assert set(serial) == set(pooled)
+        for answer in serial:
+            assert ranking(serial[answer]) == ranking(pooled[answer])
+
+    def test_batch_explain_convenience(self, example22_db, rs_query):
+        db, _ = example22_db
+        assert set(batch_explain(rs_query, db)) == \
+            set(BatchExplainer(rs_query, db).answers())
+
+
+class TestLineageCache:
+    def test_get_or_compute_memoizes(self):
+        cache = LineageCache()
+        calls = []
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 41) == 41
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 42) == 41
+        assert len(calls) == 1 and (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_eviction(self):
+        cache = LineageCache(maxsize=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: -1)   # refresh a
+        cache.get_or_compute("c", lambda: 3)    # evicts b
+        assert cache.get_or_compute("b", lambda: 99) == 99  # recomputed
+        assert len(cache) == 2
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            LineageCache(maxsize=0)
+
+    def test_minimum_contingency_counterfactual(self):
+        t = Tuple("R", (1,))
+        phi = PositiveDNF([{t}])
+        cache = LineageCache()
+        assert cache.minimum_contingency(phi, t) == frozenset()
+        assert cache.minimum_contingency(phi, Tuple("R", (2,))) is None
+
+    def test_clear_resets_stats(self):
+        cache = LineageCache()
+        cache.get_or_compute("a", lambda: 1)
+        cache.clear()
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)

@@ -1,0 +1,87 @@
+"""Golden regression tests for the paper-facing outputs.
+
+These snapshots pin the *rendered* numbers of the paper's running examples —
+the Fig. 2b ranking table, the Example 2.2 quickstart explanations and the
+Dean's-list Why-No ranking — so engine refactors cannot silently change
+paper-facing output.  Snapshots live next to this module; regenerate them
+after an *intentional* change with::
+
+    REGEN_GOLDEN=1 pytest tests/golden -q
+
+and review the diff like any other code change.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core import explain
+from repro.relational import Database, parse_query
+from repro.workloads import generate_imdb
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+
+
+def check_golden(name: str, actual: str) -> None:
+    path = GOLDEN_DIR / name
+    actual = actual.rstrip("\n") + "\n"
+    if os.environ.get("REGEN_GOLDEN"):
+        path.write_text(actual, encoding="utf-8")
+        return
+    assert path.exists(), (
+        f"golden file {name} missing; run REGEN_GOLDEN=1 pytest tests/golden"
+    )
+    expected = path.read_text(encoding="utf-8")
+    assert actual == expected, (
+        f"{name} drifted from its snapshot; if the change is intentional, "
+        f"regenerate with REGEN_GOLDEN=1 and review the diff"
+    )
+
+
+@pytest.fixture(scope="module")
+def example22_database():
+    db = Database()
+    for x, y in [("a1", "a5"), ("a2", "a1"), ("a3", "a3"), ("a4", "a3"),
+                 ("a4", "a2")]:
+        db.add_fact("R", x, y)
+    for y in ["a1", "a2", "a3", "a4", "a6"]:
+        db.add_fact("S", y)
+    return db
+
+
+def test_figure_2b_ranking_table():
+    scenario = generate_imdb()  # no padding: the verbatim Fig. 2a fragment
+    explanation = explain(scenario.query, scenario.database, answer=("Musical",))
+    check_golden("fig2b_musical_table.txt", explanation.to_table())
+
+
+def test_quickstart_explanations(example22_database):
+    query = parse_query("q(x) :- R(x, y), S(y)")
+    tables = []
+    for answer in ["a2", "a4"]:
+        explanation = explain(query, example22_database, answer=(answer,))
+        tables.append(f"answer ({answer},):\n{explanation.to_table()}")
+    check_golden("quickstart_example22_tables.txt", "\n\n".join(tables))
+
+
+def test_whyno_deanslist_ranking():
+    db = Database()
+    db.add_fact("Student", 1, "Alice")
+    db.add_fact("Student", 2, "Bob")
+    db.add_fact("Enrolled", 1, "db")
+    db.add_fact("Enrolled", 1, "os")
+    db.add_fact("Enrolled", 2, "db")
+    db.add_fact("Grade", 1, "db", "B")
+    db.add_fact("Grade", 1, "os", "B")
+    db.add_fact("Grade", 2, "db", "A")
+    query = parse_query(
+        "deanslist(name) :- Student(sid, name), Enrolled(sid, course), "
+        "Grade(sid, course, 'A')")
+    explanation = explain(
+        query, db, answer=("Alice",), mode="why-no",
+        whyno_domains={"sid": [1], "name": ["Alice"],
+                       "course": ["db", "os", "ml"]})
+    lines = [f"rho = {float(c.responsibility):.2f}   missing {c.tuple!r}"
+             for c in explanation.ranked()]
+    check_golden("whyno_deanslist_ranking.txt", "\n".join(lines))

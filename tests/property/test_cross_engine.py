@@ -1,0 +1,107 @@
+"""Cross-engine agreement on random weakly-linear queries and instances.
+
+Three independent responsibility engines exist: Algorithm 1 (max-flow, PTIME
+on weakly linear queries), the exact hitting-set engine over the n-lineage,
+and the definitional brute force.  Theorem 4.5 says they must agree on
+(weakly) linear queries; these tests pin that down on random instances drawn
+from :mod:`repro.workloads.generators`, and additionally check that the batch
+engine reproduces the per-answer ``explain()`` output exactly.
+
+Instance sizes are deliberately tiny in the default tier (full unbounded
+brute force stays feasible); the ``slow`` tier sweeps more seeds and larger
+instances with the flow/exact pair only.
+"""
+
+import pytest
+
+from repro.core import (
+    brute_force_responsibility,
+    exact_responsibility,
+    explain,
+    flow_responsibility_value,
+)
+from repro.engine import BatchExplainer
+from repro.lineage import n_lineage
+from repro.relational import ConjunctiveQuery, evaluate_boolean
+from repro.workloads import chain_query, random_database_for_query, star_query
+
+WEAKLY_LINEAR_QUERIES = [
+    chain_query(2),
+    chain_query(3),
+    star_query(2),
+]
+
+
+def lineage_endogenous(query, database):
+    """The only tuples whose responsibility can be positive."""
+    relevant = n_lineage(query, database, simplify=False).variables()
+    return sorted(t for t in relevant if database.is_endogenous(t))
+
+
+def tiny_instance(query, seed):
+    return random_database_for_query(query, tuples_per_relation=3,
+                                     domain_size=2, seed=seed)
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("query", WEAKLY_LINEAR_QUERIES,
+                             ids=lambda q: q.name)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_flow_exact_and_bruteforce_agree(self, query, seed):
+        db = tiny_instance(query, seed)
+        if not evaluate_boolean(query, db):
+            pytest.skip("random instance does not satisfy the query")
+        for t in lineage_endogenous(query, db):
+            flow = flow_responsibility_value(query, db, t)
+            exact = exact_responsibility(query, db, t).responsibility
+            brute = brute_force_responsibility(query, db, t)
+            assert flow == exact == brute, (query.name, seed, t)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("query", WEAKLY_LINEAR_QUERIES,
+                             ids=lambda q: q.name)
+    @pytest.mark.parametrize("seed", range(10))
+    def test_flow_and_exact_agree_on_larger_instances(self, query, seed):
+        db = random_database_for_query(query, tuples_per_relation=6,
+                                       domain_size=3, seed=seed)
+        if not evaluate_boolean(query, db):
+            pytest.skip("random instance does not satisfy the query")
+        for t in lineage_endogenous(query, db):
+            assert flow_responsibility_value(query, db, t) == \
+                exact_responsibility(query, db, t).responsibility, \
+                (query.name, seed, t)
+
+
+class TestBatchMatchesPerAnswer:
+    @pytest.mark.parametrize("length", [2, 3])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batch_explainer_matches_explain(self, length, seed):
+        boolean = chain_query(length)
+        open_query = ConjunctiveQuery(boolean.atoms, head=["x0"],
+                                      name="chain_open")
+        db = random_database_for_query(open_query, tuples_per_relation=5,
+                                       domain_size=3, seed=seed)
+        explainer = BatchExplainer(open_query, db)
+        answers = explainer.answers()
+        if not answers:
+            pytest.skip("random instance yields no answers")
+        batch = explainer.explain_all()
+        for answer in answers:
+            single = explain(open_query, db, answer=answer)
+            assert [(c.tuple, c.responsibility) for c in batch[answer].ranked()] == \
+                [(c.tuple, c.responsibility) for c in single.ranked()], \
+                (length, seed, answer)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batch_responsibilities_match_bruteforce(self, seed):
+        boolean = chain_query(2)
+        open_query = ConjunctiveQuery(boolean.atoms, head=["x0"],
+                                      name="chain_open")
+        db = tiny_instance(open_query, seed)
+        explainer = BatchExplainer(open_query, db)
+        for answer, explanation in explainer.explain_all().items():
+            bound = open_query.bind(answer)
+            for cause in explanation:
+                assert cause.responsibility == \
+                    brute_force_responsibility(bound, db, cause.tuple), \
+                    (seed, answer, cause.tuple)

@@ -12,6 +12,7 @@ from repro.relational import (
     evaluate,
     evaluate_boolean,
     find_valuations,
+    greedy_atom_order,
     is_answer,
     parse_query,
 )
@@ -110,6 +111,50 @@ class TestAnnotations:
         q = parse_query("q(x) :- R^n(x)")
         assert evaluate(q, db, respect_annotations=True) == frozenset()
         assert evaluate(q, db, respect_annotations=False) == frozenset({(1,)})
+
+
+class TestGreedyOrderAndSemijoin:
+    def test_order_starts_at_the_most_selective_atom(self, rs_db):
+        # R(x, 'a3') has 2 candidates, S(y) has 5: the constrained atom seeds.
+        q = parse_query("q :- S(y), R(x, 'a3')")
+        assert greedy_atom_order(q, rs_db)[0] == 1
+
+    def test_order_grows_along_shared_variables(self, rs_db):
+        q = parse_query("q :- R(x, y), S(y), R2(z, w)")
+        db = database_from_dict({
+            "R": [("a", "b")], "S": [("b",), ("c",)], "R2": [(1, 2), (3, 4)],
+        })
+        order = greedy_atom_order(q, db)
+        # After seeding with R (1 tuple), S shares y and is placed before the
+        # disconnected R2.
+        assert order.index(1) < order.index(2)
+
+    def test_unsatisfiable_query_gets_identity_order(self, rs_db):
+        q = parse_query("q :- R(x, 'zz'), S(x)")
+        assert greedy_atom_order(q, rs_db) == [0, 1]
+
+    def test_semijoin_toggle_preserves_valuations(self, rs_db):
+        for text in ["q :- R(x, y), S(y)", "q :- R(x, y), R(y, z)",
+                     "q :- R(x, x), S(x)"]:
+            q = parse_query(text)
+            with_sj = {(v.tuples(), tuple(sorted((k.name, val) for k, val
+                        in v.assignment.items())))
+                       for v in find_valuations(q, rs_db, semijoin=True)}
+            without = {(v.tuples(), tuple(sorted((k.name, val) for k, val
+                        in v.assignment.items())))
+                       for v in find_valuations(q, rs_db, semijoin=False)}
+            assert with_sj == without, text
+
+    def test_semijoin_prunes_dangling_tuples(self):
+        db = database_from_dict({
+            "R": [(i, i + 1) for i in range(10)],
+            "S": [(5, 99)],
+        })
+        q = parse_query("q :- R(x, y), S(y, z)")
+        evaluator = QueryEvaluator(db)
+        plans = evaluator._build_plans(q)
+        # Only R(4, 5) joins with S(5, 99); everything else is pruned away.
+        assert [len(p.candidates) for p in plans] == [1, 1]
 
 
 class TestEvaluatorReuse:

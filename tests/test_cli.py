@@ -57,6 +57,35 @@ class TestExplainCommand:
         assert "1.00" in capsys.readouterr().out
 
 
+class TestExplainBatchCommand:
+    def test_all_answers_explained(self, data_file, capsys):
+        code = main(["explain-batch", "--data", data_file,
+                     "--query", "q(x) :- R(x, y), S(y)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 answer(s)" in out
+        assert "('a2',)" in out and "('a4',)" in out
+        assert "0.50" in out and "1.00" in out
+
+    def test_top_k_and_cache_stats(self, data_file, capsys):
+        code = main(["explain-batch", "--data", data_file,
+                     "--query", "q(x) :- R(x, y), S(y)",
+                     "--top", "1", "--cache-stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lineage cache:" in out
+        # top-1: exactly one cause line per answer
+        cause_lines = [l for l in out.splitlines() if l.strip().startswith("0.")
+                       or l.strip().startswith("1.")]
+        assert len(cause_lines) == 2
+
+    def test_query_without_answers(self, data_file, capsys):
+        code = main(["explain-batch", "--data", data_file,
+                     "--query", "q(x) :- R(x, 'a9'), S(x)"])
+        assert code == 0
+        assert "no answers" in capsys.readouterr().out
+
+
 class TestDemoCommand:
     def test_demo_prints_figure_2b(self, capsys):
         assert main(["demo", "--padding", "0"]) == 0
