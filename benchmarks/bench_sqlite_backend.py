@@ -1,0 +1,101 @@
+"""SQLite valuation backend vs. the in-memory evaluator (ISSUE 2's tentpole).
+
+``BatchExplainer(backend="sqlite")`` loads the instance into SQLite and runs
+the open-query valuation pass as one SQL query; the in-memory path enumerates
+the same valuations with the greedy semi-join evaluator.  This module
+
+* asserts both backends produce identical explanations on a generated
+  workload **at least 10× larger than the Fig. 2 examples** (the acceptance
+  bar of ISSUE 2),
+* times the two passes side by side (the SQLite path pays a one-off load,
+  then amortizes it over the batch), and
+* smoke-tests the ``explain-batch --backend sqlite`` CLI on the same
+  instance, the way an operator would run it.
+
+Run with ``pytest benchmarks/bench_sqlite_backend.py -s`` to see the table.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.engine import BatchExplainer
+from repro.relational import parse_query
+from repro.workloads import generate_imdb, random_two_table_instance
+
+QUERY = parse_query("q(x) :- R(x, y), S(y, z)")
+N_R, N_S = 300, 150
+MIN_ANSWERS = 20
+SCALE_FACTOR = 10
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return random_two_table_instance(n_r=N_R, n_s=N_S, domain_size=40, seed=3)
+
+
+def test_instance_dwarfs_fig2(workload):
+    fig2_size = generate_imdb().database.size()  # the verbatim Fig. 2 fragment
+    assert workload.size() >= SCALE_FACTOR * fig2_size, (
+        f"workload ({workload.size()} tuples) is not {SCALE_FACTOR}x the "
+        f"Fig. 2 instance ({fig2_size} tuples)"
+    )
+
+
+def test_sqlite_backend_matches_memory(workload, table_printer):
+    start = time.perf_counter()
+    memory = BatchExplainer(QUERY, workload).explain_all()
+    memory_seconds = time.perf_counter() - start
+    assert len(memory) >= MIN_ANSWERS, "workload too small to be meaningful"
+
+    start = time.perf_counter()
+    sqlite_ = BatchExplainer(QUERY, workload, backend="sqlite").explain_all()
+    sqlite_seconds = time.perf_counter() - start
+
+    assert list(memory) == list(sqlite_)
+    for answer in memory:
+        got = [(c.tuple, c.responsibility, c.contingency)
+               for c in sqlite_[answer].ranked()]
+        want = [(c.tuple, c.responsibility, c.contingency)
+                for c in memory[answer].ranked()]
+        assert got == want, f"backend mismatch for {answer!r}"
+
+    table_printer(
+        "Valuation backend comparison (explain_all, identical output)",
+        ("backend", "answers", "tuples", "seconds"),
+        [
+            ("memory", len(memory), workload.size(), f"{memory_seconds:.3f}"),
+            ("sqlite", len(sqlite_), workload.size(), f"{sqlite_seconds:.3f}"),
+        ],
+    )
+
+
+def test_explain_batch_cli_sqlite(workload, tmp_path, capsys):
+    """The acceptance command: explain-batch --backend sqlite at 10x scale."""
+    payload = {
+        "relations": {
+            relation: [list(t.values) for t in sorted(workload.tuples_of(relation))]
+            for relation in workload.relations()
+        }
+    }
+    path = tmp_path / "workload.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    code = cli_main(["explain-batch", "--data", str(path),
+                     "--query", "q(x) :- R(x, y), S(y, z)",
+                     "--backend", "sqlite", "--top", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "answer(s)" in out and "cause tuple" in out
+
+
+def test_benchmark_sqlite_explain_all(benchmark, workload):
+    """pytest-benchmark view of the SQLite-backed batch path alone."""
+    def run():
+        return BatchExplainer(QUERY, workload, backend="sqlite").explain_all()
+
+    result = benchmark(run)
+    assert len(result) >= MIN_ANSWERS

@@ -11,7 +11,7 @@ driven without writing Python:
 * ``repro explain-batch --data db.json --query "q(x) :- R(x,y), S(y)"`` —
   explain *every* answer in one pass through the batch engine, printing the
   Fig. 2b-style table per answer (``--workers N`` fans answers out over a
-  process pool);
+  process pool, ``--backend sqlite`` runs the valuation pass in SQLite);
 * ``repro demo`` — run the built-in Fig. 2 IMDB scenario.
 
 The JSON data format is ``{"relations": {"R": [[...], ...]},
@@ -72,7 +72,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     answer = _parse_answer(args.answer)
     mode = CausalityMode.WHY_NO if args.why_no else CausalityMode.WHY_SO
-    explanation = explain(query, database, answer=answer, mode=mode)
+    explanation = explain(query, database, answer=answer, mode=mode,
+                          backend=args.backend)
     label = "non-answer" if args.why_no else "answer"
     print(f"causes of {label} {answer!r}:")
     print(explanation.to_table())
@@ -82,7 +83,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 def _cmd_explain_batch(args: argparse.Namespace) -> int:
     database = _load_database(args.data)
     query = parse_query(args.query)
-    explainer = BatchExplainer(query, database, method=args.method)
+    explainer = BatchExplainer(query, database, method=args.method,
+                               backend=args.backend)
     explanations = explainer.explain_all(workers=args.workers)
     if not explanations:
         print("the query has no answers on this database")
@@ -132,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="answer values (omit for a Boolean query)")
     explain_parser.add_argument("--why-no", action="store_true",
                                 help="explain a missing answer instead of an existing one")
+    explain_parser.add_argument("--backend", default="memory",
+                                choices=("memory", "sqlite"),
+                                help="execution backend for the valuation pass "
+                                     "(default: memory)")
     explain_parser.set_defaults(func=_cmd_explain)
 
     batch_parser = subparsers.add_parser(
@@ -142,6 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument("--method", default="auto",
                               choices=("auto", "exact", "flow"),
                               help="responsibility engine (default: auto)")
+    batch_parser.add_argument("--backend", default="memory",
+                              choices=("memory", "sqlite"),
+                              help="execution backend for the valuation pass "
+                                   "(default: memory)")
     batch_parser.add_argument("--workers", type=int, default=None,
                               help="fan answers out over N worker processes")
     batch_parser.add_argument("--top", type=int, default=None,

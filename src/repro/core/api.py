@@ -98,8 +98,8 @@ def explain(query: ConjunctiveQuery, database: Database,
             mode: CausalityMode = CausalityMode.WHY_SO,
             method: str = "auto",
             whyno_candidates: Optional[Iterable[Tuple]] = None,
-            whyno_domains: Optional[Mapping[str, Iterable[Any]]] = None
-            ) -> Explanation:
+            whyno_domains: Optional[Mapping[str, Iterable[Any]]] = None,
+            backend: str = "memory") -> Explanation:
     """Explain why ``answer`` is (Why-So) or is not (Why-No) returned.
 
     Parameters
@@ -116,6 +116,9 @@ def explain(query: ConjunctiveQuery, database: Database,
     whyno_candidates / whyno_domains:
         For Why-No: either an explicit candidate set of missing tuples, or
         per-variable domains used to generate candidates automatically.
+    backend:
+        Execution backend for the valuation pass (Why-So) and the candidate
+        generation (Why-No): ``"memory"`` (default) or ``"sqlite"``.
 
     Returns an :class:`Explanation` whose causes carry exact responsibilities.
 
@@ -135,7 +138,8 @@ def explain(query: ConjunctiveQuery, database: Database,
     if mode is CausalityMode.WHY_SO:
         from ..engine.batch import BatchExplainer  # local: engine builds on core
 
-        explainer = BatchExplainer(query, database, method=method)
+        explainer = BatchExplainer(query, database, method=method,
+                                   backend=backend)
         return explainer.explain(answer)
 
     # Why-No
@@ -148,7 +152,8 @@ def explain(query: ConjunctiveQuery, database: Database,
         combined = build_whyno_instance(database, whyno_candidates)
     else:
         boolean_query, combined = whyno_instance_for_answer(
-            query, database, answer or (), domains=whyno_domains
+            query, database, answer or (), domains=whyno_domains,
+            backend=backend
         )
     causes = whyno_causes_with_responsibility(boolean_query, combined)
     return Explanation(query, answer, mode, causes)

@@ -56,10 +56,23 @@ def partition_view_sql(relation: str, arity: int) -> str:
 
 
 def _quote(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        # SQLite (and SQL-92) has no boolean literal; 1/0 is the portable form.
+        return "1" if value else "0"
     if isinstance(value, str):
         escaped = value.replace("'", "''")
         return f"'{escaped}'"
     return str(value)
+
+
+def _equals(column: str, value: object) -> str:
+    """Comparison of ``column`` against a constant; ``= NULL`` is never true,
+    so equality against ``None`` must render as ``IS NULL``."""
+    if value is None:
+        return f"{column} IS NULL"
+    return f"{column} = {_quote(value)}"
 
 
 class _RuleRenderer:
@@ -81,7 +94,7 @@ class _RuleRenderer:
         for position, term in enumerate(atom.terms):
             column = f"{alias}.{self._column_of(atom, position)}"
             if isinstance(term, Constant):
-                self.conditions.append(f"{column} = {_quote(term.value)}")
+                self.conditions.append(_equals(column, term.value))
             else:
                 assert isinstance(term, Variable)
                 if term.name in self.variable_locations:
@@ -97,7 +110,7 @@ class _RuleRenderer:
         for position, term in enumerate(atom.terms):
             column = f"{alias}.{self._column_of(atom, position)}"
             if isinstance(term, Constant):
-                clauses.append(f"{column} = {_quote(term.value)}")
+                clauses.append(_equals(column, term.value))
             else:
                 assert isinstance(term, Variable)
                 bound = self.variable_locations.get(term.name)
@@ -106,7 +119,7 @@ class _RuleRenderer:
                         f"negated literal {literal!r} uses unbound variable {term.name!r}"
                     )
                 clauses.append(f"{column} = {bound[1]}")
-        where = " AND ".join(clauses) if clauses else "TRUE"
+        where = " AND ".join(clauses) if clauses else "1"
         return (f"NOT EXISTS (SELECT 1 FROM {table_name(atom)} AS {alias} "
                 f"WHERE {where})")
 
@@ -129,7 +142,7 @@ class _RuleRenderer:
 
         from_clause = ", ".join(
             f"{table_name(atom)} AS {alias}" for alias, atom in self.aliases)
-        where_clause = " AND ".join(self.conditions) if self.conditions else "TRUE"
+        where_clause = " AND ".join(self.conditions) if self.conditions else "1"
         return (f"SELECT DISTINCT {select}\n"
                 f"  FROM {from_clause}\n"
                 f"  WHERE {where_clause}")

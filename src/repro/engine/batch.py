@@ -19,6 +19,12 @@ Independent answers can optionally be fanned out over a
 ``concurrent.futures`` process pool (``workers=N``); each worker re-derives
 its answer from the bound query, so results are identical to the serial path.
 
+The valuation pass itself is pluggable (``backend="memory"`` /
+``"sqlite"``): the SQLite backend of
+:mod:`repro.relational.sqlite_backend` runs it as one SQL query over the
+loaded instance, producing the same valuations — and therefore bit-identical
+explanations — without materialising the join in Python.
+
 Per-tuple responsibilities keep the complexity-aware dispatch of
 :func:`repro.core.responsibility.responsibility`: ``method="auto"`` runs
 Algorithm 1 (PTIME for weakly linear, self-join-free queries) through a
@@ -81,6 +87,13 @@ class BatchExplainer:
     cache:
         A :class:`LineageCache` to share across explainers; a private one is
         created when omitted.
+    backend:
+        ``"memory"`` (default) runs the valuation pass through the in-memory
+        :class:`QueryEvaluator`; ``"sqlite"`` loads the instance into SQLite
+        and runs the pass as one SQL query per (open or bound) query via
+        :class:`~repro.relational.sqlite_backend.SQLiteEvaluator` — same
+        valuations, same explanations, but the join no longer lives in
+        Python (see README "Backends").
 
     Examples
     --------
@@ -98,14 +111,24 @@ class BatchExplainer:
     """
 
     def __init__(self, query: ConjunctiveQuery, database: Database,
-                 method: str = "auto", cache: Optional[LineageCache] = None):
+                 method: str = "auto", cache: Optional[LineageCache] = None,
+                 backend: str = "memory"):
         if method not in ("auto", "exact", "flow"):
             raise CausalityError(f"unknown method {method!r}")
+        if backend not in ("memory", "sqlite"):
+            raise CausalityError(f"unknown backend {backend!r}")
         self.query = query
         self.database = database
         self.method = method
+        self.backend = backend
         self.cache = cache if cache is not None else LineageCache()
-        self._evaluator = QueryEvaluator(database, respect_annotations=True)
+        if backend == "sqlite":
+            from ..relational.sqlite_backend import SQLiteEvaluator
+
+            self._evaluator: Any = SQLiteEvaluator(database,
+                                                   respect_annotations=True)
+        else:
+            self._evaluator = QueryEvaluator(database, respect_annotations=True)
         self._exogenous = database.exogenous_tuples()
         # answer -> lineage conjuncts; populated wholesale by the single
         # open-query pass, or per answer by bound-query evaluation.
@@ -239,9 +262,11 @@ class BatchExplainer:
         """Explanations for every answer (or the given subset), keyed by answer.
 
         ``workers`` > 1 fans the answers out over a process pool in
-        contiguous chunks — one explainer (hence one shared evaluator, cache
-        and flow engine) per worker, so intra-worker sharing is preserved and
-        the results equal the serial ones.
+        contiguous chunks (``targets[0:k]``, ``targets[k:2k]``, ...) — one
+        explainer (hence one shared evaluator, cache and flow engine) per
+        worker, so intra-worker sharing is preserved and the results equal
+        the serial ones.  The returned dict is keyed in the serial answer
+        order regardless of the worker count.
         """
         if answers is None:
             targets = self.answers()
@@ -249,8 +274,11 @@ class BatchExplainer:
             targets = [tuple(a) for a in answers]
         if workers is not None and workers > 1 and len(targets) > 1:
             pool_size = min(workers, len(targets))
-            chunks = [targets[i::pool_size] for i in range(pool_size)]
-            payloads = [(self.query, self.database, chunk, self.method)
+            chunk_size = -(-len(targets) // pool_size)  # ceil division
+            chunks = [targets[i:i + chunk_size]
+                      for i in range(0, len(targets), chunk_size)]
+            payloads = [(self.query, self.database, chunk, self.method,
+                         self.backend)
                         for chunk in chunks]
             with concurrent.futures.ProcessPoolExecutor(max_workers=pool_size) as pool:
                 results: Dict[Answer, Explanation] = {}
@@ -274,19 +302,19 @@ class BatchExplainer:
     def __repr__(self) -> str:
         state = "evaluated" if self._full_pass_done else "lazy"
         return (f"BatchExplainer({self.query!r}, {self.database!r}, "
-                f"method={self.method!r}, {state})")
+                f"method={self.method!r}, backend={self.backend!r}, {state})")
 
 
 def _explain_chunk(payload) -> Dict[Answer, Explanation]:
     """Process-pool worker: explain a chunk of answers with one explainer."""
-    query, database, answers, method = payload
-    explainer = BatchExplainer(query, database, method=method)
+    query, database, answers, method, backend = payload
+    explainer = BatchExplainer(query, database, method=method, backend=backend)
     return {tuple(answer): explainer.explain(answer) for answer in answers}
 
 
 def batch_explain(query: ConjunctiveQuery, database: Database,
-                  method: str = "auto", workers: Optional[int] = None
-                  ) -> Dict[Answer, Explanation]:
+                  method: str = "auto", workers: Optional[int] = None,
+                  backend: str = "memory") -> Dict[Answer, Explanation]:
     """One-shot convenience: explanations for every answer of ``query``."""
-    return BatchExplainer(query, database, method=method).explain_all(
-        workers=workers)
+    return BatchExplainer(query, database, method=method,
+                          backend=backend).explain_all(workers=workers)

@@ -58,12 +58,16 @@ class LineageCache:
 
     # ------------------------------------------------------------------ #
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
-        """The memoized value for ``key``, computing (and storing) it on miss."""
+        """The memoized value for ``key``, computing (and storing) it on miss.
+
+        A ``compute`` that raises stores nothing and counts neither as a hit
+        nor as a miss, so :attr:`stats` only reflects completed computations.
+        """
         try:
             value = self._entries[key]
         except KeyError:
-            self.misses += 1
             value = compute()
+            self.misses += 1
             self._entries[key] = value
             if self.maxsize is not None and len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)

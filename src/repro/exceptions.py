@@ -38,5 +38,10 @@ class NotLinearError(CausalityError):
     fall back to the exact exponential algorithm."""
 
 
+class BackendError(ReproError):
+    """An execution backend (e.g. SQLite) cannot represent or load the given
+    instance, or was asked to evaluate a query it does not support."""
+
+
 class ReductionError(ReproError):
     """A hardness-reduction helper received an invalid instance."""

@@ -27,6 +27,12 @@ from .query import (
     parse_query,
 )
 from .schema import RelationSchema, Schema
+from .sqlite_backend import (
+    SQLiteDatabase,
+    SQLiteEvaluator,
+    sql_candidate_missing_tuples,
+    valuation_sql,
+)
 from .tuples import Tuple, make_tuple
 
 __all__ = [
@@ -36,6 +42,8 @@ __all__ = [
     "Database",
     "QueryEvaluator",
     "RelationSchema",
+    "SQLiteDatabase",
+    "SQLiteEvaluator",
     "Schema",
     "Term",
     "Tuple",
@@ -50,4 +58,6 @@ __all__ = [
     "make_tuple",
     "parse_atom",
     "parse_query",
+    "sql_candidate_missing_tuples",
+    "valuation_sql",
 ]

@@ -1,0 +1,546 @@
+"""SQLite execution backend: run the valuation pass (and cause programs) in SQL.
+
+Theorem 3.4's practical reading — causes "can be retrieved by simply running a
+certain SQL query" — needs an actual database to run against.  This module
+loads a :class:`~repro.relational.database.Database` into SQLite (in-memory by
+default, on-disk on request) using the same physical layout the Datalog → SQL
+renderer of :mod:`repro.datalog.sql` assumes:
+
+* one table per EDB relation with positional columns ``c0 .. cN`` plus an
+  ``is_endogenous`` flag column, and
+* the ``R__endo`` / ``R__exo`` partition views created by
+  :func:`~repro.datalog.sql.partition_view_sql`.
+
+On top of that layout three execution services are provided:
+
+* :meth:`SQLiteDatabase.execute_program` runs a program rendered by
+  :func:`~repro.datalog.sql.program_to_sql` and returns its answer rows;
+* :class:`SQLiteEvaluator` is a drop-in replacement for
+  :class:`~repro.relational.evaluation.QueryEvaluator` whose
+  :meth:`~SQLiteEvaluator.valuations` pass runs as **one SQL query**: the
+  conjunctive query is rendered as a ``SELECT`` over *all* per-atom alias
+  columns (not just the ``DISTINCT`` head projection), so every result row
+  maps back to a full :class:`~repro.relational.evaluation.Valuation` —
+  variable assignment and matched tuples included.  This is what lets
+  :class:`~repro.engine.batch.BatchExplainer` push its open-query pass into
+  the DBMS (``backend="sqlite"``) for instances that should not live in the
+  in-memory evaluator;
+* :func:`sql_candidate_missing_tuples` pushes the Why-No candidate
+  generation of :mod:`repro.lineage.whyno` (a product over per-variable
+  domains, minus the existing tuples) into SQL as a ``SELECT DISTINCT``
+  over temporary domain tables with an ``EXCEPT`` against the base relation.
+
+The backend snapshots the database at construction time — reload (or build a
+fresh backend) after mutating the source instance.  Values must round-trip
+through SQLite's storage classes unchanged, so only ``str``, ``int``,
+``float``, ``bytes`` and ``None`` are accepted (``bool`` is rejected: SQLite
+would hand it back as an integer and silently break cross-engine equality).
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple as TypingTuple,
+)
+
+from ..exceptions import BackendError, CausalityError
+from .database import Database
+from .evaluation import Valuation
+from .query import ConjunctiveQuery, Constant, Variable
+from .tuples import Tuple
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+_ALLOWED_VALUE_TYPES = (str, int, float, bytes)
+
+
+def _check_relation_name(relation: str) -> None:
+    if not _IDENTIFIER_RE.match(relation):
+        raise BackendError(
+            f"relation name {relation!r} is not a plain SQL identifier"
+        )
+    if relation.endswith("__endo") or relation.endswith("__exo"):
+        raise BackendError(
+            f"relation name {relation!r} collides with the partition views"
+        )
+
+
+_INT64_MIN, _INT64_MAX = -2 ** 63, 2 ** 63 - 1
+
+
+def _check_value(relation: str, value: Any) -> None:
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, _ALLOWED_VALUE_TYPES):
+        raise BackendError(
+            f"value {value!r} in relation {relation!r} does not round-trip "
+            "through SQLite (allowed: str, int, float, bytes, None)"
+        )
+    if isinstance(value, int) and not _INT64_MIN <= value <= _INT64_MAX:
+        raise BackendError(
+            f"integer {value!r} in relation {relation!r} exceeds SQLite's "
+            "64-bit INTEGER range"
+        )
+    if isinstance(value, float) and value != value:
+        # sqlite3 binds NaN as NULL, which would silently change answers.
+        raise BackendError(
+            f"NaN in relation {relation!r} does not round-trip through "
+            "SQLite (it is stored as NULL)"
+        )
+
+
+class _ValuationSQL:
+    """A conjunctive query rendered as one valuation-enumerating SELECT.
+
+    Unlike the answer query of Theorem 3.4 (``SELECT DISTINCT`` on the head),
+    the select list carries *every* column of *every* atom alias, so the rows
+    are in bijection with the valuations ``θ : Var(q) → Adom(D)`` and each row
+    decodes back to the matched tuples plus the full variable assignment.
+    """
+
+    __slots__ = ("query", "sql", "exists_sql", "params", "atom_offsets",
+                 "var_positions")
+
+    def __init__(self, query: ConjunctiveQuery, respect_annotations: bool = True):
+        from ..datalog.sql import default_column, table_name
+
+        self.query = query
+        self.atom_offsets: List[int] = []
+        select_items: List[str] = []
+        params: List[Any] = []
+        conditions: List[str] = []
+        tables: List[str] = []
+        # Variable -> (bound column expression, flat row index)
+        locations: Dict[Variable, TypingTuple[str, int]] = {}
+        offset = 0
+        for index, atom in enumerate(query.atoms):
+            alias = f"t{index}"
+            name = table_name(atom) if respect_annotations else atom.relation
+            tables.append(f"{name} AS {alias}")
+            self.atom_offsets.append(offset)
+            for position, term in enumerate(atom.terms):
+                column = f"{alias}.{default_column(position)}"
+                select_items.append(column)
+                if isinstance(term, Constant):
+                    if term.value is None:
+                        conditions.append(f"{column} IS NULL")
+                    else:
+                        conditions.append(f"{column} = ?")
+                        params.append(term.value)
+                else:
+                    assert isinstance(term, Variable)
+                    if term in locations:
+                        conditions.append(f"{column} = {locations[term][0]}")
+                    else:
+                        locations[term] = (column, offset + position)
+            offset += atom.arity
+        self.params: TypingTuple[Any, ...] = tuple(params)
+        self.var_positions: Dict[Variable, int] = {
+            var: row_index for var, (_, row_index) in locations.items()
+        }
+        select = ", ".join(select_items) if select_items else "1"
+        where = " AND ".join(conditions) if conditions else "1"
+        sql = (f"SELECT {select}\n  FROM {', '.join(tables)}\n"
+               f"  WHERE {where}")
+        # Existence checks must not pay for a sort of the full join.
+        self.exists_sql = (f"SELECT 1\n  FROM {', '.join(tables)}\n"
+                           f"  WHERE {where}\n  LIMIT 1")
+        if select_items:
+            # Deterministic enumeration order (by ordinal, names repeat).
+            sql += "\n  ORDER BY " + ", ".join(
+                str(i + 1) for i in range(len(select_items)))
+        self.sql = sql
+
+    def decode(self, row: Sequence[Any]) -> Valuation:
+        assignment = {var: row[idx] for var, idx in self.var_positions.items()}
+        atom_tuples = [
+            Tuple(atom.relation, tuple(row[off:off + atom.arity]))
+            for atom, off in zip(self.query.atoms, self.atom_offsets)
+        ]
+        return Valuation(assignment, atom_tuples)
+
+
+def valuation_sql(query: ConjunctiveQuery, respect_annotations: bool = True
+                  ) -> str:
+    """The SQL text of the valuation pass for ``query`` (constants as ``?``).
+
+    Examples
+    --------
+    >>> from repro.relational import parse_query
+    >>> print(valuation_sql(parse_query("q(x) :- R(x, y), S(y)")))
+    SELECT t0.c0, t0.c1, t1.c0
+      FROM R AS t0, S AS t1
+      WHERE t1.c0 = t0.c1
+      ORDER BY 1, 2, 3
+    """
+    return _ValuationSQL(query, respect_annotations).sql
+
+
+class SQLiteDatabase:
+    """A :class:`Database` snapshot loaded into a SQLite connection.
+
+    Parameters
+    ----------
+    database:
+        The instance to load (tuples *and* endogenous/exogenous partition).
+    path:
+        SQLite database path; the default ``":memory:"`` keeps the instance
+        in RAM, any file path writes an on-disk snapshot that outlives the
+        process (inspectable with any SQLite tooling).  Loading is always a
+        fresh snapshot: pointing ``path`` at a file that already holds
+        tables raises :class:`BackendError` — use a new path (or delete the
+        file) to re-load.
+    extra_relations:
+        Optional ``{relation: arity}`` of additional (empty) relations to
+        create — rendered Datalog programs reference every EDB relation they
+        mention, including ones that happen to be empty in the instance.
+
+    Examples
+    --------
+    >>> from repro.relational import Database
+    >>> db = Database()
+    >>> _ = db.add_fact("R", "a3", "a3")
+    >>> _ = db.add_fact("R", "a4", "a3", endogenous=False)
+    >>> backend = SQLiteDatabase(db)
+    >>> sorted(backend.connection.execute("SELECT c0 FROM R__endo"))
+    [('a3',)]
+    """
+
+    def __init__(self, database: Database, path: str = ":memory:",
+                 extra_relations: Optional[Mapping[str, int]] = None):
+        self.source = database
+        self.path = path
+        self._arities: Dict[str, int] = {}
+        self._connection = sqlite3.connect(path)
+        self._load(database)
+        for relation, arity in sorted((extra_relations or {}).items()):
+            self.ensure_relation(relation, arity)
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+    def _create_relation(self, relation: str, arity: int) -> None:
+        from ..datalog.sql import default_column, partition_view_sql
+
+        _check_relation_name(relation)
+        columns = ", ".join(default_column(i) for i in range(arity))
+        prefix = f"{columns}, " if columns else ""
+        try:
+            self._connection.execute(
+                f"CREATE TABLE {relation} "
+                f"({prefix}is_endogenous INTEGER NOT NULL)")
+            if arity:
+                self._connection.executescript(
+                    partition_view_sql(relation, arity))
+            else:
+                # partition_view_sql has no column list to project for arity
+                # 0; a constant column keeps the views well-formed.
+                self._connection.executescript(
+                    f"CREATE VIEW {relation}__endo AS\n"
+                    f"  SELECT 1 AS c0 FROM {relation} WHERE is_endogenous;\n"
+                    f"CREATE VIEW {relation}__exo AS\n"
+                    f"  SELECT 1 AS c0 FROM {relation} "
+                    "WHERE NOT is_endogenous;")
+        except sqlite3.Error as error:
+            # e.g. relation names that are SQL keywords ("Order", "Group").
+            raise BackendError(
+                f"cannot create relation {relation!r} in SQLite: {error}"
+            ) from error
+        self._arities[relation] = arity
+
+    def _load(self, database: Database) -> None:
+        for relation in database.relations():
+            tuples = database.tuples_of(relation)
+            arities = {t.arity for t in tuples}
+            if len(arities) != 1:
+                raise BackendError(
+                    f"relation {relation!r} holds tuples of mixed arity "
+                    f"{sorted(arities)}; the SQLite layout needs one arity"
+                )
+            arity = arities.pop()
+            self._create_relation(relation, arity)
+            rows = []
+            for tup in sorted(tuples):
+                for value in tup.values:
+                    _check_value(relation, value)
+                rows.append(tuple(tup.values)
+                            + (1 if database.is_endogenous(tup) else 0,))
+            placeholders = ", ".join("?" for _ in range(arity + 1))
+            self._connection.executemany(
+                f"INSERT INTO {relation} VALUES ({placeholders})", rows)
+        self._connection.commit()
+
+    def ensure_relation(self, relation: str, arity: int) -> None:
+        """Create an empty ``relation`` (plus views) unless already loaded."""
+        existing = self._arities.get(relation)
+        if existing is not None:
+            if existing != arity:
+                raise BackendError(
+                    f"relation {relation!r} already loaded with arity "
+                    f"{existing}, cannot redeclare as arity {arity}"
+                )
+            return
+        self._create_relation(relation, arity)
+        self._connection.commit()
+
+    # ------------------------------------------------------------------ #
+    # access / execution
+    # ------------------------------------------------------------------ #
+    @property
+    def connection(self) -> sqlite3.Connection:
+        return self._connection
+
+    def relations(self) -> FrozenSet[str]:
+        return frozenset(self._arities)
+
+    def arity_of(self, relation: str) -> int:
+        return self._arities[relation]
+
+    def execute_program(self, program, target: Optional[str] = None
+                        ) -> FrozenSet[TypingTuple[Any, ...]]:
+        """Run a Datalog program via :func:`program_to_sql`; rows of ``target``."""
+        from ..datalog.sql import program_to_sql
+
+        return self.execute_sql(program_to_sql(program, target=target))
+
+    def cause_tuples(self, program) -> FrozenSet[Tuple]:
+        """Run every ``Cause_R`` query of a cause program; causes as tuples."""
+        from ..datalog.sql import cause_program_sql
+
+        causes: Set[Tuple] = set()
+        for relation, statement in cause_program_sql(program).items():
+            source = relation[len("Cause_"):]
+            for row in self.execute_sql(statement):
+                causes.add(Tuple(source, row))
+        return frozenset(causes)
+
+    def execute_sql(self, sql: str, params: Sequence[Any] = ()
+                    ) -> FrozenSet[TypingTuple[Any, ...]]:
+        """Execute one rendered statement; the result set as row tuples."""
+        try:
+            cursor = self._connection.execute(sql, tuple(params))
+        except sqlite3.Error as error:
+            raise BackendError(
+                f"SQL execution failed ({error}); statement was:\n{sql}"
+            ) from error
+        return frozenset(tuple(row) for row in cursor)
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "SQLiteDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"SQLiteDatabase({len(self._arities)} relations at "
+                f"{self.path!r})")
+
+
+class SQLiteEvaluator:
+    """Drop-in for :class:`QueryEvaluator` that runs the valuation pass in SQL.
+
+    The interface mirrors :class:`~repro.relational.evaluation.QueryEvaluator`
+    (``valuations`` / ``holds`` / ``answers``), so
+    :class:`~repro.engine.batch.BatchExplainer` can swap it in unchanged; the
+    cross-engine property suite pins the outputs to be identical.
+
+    Parameters
+    ----------
+    database:
+        The instance to evaluate against (snapshotted at construction).
+    respect_annotations:
+        As in :class:`QueryEvaluator`: ``Rⁿ`` / ``Rˣ`` atoms read the
+        ``__endo`` / ``__exo`` partition views instead of the base table.
+    path:
+        Passed to :class:`SQLiteDatabase` — ``":memory:"`` (default) or an
+        on-disk path.
+    backend:
+        An already-loaded :class:`SQLiteDatabase` to reuse (``path`` is then
+        ignored).
+
+    Examples
+    --------
+    >>> from repro.relational import Database, parse_query
+    >>> db = Database()
+    >>> for x, y in [("a1", "a5"), ("a2", "a1"), ("a4", "a3")]:
+    ...     _ = db.add_fact("R", x, y)
+    >>> for y in ["a1", "a3"]:
+    ...     _ = db.add_fact("S", y)
+    >>> evaluator = SQLiteEvaluator(db)
+    >>> sorted(evaluator.answers(parse_query("q(x) :- R(x, y), S(y)")))
+    [('a2',), ('a4',)]
+    """
+
+    def __init__(self, database: Database, respect_annotations: bool = True,
+                 path: str = ":memory:",
+                 backend: Optional[SQLiteDatabase] = None):
+        self.database = database
+        self.respect_annotations = respect_annotations
+        self.backend = backend if backend is not None \
+            else SQLiteDatabase(database, path=path)
+        self._rendered: Dict[ConjunctiveQuery, _ValuationSQL] = {}
+
+    def _render(self, query: ConjunctiveQuery) -> _ValuationSQL:
+        rendered = self._rendered.get(query)
+        if rendered is None:
+            rendered = _ValuationSQL(query, self.respect_annotations)
+            self._rendered[query] = rendered
+        return rendered
+
+    def _executable(self, query: ConjunctiveQuery) -> bool:
+        """A query touching an unloaded relation has no valuations at all."""
+        loaded = self.backend.relations()
+        return all(atom.relation in loaded for atom in query.atoms)
+
+    # ------------------------------------------------------------------ #
+    def valuations(self, query: ConjunctiveQuery) -> Iterator[Valuation]:
+        """Yield every valuation of ``query``, enumerated by SQLite."""
+        if not self._executable(query):
+            return
+        rendered = self._render(query)
+        cursor = self.backend.connection.execute(rendered.sql, rendered.params)
+        for row in cursor:
+            yield rendered.decode(row)
+
+    def holds(self, query: ConjunctiveQuery) -> bool:
+        """``D ⊨ q`` for a Boolean query: unordered ``SELECT 1 ... LIMIT 1``."""
+        if not self._executable(query):
+            return False
+        rendered = self._render(query)
+        cursor = self.backend.connection.execute(
+            rendered.exists_sql, rendered.params)
+        return cursor.fetchone() is not None
+
+    def answers(self, query: ConjunctiveQuery
+                ) -> FrozenSet[TypingTuple[Any, ...]]:
+        """The answer relation of a non-Boolean query (set of head tuples)."""
+        results: Set[TypingTuple[Any, ...]] = set()
+        for valuation in self.valuations(query):
+            row = []
+            for term in query.head:
+                if isinstance(term, Variable):
+                    row.append(valuation.assignment[term])
+                else:
+                    assert isinstance(term, Constant)
+                    row.append(term.value)
+            results.add(tuple(row))
+        return frozenset(results)
+
+    def __repr__(self) -> str:
+        return f"SQLiteEvaluator({self.backend!r})"
+
+
+# --------------------------------------------------------------------------- #
+# Why-No candidate generation in SQL
+# --------------------------------------------------------------------------- #
+def sql_candidate_missing_tuples(
+    query: ConjunctiveQuery,
+    database: Database,
+    domains: Optional[Mapping[str, Iterable[Any]]] = None,
+    max_candidates: Optional[int] = None,
+    backend: Optional[SQLiteDatabase] = None,
+) -> FrozenSet[Tuple]:
+    """SQL twin of :func:`repro.lineage.whyno.candidate_missing_tuples`.
+
+    The in-memory generator enumerates the full product of per-variable
+    domains in Python; here each variable's domain becomes a temporary table
+    and each query atom contributes one ``SELECT DISTINCT`` over the domain
+    tables of *its* variables, ``EXCEPT`` the rows already present in the base
+    relation.  Projecting the product per atom is sound because a candidate
+    only depends on the variables of its atom — provided no variable has an
+    empty domain, in which case the product (and hence the candidate set) is
+    empty, checked up front.
+    """
+    from ..datalog.sql import default_column
+
+    if not query.is_boolean:
+        raise CausalityError(
+            "candidate generation expects a Boolean query; bind the non-answer first"
+        )
+    adom = sorted(database.active_domain(), key=repr)
+    variables = sorted(query.variables(), key=lambda v: v.name)
+    variable_domains: Dict[Variable, List[Any]] = {}
+    for variable in variables:
+        if domains is not None and variable.name in domains:
+            variable_domains[variable] = list(domains[variable.name])
+        else:
+            variable_domains[variable] = list(adom)
+    if any(not values for values in variable_domains.values()):
+        # The assignment product is empty; no atom can be instantiated.
+        return frozenset()
+
+    db = backend if backend is not None else SQLiteDatabase(database)
+    connection = db.connection
+    domain_tables: Dict[Variable, str] = {}
+    candidates: Set[Tuple] = set()
+
+    def note(candidate: Tuple) -> None:
+        candidates.add(candidate)
+        if max_candidates is not None and len(candidates) > max_candidates:
+            raise CausalityError(
+                f"candidate set exceeds max_candidates={max_candidates}; "
+                "restrict the variable domains"
+            )
+
+    for variable, values in variable_domains.items():
+        for value in values:
+            _check_value(f"domain of {variable.name}", value)
+    try:
+        for index, variable in enumerate(variables):
+            name = f"__dom_{index}"
+            # Register before CREATE so cleanup covers partial failures.
+            domain_tables[variable] = name
+            connection.execute(f"CREATE TEMP TABLE {name} (v)")
+            connection.executemany(
+                f"INSERT INTO {name} VALUES (?)",
+                [(value,) for value in variable_domains[variable]])
+
+        for atom in query.atoms:
+            atom_vars = sorted(atom.variables(), key=lambda v: v.name)
+            if not atom_vars:
+                # All-constant atom: a single candidate, resolved in Python.
+                tup = Tuple(atom.relation,
+                            tuple(term.value for term in atom.terms))
+                if not database.contains(tup):
+                    note(tup)
+                continue
+            aliases = {var: f"d{j}" for j, var in enumerate(atom_vars)}
+            select_items: List[str] = []
+            params: List[Any] = []
+            for position, term in enumerate(atom.terms):
+                target = default_column(position)
+                if isinstance(term, Variable):
+                    select_items.append(f"{aliases[term]}.v AS {target}")
+                else:
+                    assert isinstance(term, Constant)
+                    select_items.append(f"? AS {target}")
+                    params.append(term.value)
+            from_clause = ", ".join(
+                f"{domain_tables[var]} AS {aliases[var]}" for var in atom_vars)
+            sql = (f"SELECT DISTINCT {', '.join(select_items)}"
+                   f" FROM {from_clause}")
+            if (atom.relation in db.relations()
+                    and db.arity_of(atom.relation) == atom.arity):
+                columns = ", ".join(
+                    default_column(p) for p in range(atom.arity))
+                sql += f" EXCEPT SELECT {columns} FROM {atom.relation}"
+            for row in connection.execute(sql, params):
+                note(Tuple(atom.relation, tuple(row)))
+    finally:
+        for name in domain_tables.values():
+            connection.execute(f"DROP TABLE IF EXISTS {name}")
+    return frozenset(candidates)

@@ -6,7 +6,9 @@ import pytest
 
 from repro.core import actual_causes, generate_cause_program
 from repro.datalog import (
+    Literal,
     Program,
+    Rule,
     cause_program_sql,
     parse_program,
     parse_rule,
@@ -15,7 +17,7 @@ from repro.datalog import (
     rule_to_sql,
 )
 from repro.exceptions import DatalogError
-from repro.relational import Database, Tuple, parse_query
+from repro.relational import Atom, Constant, Database, Tuple, parse_query
 
 
 class TestRuleRendering:
@@ -77,6 +79,79 @@ class TestProgramRendering:
         statements = cause_program_sql(generate_cause_program(query))
         assert set(statements) == {"Cause_R", "Cause_S"}
         assert all(text.startswith("WITH") for text in statements.values())
+
+
+class TestLiteralRendering:
+    """Regression tests: rendered literals must be *valid* SQL, not Python.
+
+    ``None`` used to render as the bare identifier ``None`` (and compare with
+    ``=``, which is never true of NULL in SQL), booleans as ``True``/``False``
+    and empty WHERE clauses as the non-portable keyword ``TRUE``.  Each test
+    executes the rendered output on SQLite to prove it actually runs.
+    """
+
+    def test_none_renders_as_is_null(self):
+        rule = Rule(Atom("Out", ["x"]),
+                    [Literal(Atom("R", ["x", Constant(None)]))])
+        sql = rule_to_sql(rule)
+        assert "None" not in sql
+        assert "t0.c1 IS NULL" in sql
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE R (c0, c1)")
+        connection.executemany("INSERT INTO R VALUES (?, ?)",
+                               [("a", None), ("b", "x")])
+        assert connection.execute(sql).fetchall() == [("a",)]
+
+    def test_none_in_negated_literal(self):
+        rule = Rule(Atom("Out", ["x"]),
+                    [Literal(Atom("R", ["x"])),
+                     Literal(Atom("S", [Constant(None)]), positive=False)])
+        sql = rule_to_sql(rule)
+        assert "n.c0 IS NULL" in sql
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE R (c0)")
+        connection.execute("CREATE TABLE S (c0)")
+        connection.execute("INSERT INTO R VALUES ('a')")
+        connection.execute("INSERT INTO S VALUES (NULL)")
+        # S holds a NULL, so NOT EXISTS (... IS NULL) filters everything out.
+        assert connection.execute(sql).fetchall() == []
+
+    def test_none_in_head_renders_as_null(self):
+        rule = Rule(Atom("Out", [Constant(None), "x"]),
+                    [Literal(Atom("R", ["x"]))])
+        sql = rule_to_sql(rule)
+        assert "NULL AS c0" in sql
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE R (c0)")
+        connection.execute("INSERT INTO R VALUES (1)")
+        assert connection.execute(sql).fetchall() == [(None, 1)]
+
+    def test_booleans_render_as_integers(self):
+        rule = Rule(Atom("Out", ["x"]),
+                    [Literal(Atom("R", ["x", Constant(True)]))])
+        sql = rule_to_sql(rule)
+        assert "True" not in sql and "= 1" in sql
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE R (c0, c1)")
+        connection.executemany("INSERT INTO R VALUES (?, ?)",
+                               [("a", 1), ("b", 0)])
+        assert connection.execute(sql).fetchall() == [("a",)]
+        assert "= 0" in rule_to_sql(
+            Rule(Atom("Out", ["x"]),
+                 [Literal(Atom("R", ["x", Constant(False)]))]))
+
+    def test_empty_where_renders_portable_1_not_true(self):
+        rule = parse_rule("Out(x) :- R(x), not Flag()")
+        sql = rule_to_sql(rule)
+        assert "TRUE" not in sql
+        assert "WHERE 1)" in sql  # the negated nullary atom's inner WHERE
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE R (c0)")
+        connection.execute("CREATE TABLE Flag (c0)")
+        connection.execute("INSERT INTO R VALUES ('a')")
+        assert connection.execute(sql).fetchall() == [("a",)]
+        connection.execute("INSERT INTO Flag VALUES (1)")
+        assert connection.execute(sql).fetchall() == []
 
 
 class TestExecutionOnSQLite:

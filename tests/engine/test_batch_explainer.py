@@ -7,6 +7,7 @@ from repro.engine import BatchExplainer, LineageCache, batch_explain
 from repro.exceptions import CausalityError
 from repro.lineage import PositiveDNF, n_lineage
 from repro.relational import Tuple, evaluate, parse_query
+from repro.workloads import random_two_table_instance
 
 
 def ranking(explanation):
@@ -125,10 +126,62 @@ class TestSharedState:
         for answer in serial:
             assert ranking(serial[answer]) == ranking(pooled[answer])
 
+    def test_explain_all_order_is_worker_count_independent(self):
+        # explain_all fans out in contiguous chunks; whatever the worker
+        # count, the result dict must be keyed in the serial answer order
+        # with identical rankings (the docstring's promise).
+        db = random_two_table_instance(n_r=30, n_s=20, domain_size=8, seed=1)
+        query = parse_query("q(x) :- R(x, y), S(y, z)")
+        explainer = BatchExplainer(query, db)
+        serial = explainer.explain_all()
+        assert list(serial) == explainer.answers()
+        assert len(serial) >= 5, "workload too small to exercise chunking"
+        for workers in (2, 3, len(serial) + 5):
+            pooled = explainer.explain_all(workers=workers)
+            assert list(pooled) == list(serial), workers
+            for answer in serial:
+                assert ranking(pooled[answer]) == ranking(serial[answer]), \
+                    (workers, answer)
+
     def test_batch_explain_convenience(self, example22_db, rs_query):
         db, _ = example22_db
         assert set(batch_explain(rs_query, db)) == \
             set(BatchExplainer(rs_query, db).answers())
+
+
+class TestSQLiteBackend:
+    def test_sqlite_backend_matches_memory(self, example22_db, rs_query):
+        db, _ = example22_db
+        memory = BatchExplainer(rs_query, db).explain_all()
+        sqlite_ = BatchExplainer(rs_query, db, backend="sqlite").explain_all()
+        assert list(memory) == list(sqlite_)
+        for answer in memory:
+            assert ranking(memory[answer]) == ranking(sqlite_[answer])
+
+    def test_sqlite_backend_lazy_single_answer(self, example22_db, rs_query):
+        db, _ = example22_db
+        lazy = BatchExplainer(rs_query, db, backend="sqlite").explain(("a4",))
+        assert ranking(lazy) == ranking(explain(rs_query, db, answer=("a4",)))
+
+    def test_sqlite_backend_process_pool(self, example22_db, rs_query):
+        db, _ = example22_db
+        explainer = BatchExplainer(rs_query, db, backend="sqlite")
+        serial = explainer.explain_all()
+        pooled = explainer.explain_all(workers=2)
+        assert list(serial) == list(pooled)
+        for answer in serial:
+            assert ranking(serial[answer]) == ranking(pooled[answer])
+
+    def test_unknown_backend_rejected(self, example22_db, rs_query):
+        db, _ = example22_db
+        with pytest.raises(CausalityError):
+            BatchExplainer(rs_query, db, backend="postgres")
+
+    def test_explain_via_backend_keyword(self, example22_db, rs_query):
+        db, _ = example22_db
+        assert ranking(explain(rs_query, db, answer=("a4",),
+                               backend="sqlite")) == \
+            ranking(explain(rs_query, db, answer=("a4",)))
 
 
 class TestLineageCache:
@@ -151,6 +204,19 @@ class TestLineageCache:
     def test_invalid_maxsize(self):
         with pytest.raises(ValueError):
             LineageCache(maxsize=0)
+
+    def test_failed_compute_is_not_a_miss(self):
+        # A compute() that raises stores nothing, so it must not skew stats.
+        cache = LineageCache()
+
+        def boom():
+            raise RuntimeError("lineage solver exploded")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", boom)
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+        assert cache.get_or_compute("k", lambda: 7) == 7
+        assert (cache.hits, cache.misses, len(cache)) == (0, 1, 1)
 
     def test_minimum_contingency_counterfactual(self):
         t = Tuple("R", (1,))

@@ -56,6 +56,14 @@ def test_figure_2b_ranking_table():
     check_golden("fig2b_musical_table.txt", explanation.to_table())
 
 
+def test_figure_2b_ranking_table_sqlite_backend():
+    # The SQLite valuation pass must hit the same snapshot byte for byte.
+    scenario = generate_imdb()
+    explanation = explain(scenario.query, scenario.database,
+                          answer=("Musical",), backend="sqlite")
+    check_golden("fig2b_musical_table.txt", explanation.to_table())
+
+
 def test_quickstart_explanations(example22_database):
     query = parse_query("q(x) :- R(x, y), S(y)")
     tables = []

@@ -85,6 +85,33 @@ class TestExplainBatchCommand:
         assert code == 0
         assert "no answers" in capsys.readouterr().out
 
+    def test_sqlite_backend_output_matches_memory(self, data_file, capsys):
+        args = ["explain-batch", "--data", data_file,
+                "--query", "q(x) :- R(x, y), S(y)"]
+        assert main(args) == 0
+        memory_out = capsys.readouterr().out
+        assert main(args + ["--backend", "sqlite"]) == 0
+        assert capsys.readouterr().out == memory_out
+
+
+class TestExplainBackendFlag:
+    def test_why_so_sqlite(self, data_file, capsys):
+        args = ["explain", "--data", data_file,
+                "--query", "q(x) :- R(x, y), S(y)", "--answer", "a4"]
+        assert main(args) == 0
+        memory_out = capsys.readouterr().out
+        assert main(args + ["--backend", "sqlite"]) == 0
+        assert capsys.readouterr().out == memory_out
+
+    def test_why_no_sqlite(self, data_file, capsys):
+        args = ["explain", "--data", data_file,
+                "--query", "q(x) :- R(x, y), S(y)", "--answer", "a1",
+                "--why-no"]
+        assert main(args) == 0
+        memory_out = capsys.readouterr().out
+        assert main(args + ["--backend", "sqlite"]) == 0
+        assert capsys.readouterr().out == memory_out
+
 
 class TestDemoCommand:
     def test_demo_prints_figure_2b(self, capsys):
