@@ -1,0 +1,92 @@
+"""Batched Why-No: ranking the causes of *many* missing answers at once.
+
+``examples/whyno_missing_answers.py`` asks why one student is missing from
+the Dean's list.  The registrar's version of that question is batched: *which
+students are missing, and what would it have taken for each of them?*  The
+per-student pipeline would regenerate candidate tuples, rebuild the combined
+instance ``Dx ∪ Dn`` and re-evaluate the query once per student;
+:class:`repro.engine.WhyNoBatchExplainer` (Theorem 4.17 behind one shared
+valuation pass) does all of it once for the whole cohort.
+
+The scenario::
+
+    Student(sid, name)
+    Enrolled(sid, course)
+    Grade(sid, course, grade)
+    DeansList(name) :- Student(sid, name), Enrolled(sid, course),
+                       Grade(sid, course, 'A')
+
+Run with::
+
+    python examples/whyno_batch_ranking.py
+"""
+
+from __future__ import annotations
+
+from repro.engine import WhyNoBatchExplainer
+from repro.relational import Database, evaluate, parse_query
+
+COURSES = ["db", "os", "ml"]
+
+
+def build_database() -> Database:
+    db = Database()
+    roster = {1: "Alice", 2: "Bob", 3: "Carol", 4: "Dan"}
+    for sid, name in roster.items():
+        db.add_fact("Student", sid, name)
+    # Enrollment: Alice two courses, Bob one, Carol one, Dan none yet.
+    db.add_fact("Enrolled", 1, "db")
+    db.add_fact("Enrolled", 1, "os")
+    db.add_fact("Enrolled", 2, "db")
+    db.add_fact("Enrolled", 3, "ml")
+    # Grades: only Bob earned an A.
+    db.add_fact("Grade", 1, "db", "B")
+    db.add_fact("Grade", 1, "os", "B")
+    db.add_fact("Grade", 2, "db", "A")
+    db.add_fact("Grade", 3, "ml", "B")
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    query = parse_query(
+        "deanslist(name) :- Student(sid, name), Enrolled(sid, course), "
+        "Grade(sid, course, 'A')")
+
+    print("Dean's list today:")
+    for (name,) in sorted(evaluate(query, db)):
+        print(f"  {name}")
+
+    # One batch for every absent student.  The candidate insertions are
+    # narrowed the way Sect. 2 of the paper suggests: the course catalog,
+    # the roster names, and the ids of the *absent* students — leaving Bob's
+    # sid out keeps "rename Bob's record" from surfacing as a (technically
+    # valid, practically absurd) counterfactual cause.
+    explainer = WhyNoBatchExplainer.for_missing_answers(
+        query, db,
+        domains={
+            "sid": [1, 3, 4],
+            "name": ["Alice", "Carol", "Dan"],
+            "course": COURSES,
+        })
+    print(f"\n{len(explainer.non_answers)} students are missing "
+          f"({len(explainer.candidate_union())} candidate insertions, "
+          "one shared combined instance):")
+
+    for (name,), explanation in explainer.explain_all().items():
+        print(f"\nWhy is {name} *not* on the Dean's list?")
+        for cause in explanation.top(3):
+            print(f"  ρ = {float(cause.responsibility):.2f}   "
+                  f"missing {cause.tuple!r}")
+
+    print("\nReading the result:")
+    print("  * Alice and Carol are enrolled: a single missing A grade is a")
+    print("    counterfactual cause (ρ = 1).")
+    print("  * Dan is not even enrolled: every cause needs a companion")
+    print("    insertion (enrollment + grade), so nothing exceeds ρ = 1/2.")
+    print("  * All rankings came from ONE candidate-generation pass and ONE")
+    print("    valuation pass — see docs/ARCHITECTURE.md, 'Layer 4'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,7 +33,8 @@ Quickstart
 ['S']
 """
 
-from .engine import BatchExplainer, LineageCache, batch_explain
+from .engine import (BatchExplainer, LineageCache, WhyNoBatchExplainer,
+                     batch_explain, batch_explain_whyno)
 from .core import (
     CausalityMode,
     Cause,
@@ -75,6 +76,7 @@ __all__ = [
     "Database",
     "Explanation",
     "LineageCache",
+    "WhyNoBatchExplainer",
     "RelationSchema",
     "Schema",
     "Tuple",
@@ -82,6 +84,7 @@ __all__ = [
     "__version__",
     "actual_causes",
     "batch_explain",
+    "batch_explain_whyno",
     "causes_of",
     "classify",
     "database_from_dict",

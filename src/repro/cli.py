@@ -12,6 +12,11 @@ driven without writing Python:
   explain *every* answer in one pass through the batch engine, printing the
   Fig. 2b-style table per answer (``--workers N`` fans answers out over a
   process pool, ``--backend sqlite`` runs the valuation pass in SQLite);
+* ``repro explain-batch --mode why-no --non-answer a7 --non-answer a9 ...`` —
+  the Why-No batch: explain many *missing* answers over one shared combined
+  instance (``--domain y=b1,b2`` restricts a variable's candidate domain;
+  omit ``--non-answer`` entirely to explain every missing answer the head
+  domains allow);
 * ``repro demo`` — run the built-in Fig. 2 IMDB scenario.
 
 The JSON data format is ``{"relations": {"R": [[...], ...]},
@@ -29,7 +34,8 @@ import sys
 from typing import List, Optional, Sequence
 
 from .core import CausalityMode, classify, explain
-from .engine import BatchExplainer
+from .engine import BatchExplainer, WhyNoBatchExplainer
+from .exceptions import CausalityError
 from .relational import Database, database_from_dict, parse_query
 from .workloads import generate_imdb
 
@@ -80,9 +86,27 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_domains(raw: Optional[List[str]]) -> Optional[dict]:
+    if raw is None:
+        return None
+    domains = {}
+    for entry in raw:
+        if "=" not in entry:
+            raise CausalityError(
+                f"--domain expects VAR=V1,V2,... (got {entry!r})"
+            )
+        name, values = entry.split("=", 1)
+        tokens = [v.strip() for v in values.split(",")]
+        domains[name.strip()] = list(
+            _parse_answer([v for v in tokens if v != ""]) or ())
+    return domains
+
+
 def _cmd_explain_batch(args: argparse.Namespace) -> int:
     database = _load_database(args.data)
     query = parse_query(args.query)
+    if args.mode == "why-no":
+        return _run_whyno_batch(args, query, database)
     explainer = BatchExplainer(query, database, method=args.method,
                                backend=args.backend)
     explanations = explainer.explain_all(workers=args.workers)
@@ -99,6 +123,36 @@ def _cmd_explain_batch(args: argparse.Namespace) -> int:
                   "the caches live in the worker processes")
         else:
             print(f"\nlineage cache: {explainer.cache.stats}")
+    return 0
+
+
+def _run_whyno_batch(args: argparse.Namespace, query, database: Database) -> int:
+    domains = _parse_domains(args.domain)
+    if args.non_answer is None:
+        explainer = WhyNoBatchExplainer.for_missing_answers(
+            query, database, domains=domains, backend=args.backend)
+    else:
+        non_answers = [_parse_answer(raw) or () for raw in args.non_answer]
+        explainer = WhyNoBatchExplainer(query, database,
+                                        non_answers=non_answers,
+                                        domains=domains, backend=args.backend)
+    explanations = explainer.explain_all(workers=args.workers)
+    if not explanations:
+        print("no missing answers to explain "
+              "(every candidate head tuple is an answer)")
+        return 0
+    print(f"{len(explanations)} missing answer(s) of {query!r} "
+          f"({len(explainer.candidate_union())} candidate insertions):")
+    for answer, explanation in explanations.items():
+        print(f"\ncauses of missing answer {answer!r}:")
+        if explanation.causes:
+            print(explanation.to_table(top=args.top))
+        else:
+            print("  no candidate insertions complete a witness "
+                  "(restrict --domain less tightly?)")
+    if args.cache_stats:
+        print("\nlineage cache: not used by the Why-No engine "
+              "(responsibilities are read off witness sizes)")
     return 0
 
 
@@ -145,9 +199,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="explain every answer of a query in one pass (batch engine)")
     batch_parser.add_argument("--data", required=True, help="path to the JSON database")
     batch_parser.add_argument("--query", required=True, help="query text")
+    batch_parser.add_argument("--mode", default="why-so",
+                              choices=("why-so", "why-no"),
+                              help="explain existing answers (why-so, default) "
+                                   "or missing ones (why-no)")
+    batch_parser.add_argument("--non-answer", action="append", nargs="+",
+                              default=None, metavar="VALUE",
+                              help="a missing answer tuple to explain "
+                                   "(why-no mode; repeatable; omit to explain "
+                                   "every missing answer the domains allow)")
+    batch_parser.add_argument("--domain", action="append", default=None,
+                              metavar="VAR=V1,V2",
+                              help="candidate domain for a variable "
+                                   "(why-no mode; repeatable; default: the "
+                                   "active domain)")
     batch_parser.add_argument("--method", default="auto",
                               choices=("auto", "exact", "flow"),
-                              help="responsibility engine (default: auto)")
+                              help="responsibility engine (default: auto, "
+                                   "why-so mode only)")
     batch_parser.add_argument("--backend", default="memory",
                               choices=("memory", "sqlite"),
                               help="execution backend for the valuation pass "

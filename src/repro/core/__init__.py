@@ -82,6 +82,7 @@ from .weakening import (
     is_weakly_linear,
 )
 from .whyno import (
+    whyno_causes_from_n_lineage,
     whyno_causes_with_responsibility,
     whyno_minimum_contingency,
     whyno_responsibility,
@@ -142,6 +143,7 @@ __all__ = [
     "responsibilities",
     "responsibility",
     "responsibility_value",
+    "whyno_causes_from_n_lineage",
     "whyno_causes_with_responsibility",
     "whyno_minimum_contingency",
     "whyno_responsibility",

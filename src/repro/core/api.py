@@ -22,14 +22,12 @@ from fractions import Fraction
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..exceptions import CausalityError
-from ..lineage.whyno import build_whyno_instance, whyno_instance_for_answer
+from ..lineage.whyno import whyno_instance_for_answer
 from ..relational.database import Database
-from ..relational.evaluation import evaluate_boolean
 from ..relational.query import ConjunctiveQuery
 from ..relational.tuples import Tuple
 from .causality import actual_causes
 from .definitions import CausalityMode, Cause
-from .whyno import whyno_causes_with_responsibility
 
 
 def _cause_rank_key(cause: Cause):
@@ -122,9 +120,10 @@ def explain(query: ConjunctiveQuery, database: Database,
 
     Returns an :class:`Explanation` whose causes carry exact responsibilities.
 
-    Why-So explanations are served by the batch subsystem
-    (:class:`repro.engine.BatchExplainer`) with a single-answer scope, so this
-    entry point and ``explain_all`` share one code path and stay consistent.
+    Both modes are served by the batch subsystem with a single-answer scope —
+    Why-So by :class:`repro.engine.BatchExplainer`, Why-No by
+    :class:`repro.engine.WhyNoBatchExplainer` — so this entry point and the
+    batch ``explain_all`` paths share one code path and stay consistent.
     """
     mode = CausalityMode.coerce(mode)
     if query.is_boolean:
@@ -142,21 +141,15 @@ def explain(query: ConjunctiveQuery, database: Database,
                                    backend=backend)
         return explainer.explain(answer)
 
-    # Why-No
-    boolean_query = query if query.is_boolean else query.bind(answer)
-    if whyno_candidates is not None:
-        if evaluate_boolean(boolean_query, database):
-            raise CausalityError(
-                f"{answer!r} is an answer on this database; use mode='why-so'"
-            )
-        combined = build_whyno_instance(database, whyno_candidates)
-    else:
-        boolean_query, combined = whyno_instance_for_answer(
-            query, database, answer or (), domains=whyno_domains,
-            backend=backend
-        )
-    causes = whyno_causes_with_responsibility(boolean_query, combined)
-    return Explanation(query, answer, mode, causes)
+    # Why-No: a single-non-answer batch over the combined instance Dx ∪ Dn.
+    from ..engine.whyno_batch import WhyNoBatchExplainer  # local: engine builds on core
+
+    key = () if query.is_boolean else tuple(answer)
+    explainer = WhyNoBatchExplainer(
+        query, database, non_answers=[key], domains=whyno_domains,
+        candidates=whyno_candidates, backend=backend)
+    explanation = explainer.explain(key)
+    return Explanation(query, answer, mode, explanation.causes)
 
 
 def causes_of(query: ConjunctiveQuery, database: Database,

@@ -1,23 +1,33 @@
 """Batch explanation engine: shared lineage, memoized responsibilities.
 
 This subpackage turns the per-answer :func:`repro.core.api.explain` pipeline
-into a batch subsystem for "rank every answer" workloads:
+into a batch subsystem for "rank every answer" — and "explain every missing
+answer" — workloads:
 
 * :class:`~repro.engine.batch.BatchExplainer` — evaluate the open query once,
   share the valuation set and n-lineage across all answers, optionally fan
-  independent answers out over a process pool;
+  independent answers out over a process pool (Why-So);
+* :class:`~repro.engine.whyno_batch.WhyNoBatchExplainer` — its Why-No
+  sibling: generate the candidate missing tuples for a whole non-answer set
+  in one pass, build the combined instance ``Dx ∪ Dn`` once, and read every
+  non-answer's causes off one shared open-query valuation pass
+  (Theorem 4.17);
 * :class:`~repro.engine.cache.LineageCache` — keyed memoization of the
   hitting-set / contingency results, shareable across explainers.
 
-The single-answer :func:`repro.core.api.explain` is a thin wrapper over this
-path, so both entry points stay bit-compatible by construction.
+The single-answer :func:`repro.core.api.explain` is a thin wrapper over these
+paths (Why-So and Why-No alike), so both entry points stay bit-compatible by
+construction.
 """
 
 from .batch import BatchExplainer, batch_explain
 from .cache import LineageCache
+from .whyno_batch import WhyNoBatchExplainer, batch_explain_whyno
 
 __all__ = [
     "BatchExplainer",
     "LineageCache",
+    "WhyNoBatchExplainer",
     "batch_explain",
+    "batch_explain_whyno",
 ]

@@ -1,0 +1,39 @@
+"""Shared process-pool fan-out for the batch explainers.
+
+Both :class:`~repro.engine.batch.BatchExplainer` and
+:class:`~repro.engine.whyno_batch.WhyNoBatchExplainer` fan their targets out
+the same way: contiguous chunks (``targets[0:k]``, ``targets[k:2k]``, ...),
+one worker-side explainer per chunk so intra-chunk sharing is preserved, and
+a result dict rebuilt in the serial target order so the output is independent
+of the worker count.  This module is that one strategy, factored out so a fix
+to the chunking applies to both engines at once.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Any, Callable, Dict, List, Sequence, TypeVar
+
+Key = TypeVar("Key")
+
+
+def fan_out_chunks(targets: Sequence[Key], workers: int,
+                   make_payload: Callable[[List[Key]], Any],
+                   worker: Callable[[Any], Dict[Key, Any]]) -> Dict[Key, Any]:
+    """Run ``worker`` over contiguous chunks of ``targets`` in a process pool.
+
+    ``make_payload`` turns one chunk into the picklable payload handed to
+    ``worker`` (a module-level function returning a dict keyed by target).
+    The merged result is keyed in the order of ``targets`` — the serial
+    order — regardless of ``workers``.
+    """
+    pool_size = min(workers, len(targets))
+    chunk_size = -(-len(targets) // pool_size)  # ceil division
+    chunks = [list(targets[i:i + chunk_size])
+              for i in range(0, len(targets), chunk_size)]
+    payloads = [make_payload(chunk) for chunk in chunks]
+    with concurrent.futures.ProcessPoolExecutor(max_workers=pool_size) as pool:
+        results: Dict[Key, Any] = {}
+        for chunk_result in pool.map(worker, payloads):
+            results.update(chunk_result)
+    return {target: results[target] for target in targets}

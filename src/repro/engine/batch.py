@@ -38,7 +38,6 @@ tests) guarantees the engines agree wherever both apply.
 
 from __future__ import annotations
 
-import concurrent.futures
 from typing import (
     Any,
     Dict,
@@ -59,6 +58,7 @@ from ..relational.database import Database
 from ..relational.evaluation import QueryEvaluator
 from ..relational.query import ConjunctiveQuery, Constant, Variable
 from ..relational.tuples import Tuple, value_sort_key
+from ._pool import fan_out_chunks
 from .cache import LineageCache
 
 Answer = TypingTuple[Any, ...]
@@ -267,25 +267,31 @@ class BatchExplainer:
         worker, so intra-worker sharing is preserved and the results equal
         the serial ones.  The returned dict is keyed in the serial answer
         order regardless of the worker count.
+
+        Examples
+        --------
+        >>> from repro.relational import Database, parse_query
+        >>> db = Database()
+        >>> for x, y in [("a2", "a1"), ("a4", "a3")]:
+        ...     _ = db.add_fact("R", x, y)
+        >>> for y in ["a1", "a3"]:
+        ...     _ = db.add_fact("S", y)
+        >>> explainer = BatchExplainer(parse_query("q(x) :- R(x, y), S(y)"), db)
+        >>> for answer, explanation in explainer.explain_all().items():
+        ...     print(answer, [c.tuple for c in explanation.ranked()])
+        ('a2',) [R('a2', 'a1'), S('a1')]
+        ('a4',) [R('a4', 'a3'), S('a3')]
         """
         if answers is None:
             targets = self.answers()
         else:
             targets = [tuple(a) for a in answers]
         if workers is not None and workers > 1 and len(targets) > 1:
-            pool_size = min(workers, len(targets))
-            chunk_size = -(-len(targets) // pool_size)  # ceil division
-            chunks = [targets[i:i + chunk_size]
-                      for i in range(0, len(targets), chunk_size)]
-            payloads = [(self.query, self.database, chunk, self.method,
-                         self.backend)
-                        for chunk in chunks]
-            with concurrent.futures.ProcessPoolExecutor(max_workers=pool_size) as pool:
-                results: Dict[Answer, Explanation] = {}
-                for chunk_result in pool.map(_explain_chunk, payloads):
-                    results.update(chunk_result)
-                # Preserve the deterministic answer order of the serial path.
-                return {answer: results[answer] for answer in targets}
+            return fan_out_chunks(
+                targets, workers,
+                lambda chunk: (self.query, self.database, chunk, self.method,
+                               self.backend),
+                _explain_chunk)
         return {answer: self.explain(answer) for answer in targets}
 
     # ------------------------------------------------------------------ #
@@ -315,6 +321,17 @@ def _explain_chunk(payload) -> Dict[Answer, Explanation]:
 def batch_explain(query: ConjunctiveQuery, database: Database,
                   method: str = "auto", workers: Optional[int] = None,
                   backend: str = "memory") -> Dict[Answer, Explanation]:
-    """One-shot convenience: explanations for every answer of ``query``."""
+    """One-shot convenience: explanations for every answer of ``query``.
+
+    Examples
+    --------
+    >>> from repro.relational import Database, parse_query
+    >>> db = Database()
+    >>> _ = db.add_fact("R", "a2", "a1")
+    >>> _ = db.add_fact("S", "a1")
+    >>> results = batch_explain(parse_query("q(x) :- R(x, y), S(y)"), db)
+    >>> sorted(results)
+    [('a2',)]
+    """
     return BatchExplainer(query, database, method=method,
                           backend=backend).explain_all(workers=workers)

@@ -62,6 +62,14 @@ class LineageCache:
 
         A ``compute`` that raises stores nothing and counts neither as a hit
         nor as a miss, so :attr:`stats` only reflects completed computations.
+
+        Examples
+        --------
+        >>> cache = LineageCache()
+        >>> cache.get_or_compute("answer", lambda: 42)
+        42
+        >>> cache.get_or_compute("answer", lambda: 0)  # memoized
+        42
         """
         try:
             value = self._entries[key]

@@ -1,0 +1,418 @@
+"""Batched Why-No: explain many missing answers over one combined instance.
+
+The per-non-answer :func:`repro.core.api.explain` pipeline with
+``mode="why-no"`` rebuilds everything from scratch for every missing answer:
+generate the candidate missing tuples of the bound query, build the combined
+instance ``Dx ∪ Dn``, evaluate the bound query over it, and read the causes
+off the n-lineage (Theorem 4.17).  For the "explain *all* missing answers"
+workload almost all of that work is shared, mirroring the Why-So
+:class:`~repro.engine.batch.BatchExplainer`:
+
+* candidate generation runs **once** for the whole non-answer set
+  (:func:`repro.lineage.whyno.batch_candidate_missing_tuples`): atoms without
+  head variables instantiate to the same candidates for every non-answer, and
+  non-answers agreeing on an atom's head projection share its domain product
+  — on the ``sqlite`` backend this is one SQL query per query atom for the
+  entire set;
+* the combined instance ``D = Dx ∪ ⋃ᵢ Dn(āᵢ)`` is built **once**;
+* **one** open-query valuation pass over ``D`` — through the same pluggable
+  evaluator as the Why-So engine — groups witnessing conjuncts by head
+  tuple.  A group may additionally use candidates another non-answer
+  contributed to the union (a self-joined relation's head-free atom matches
+  *every* candidate of that relation), so each group is intersected with its
+  own candidate set ``Dn(āᵢ)``: a conjunct survives iff its endogenous
+  tuples all lie in ``Dn(āᵢ)``, which makes the filtered group *exactly* the
+  lineage of ``q[āᵢ]`` on its own combined instance ``Dx ∪ Dn(āᵢ)`` (every
+  per-answer valuation also exists over the union, and every union valuation
+  confined to ``Dx ∪ Dn(āᵢ)`` is a per-answer valuation);
+* causes fall out of each group's simplified n-lineage through the shared
+  :func:`repro.core.whyno.whyno_causes_from_n_lineage`, so batched and
+  per-non-answer explanations are bit-identical by construction (the
+  single-non-answer :func:`repro.core.api.explain` is a thin wrapper over
+  this class).
+
+Independent non-answers can be fanned out over a ``concurrent.futures``
+process pool (``workers=N``); each worker rebuilds the batch for its chunk,
+and per-non-answer independence makes the results equal to the serial ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple as TypingTuple,
+)
+
+from ..core.api import Explanation
+from ..core.definitions import CausalityMode
+from ..core.whyno import whyno_causes_from_n_lineage
+from ..exceptions import CausalityError
+from ..lineage.boolean_expr import PositiveDNF
+from ..lineage.whyno import batch_candidate_missing_tuples, build_whyno_instance
+from ..relational.database import Database
+from ..relational.evaluation import QueryEvaluator, evaluate, evaluate_boolean
+from ..relational.query import ConjunctiveQuery, Variable
+from ..relational.tuples import Tuple, value_sort_key
+from ._pool import fan_out_chunks
+from .batch import BatchExplainer
+
+Answer = TypingTuple[Any, ...]
+
+
+class WhyNoBatchExplainer:
+    """Explain every non-answer of one query with shared Why-No state.
+
+    Parameters
+    ----------
+    query:
+        The (possibly non-Boolean) conjunctive query.
+    database:
+        The real database ``Dx``.  Its own endogenous/exogenous partition is
+        irrelevant here: in the Why-No setting every real tuple is exogenous
+        context and only the candidate insertions are endogenous.
+    non_answers:
+        The missing answers to explain (duplicates are collapsed).  Omit for
+        a Boolean query, where the single non-answer is ``()``.  Every entry
+        must actually be missing — a tuple the query *does* return raises
+        :class:`~repro.exceptions.CausalityError`, like the per-non-answer
+        path.
+    domains:
+        Per-variable candidate domains, as in
+        :func:`repro.lineage.whyno.candidate_missing_tuples`; entries for
+        head variables are ignored (each non-answer fixes them).
+    candidates:
+        Explicit candidate missing tuples, bypassing generation (the batch
+        twin of ``explain(..., whyno_candidates=...)``).  Mutually exclusive
+        with ``domains``.
+    max_candidates:
+        Optional per-non-answer safety limit for generated candidates.
+    backend:
+        ``"memory"`` (default) or ``"sqlite"`` — used for both candidate
+        generation and the combined-instance valuation pass, exactly like
+        the Why-So engine's backend seam.
+
+    Examples
+    --------
+    >>> from repro.relational import Database, parse_query
+    >>> db = Database()
+    >>> _ = db.add_fact("R", "a", "b")
+    >>> _ = db.add_fact("R", "c", "d")
+    >>> _ = db.add_fact("S", "b")
+    >>> query = parse_query("q(x) :- R(x, y), S(y)")
+    >>> explainer = WhyNoBatchExplainer(query, db, non_answers=[("c",)],
+    ...                                 domains={"y": ["d", "e"]})
+    >>> for cause in explainer.explain(("c",)).ranked():
+    ...     print(f"{float(cause.responsibility):.2f}  {cause.tuple!r}")
+    1.00  S('d')
+    0.50  R('c', 'e')
+    0.50  S('e')
+    """
+
+    def __init__(self, query: ConjunctiveQuery, database: Database,
+                 non_answers: Optional[Iterable[Sequence[Any]]] = None,
+                 domains: Optional[Mapping[str, Iterable[Any]]] = None,
+                 candidates: Optional[Iterable[Tuple]] = None,
+                 max_candidates: Optional[int] = None,
+                 backend: str = "memory",
+                 _actual_answers: Optional[FrozenSet[Answer]] = None):
+        if backend not in ("memory", "sqlite"):
+            raise CausalityError(f"unknown backend {backend!r}")
+        if candidates is not None and domains is not None:
+            raise CausalityError(
+                "pass either explicit candidates or generation domains, not both"
+            )
+        self.query = query
+        self.database = database
+        self.backend = backend
+        self.domains = domains
+        self.max_candidates = max_candidates
+        self._explicit_candidates = None if candidates is None \
+            else frozenset(candidates)
+
+        if query.is_boolean:
+            targets = [()] if non_answers is None \
+                else [tuple(a) for a in non_answers]
+            for target in targets:
+                if target != ():
+                    raise CausalityError("a Boolean query takes no answer tuple")
+            targets = targets[:1]
+        else:
+            if non_answers is None:
+                raise CausalityError(
+                    "a non-Boolean query needs the non-answer tuples to explain"
+                )
+            targets = list(dict.fromkeys(tuple(a) for a in non_answers))
+        # Reject actual answers up front, like the per-non-answer path — but
+        # through one shared evaluator, so the real database is indexed once
+        # for the whole batch instead of once per membership check.  A single
+        # target keeps the cheaper short-circuiting bound check; many targets
+        # amortise one open-query answer set — already computed when
+        # :meth:`for_missing_answers` constructed the batch (bind() still
+        # validates arity and head-constant consistency per target).
+        actual = _actual_answers
+        checker = None if actual is not None \
+            else QueryEvaluator(database, respect_annotations=True)
+        if checker is not None and not query.is_boolean and len(targets) > 1:
+            actual = checker.answers(query)
+        for target in targets:
+            bound = query.bind(target)  # validates arity and head constants
+            is_answer = (target in actual) if actual is not None \
+                else checker.holds(bound)
+            if is_answer:
+                raise CausalityError(
+                    f"{target!r} is an answer on this database; use mode='why-so'"
+                )
+        self.non_answers: List[Answer] = targets
+
+        if self._explicit_candidates is not None:
+            per_answer = {t: self._explicit_candidates for t in targets}
+        else:
+            per_answer = batch_candidate_missing_tuples(
+                query, database, targets, domains=domains,
+                max_candidates=max_candidates, backend=backend)
+        self._per_answer_candidates: Dict[Answer, FrozenSet[Tuple]] = per_answer
+        union: FrozenSet[Tuple] = frozenset().union(*per_answer.values()) \
+            if per_answer else frozenset()
+        self.combined = build_whyno_instance(database, union)
+        # The sibling Why-So engine supplies the shared machinery: pluggable
+        # evaluator over the combined instance, one open-query pass grouped
+        # by head tuple, and the lazy bound-query path for single targets.
+        self._inner = BatchExplainer(query, self.combined, method="exact",
+                                     backend=backend)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_missing_answers(cls, query: ConjunctiveQuery, database: Database,
+                            domains: Optional[Mapping[str, Iterable[Any]]] = None,
+                            max_candidates: Optional[int] = None,
+                            backend: str = "memory") -> "WhyNoBatchExplainer":
+        """Batch over *every* missing answer the candidate domains allow.
+
+        Enumerates the head tuples from the head variables' domains (entries
+        of ``domains``, defaulting to the active domain), drops the tuples
+        the query actually returns, and builds the batch over the rest — the
+        "explain all missing answers" workload in one call.
+
+        Examples
+        --------
+        >>> from repro.relational import Database, parse_query
+        >>> db = Database()
+        >>> _ = db.add_fact("R", "a", "b")
+        >>> _ = db.add_fact("S", "b")
+        >>> explainer = WhyNoBatchExplainer.for_missing_answers(
+        ...     parse_query("q(x) :- R(x, y), S(y)"), db)
+        >>> explainer.non_answers
+        [('b',)]
+        """
+        if query.is_boolean:
+            satisfied = evaluate_boolean(query, database)
+            return cls(query, database,
+                       non_answers=[] if satisfied else [()],
+                       domains=domains, max_candidates=max_candidates,
+                       backend=backend,
+                       _actual_answers=frozenset([()]) if satisfied
+                       else frozenset())
+        adom = sorted(database.active_domain(), key=repr)
+        head_variables = sorted(
+            {t for t in query.head if isinstance(t, Variable)},
+            key=lambda v: v.name)
+        value_lists = []
+        for variable in head_variables:
+            if domains is not None and variable.name in domains:
+                value_lists.append(list(domains[variable.name]))
+            else:
+                value_lists.append(list(adom))
+        actual = evaluate(query, database)
+        targets = []
+        for values in itertools.product(*value_lists):
+            assignment = dict(zip(head_variables, values))
+            head = tuple(assignment[t] if isinstance(t, Variable) else t.value
+                         for t in query.head)
+            if head not in actual:
+                targets.append(head)
+        targets = sorted(set(targets), key=value_sort_key)
+        # The answer set is handed down so the constructor's actual-answer
+        # rejection does not repeat the open-query pass just run.
+        return cls(query, database, non_answers=targets, domains=domains,
+                   max_candidates=max_candidates, backend=backend,
+                   _actual_answers=actual)
+
+    # ------------------------------------------------------------------ #
+    # shared state introspection
+    # ------------------------------------------------------------------ #
+    def candidates_for(self, non_answer: Optional[Sequence[Any]] = None
+                       ) -> FrozenSet[Tuple]:
+        """The candidate missing tuples ``Dn(ā)`` of one non-answer.
+
+        Examples
+        --------
+        >>> from repro.relational import Database, parse_query
+        >>> db = Database()
+        >>> _ = db.add_fact("R", "a", "b")
+        >>> explainer = WhyNoBatchExplainer(
+        ...     parse_query("q(x) :- R(x, y), S(y)"), db,
+        ...     non_answers=[("c",)], domains={"y": ["b"]})
+        >>> sorted(map(repr, explainer.candidates_for(("c",))))
+        ["R('c', 'b')", "S('b')"]
+        """
+        return self._per_answer_candidates[self._key(non_answer)]
+
+    def candidate_union(self) -> FrozenSet[Tuple]:
+        """All candidates in the shared combined instance (its ``Dn`` part)."""
+        return self.combined.endogenous_tuples()
+
+    def n_lineage_of(self, non_answer: Optional[Sequence[Any]] = None,
+                     simplify: bool = True) -> PositiveDNF:
+        """The n-lineage of one non-answer over *its own* combined instance.
+
+        Identical to ``n_lineage(query.bind(ā), Dx ∪ Dn(ā))`` even though
+        the shared pass ran over the union instance — see
+        :meth:`_n_lineage`.
+        """
+        return self._n_lineage(self._key(non_answer), simplify=simplify)
+
+    # ------------------------------------------------------------------ #
+    # explanation
+    # ------------------------------------------------------------------ #
+    def _n_lineage(self, key: Answer, simplify: bool = True) -> PositiveDNF:
+        """n-lineage of one non-answer, restricted to its own candidates.
+
+        The shared pass runs over the *union* combined instance, where a
+        self-joined relation's head-free atoms can match candidates another
+        non-answer contributed.  Keeping only the conjuncts whose endogenous
+        tuples all lie in ``Dn(key)`` yields exactly the lineage of the bound
+        query on ``Dx ∪ Dn(key)``: per-answer valuations all exist over the
+        union, and a union valuation confined to ``Dx ∪ Dn(key)`` is a
+        per-answer valuation.  (For self-join-free queries the filter is a
+        no-op: every candidate a bound atom can match fixes that atom's head
+        projection, hence is already in ``Dn(key)``.)
+        """
+        allowed = self._per_answer_candidates[key]
+        # The sibling engine shares its precomputed state: grouped conjuncts
+        # (lazy bound-query pass for single targets) and the exogenous set.
+        exogenous = self._inner._exogenous
+        conjuncts = [
+            conjunct for conjunct in self._inner._conjuncts_for(key)
+            if all(t in allowed or t in exogenous for t in conjunct)
+        ]
+        phi_n = PositiveDNF(conjuncts).set_true(exogenous)
+        return phi_n.remove_redundant() if simplify else phi_n
+
+    def _key(self, non_answer: Optional[Sequence[Any]]) -> Answer:
+        if self.query.is_boolean:
+            if non_answer not in (None, (), []):
+                raise CausalityError("a Boolean query takes no answer tuple")
+            key: Answer = ()
+        else:
+            if non_answer is None:
+                raise CausalityError(
+                    "a non-Boolean query needs the non-answer tuple to explain"
+                )
+            key = tuple(non_answer)
+        if key not in self._per_answer_candidates:
+            raise CausalityError(
+                f"{key!r} is not in this batch's non-answer set; candidates "
+                "were never generated for it"
+            )
+        return key
+
+    def explain(self, non_answer: Optional[Sequence[Any]] = None
+                ) -> Explanation:
+        """The Why-No :class:`Explanation` of one non-answer of the batch."""
+        key = self._key(non_answer)
+        phi_n = self._n_lineage(key, simplify=True)
+        causes = whyno_causes_from_n_lineage(phi_n)
+        return Explanation(self.query,
+                           None if self.query.is_boolean else key,
+                           CausalityMode.WHY_NO, causes)
+
+    def explain_all(self, non_answers: Optional[Iterable[Sequence[Any]]] = None,
+                    workers: Optional[int] = None) -> Dict[Answer, Explanation]:
+        """Explanations for every non-answer (or the given subset).
+
+        ``workers`` > 1 fans the non-answers out over a process pool in
+        contiguous chunks, one batch explainer per worker; per-non-answer
+        independence of the combined instance makes the results identical to
+        the serial ones, keyed in the serial order regardless of the worker
+        count.
+
+        Examples
+        --------
+        >>> from repro.relational import Database, parse_query
+        >>> db = Database()
+        >>> _ = db.add_fact("R", "a", "b")
+        >>> explainer = WhyNoBatchExplainer(
+        ...     parse_query("q(x) :- R(x, y), S(y)"), db,
+        ...     non_answers=[("a",), ("c",)], domains={"y": ["b"]})
+        >>> for na, explanation in explainer.explain_all().items():
+        ...     print(na, [c.tuple for c in explanation.ranked()])
+        ('a',) [S('b')]
+        ('c',) [R('c', 'b'), S('b')]
+        """
+        if non_answers is None:
+            targets = list(self.non_answers)
+        else:
+            # Validate up front so the serial and process-pool paths reject
+            # out-of-batch targets identically.
+            targets = [self._key(a) for a in non_answers]
+        if workers is not None and workers > 1 and len(targets) > 1:
+            return fan_out_chunks(
+                targets, workers,
+                lambda chunk: (self.query, self.database, chunk, self.domains,
+                               self._explicit_candidates, self.max_candidates,
+                               self.backend),
+                _explain_whyno_chunk)
+        if len(targets) > 1:
+            # Force the single shared valuation pass; single targets keep the
+            # cheaper lazy bound-query evaluation instead.
+            self._inner.answers()
+        return {answer: self.explain(answer) for answer in targets}
+
+    def __repr__(self) -> str:
+        return (f"WhyNoBatchExplainer({self.query!r}, {len(self.non_answers)} "
+                f"non-answer(s), |Dn|={len(self.candidate_union())}, "
+                f"backend={self.backend!r})")
+
+
+def _explain_whyno_chunk(payload) -> Dict[Answer, Explanation]:
+    """Process-pool worker: explain a chunk of non-answers with one batch."""
+    query, database, chunk, domains, candidates, max_candidates, backend = payload
+    explainer = WhyNoBatchExplainer(
+        query, database, non_answers=chunk, domains=domains,
+        candidates=candidates, max_candidates=max_candidates, backend=backend)
+    return explainer.explain_all()
+
+
+def batch_explain_whyno(query: ConjunctiveQuery, database: Database,
+                        non_answers: Optional[Iterable[Sequence[Any]]] = None,
+                        domains: Optional[Mapping[str, Iterable[Any]]] = None,
+                        candidates: Optional[Iterable[Tuple]] = None,
+                        max_candidates: Optional[int] = None,
+                        workers: Optional[int] = None,
+                        backend: str = "memory") -> Dict[Answer, Explanation]:
+    """One-shot convenience: Why-No explanations for every given non-answer.
+
+    Examples
+    --------
+    >>> from repro.relational import Database, parse_query
+    >>> db = Database()
+    >>> _ = db.add_fact("R", "a", "b")
+    >>> results = batch_explain_whyno(parse_query("q(x) :- R(x, y), S(y)"),
+    ...                               db, non_answers=[("a",)])
+    >>> [c.tuple for c in results[("a",)].ranked()]
+    [S('b'), R('a', 'a'), S('a')]
+    """
+    explainer = WhyNoBatchExplainer(
+        query, database, non_answers=non_answers, domains=domains,
+        candidates=candidates, max_candidates=max_candidates, backend=backend)
+    return explainer.explain_all(workers=workers)

@@ -15,6 +15,7 @@ from .provenance import (
     why_provenance,
 )
 from .whyno import (
+    batch_candidate_missing_tuples,
     build_whyno_instance,
     candidate_missing_tuples,
     whyno_instance_for_answer,
@@ -22,6 +23,7 @@ from .whyno import (
 
 __all__ = [
     "PositiveDNF",
+    "batch_candidate_missing_tuples",
     "build_whyno_instance",
     "candidate_missing_tuples",
     "lineage",

@@ -30,6 +30,7 @@ from .schema import RelationSchema, Schema
 from .sqlite_backend import (
     SQLiteDatabase,
     SQLiteEvaluator,
+    sql_batch_candidate_missing_tuples,
     sql_candidate_missing_tuples,
     valuation_sql,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "make_tuple",
     "parse_atom",
     "parse_query",
+    "sql_batch_candidate_missing_tuples",
     "sql_candidate_missing_tuples",
     "valuation_sql",
 ]

@@ -28,7 +28,10 @@ On top of that layout three execution services are provided:
 * :func:`sql_candidate_missing_tuples` pushes the Why-No candidate
   generation of :mod:`repro.lineage.whyno` (a product over per-variable
   domains, minus the existing tuples) into SQL as a ``SELECT DISTINCT``
-  over temporary domain tables with an ``EXCEPT`` against the base relation.
+  over temporary domain tables with an ``EXCEPT`` against the base relation;
+  :func:`sql_batch_candidate_missing_tuples` is its batched twin — one such
+  query per query atom covers an entire non-answer set by joining a
+  temporary table of the non-answer head tuples.
 
 The backend snapshots the database at construction time — reload (or build a
 fresh backend) after mutating the source instance.  Values must round-trip
@@ -327,7 +330,17 @@ class SQLiteDatabase:
 
     def execute_sql(self, sql: str, params: Sequence[Any] = ()
                     ) -> FrozenSet[TypingTuple[Any, ...]]:
-        """Execute one rendered statement; the result set as row tuples."""
+        """Execute one rendered statement; the result set as row tuples.
+
+        Examples
+        --------
+        >>> from repro.relational import Database
+        >>> db = Database()
+        >>> _ = db.add_fact("R", "a", "b")
+        >>> backend = SQLiteDatabase(db)
+        >>> sorted(backend.execute_sql("SELECT c0, c1 FROM R"))
+        [('a', 'b')]
+        """
         try:
             cursor = self._connection.execute(sql, tuple(params))
         except sqlite3.Error as error:
@@ -464,83 +477,204 @@ def sql_candidate_missing_tuples(
     only depends on the variables of its atom — provided no variable has an
     empty domain, in which case the product (and hence the candidate set) is
     empty, checked up front.
-    """
-    from ..datalog.sql import default_column
 
+    Examples
+    --------
+    >>> from repro.relational import Database, parse_query
+    >>> db = Database()
+    >>> _ = db.add_fact("R", "a", "b")
+    >>> candidates = sql_candidate_missing_tuples(
+    ...     parse_query("q :- R(x, y), S(y)"), db)
+    >>> sorted(map(repr, candidates))
+    ["R('a', 'a')", "R('b', 'a')", "R('b', 'b')", "S('a')", "S('b')"]
+    """
     if not query.is_boolean:
         raise CausalityError(
             "candidate generation expects a Boolean query; bind the non-answer first"
         )
+    # The single-answer view of the batched generator: a Boolean query is a
+    # batch with the one (empty) non-answer — no heads table, one
+    # SELECT DISTINCT ... EXCEPT per atom, exactly the statement shape
+    # described above.
+    return sql_batch_candidate_missing_tuples(
+        query, database, [()], domains=domains,
+        max_candidates=max_candidates, backend=backend)[()]
+
+
+def sql_batch_candidate_missing_tuples(
+    query: ConjunctiveQuery,
+    database: Database,
+    non_answers: Iterable[Sequence[Any]],
+    domains: Optional[Mapping[str, Iterable[Any]]] = None,
+    max_candidates: Optional[int] = None,
+    backend: Optional[SQLiteDatabase] = None,
+) -> Dict[TypingTuple[Any, ...], FrozenSet[Tuple]]:
+    """Why-No candidates for a whole non-answer set: one SQL query per atom.
+
+    SQL twin of :func:`repro.lineage.whyno.batch_candidate_missing_tuples`
+    (which it backs for ``backend="sqlite"``): the non-answer head tuples are
+    loaded into a ``__whyno_heads`` temporary table, each non-head variable's
+    domain into a ``__dom_i`` table, and every query atom contributes a
+    single ``SELECT DISTINCT`` joining the heads table (for its head-variable
+    positions) with the domain tables (for the rest), ``EXCEPT`` the rows
+    already in the base relation — one domain-product query per atom for the
+    *entire* non-answer set instead of one per (atom, non-answer) pair.
+
+    Because every head variable of an atom occupies a column of that atom,
+    each result row carries its own head projection; grouping the non-answers
+    by projection attributes every candidate to exactly the non-answers whose
+    bound query would have generated it, so the returned per-answer sets are
+    identical to ``sql_candidate_missing_tuples(query.bind(ā), ...)``.
+
+    Returns ``{non_answer: frozenset(candidates)}`` keyed in first-seen
+    order; ``max_candidates`` bounds each per-answer set, as in the
+    per-answer generator.
+
+    Examples
+    --------
+    >>> from repro.relational import Database, parse_query
+    >>> db = Database()
+    >>> _ = db.add_fact("R", "a", "b")
+    >>> per_answer = sql_batch_candidate_missing_tuples(
+    ...     parse_query("q(x) :- R(x, y), S(y)"), db, [("a",), ("c",)])
+    >>> sorted(map(repr, per_answer[("a",)]))
+    ["R('a', 'a')", "S('a')", "S('b')"]
+    """
+    from ..datalog.sql import default_column
+
+    targets: List[TypingTuple[Any, ...]] = []
+    seen: Set[TypingTuple[Any, ...]] = set()
+    for answer in non_answers:
+        key = tuple(answer)
+        if key not in seen:
+            seen.add(key)
+            targets.append(key)
+    result: Dict[TypingTuple[Any, ...], FrozenSet[Tuple]] = {}
+    if not targets:
+        return result
+
+    # bind() validates arity and head-constant consistency; the mapping it
+    # applies is what the heads table and the attribution index are built on.
+    head_variables = sorted(
+        {t for t in query.head if isinstance(t, Variable)},
+        key=lambda v: v.name)
+    mappings: Dict[TypingTuple[Any, ...], Dict[Variable, Any]] = {}
+    for key in targets:
+        query.bind(key)
+        mappings[key] = {term: value for term, value in zip(query.head, key)
+                         if isinstance(term, Variable)}
+
     adom = sorted(database.active_domain(), key=repr)
-    variables = sorted(query.variables(), key=lambda v: v.name)
+    head_set = frozenset(head_variables)
+    open_variables = sorted(query.variables() - head_set,
+                            key=lambda v: v.name)
     variable_domains: Dict[Variable, List[Any]] = {}
-    for variable in variables:
+    for variable in open_variables:
         if domains is not None and variable.name in domains:
             variable_domains[variable] = list(domains[variable.name])
         else:
             variable_domains[variable] = list(adom)
     if any(not values for values in variable_domains.values()):
-        # The assignment product is empty; no atom can be instantiated.
-        return frozenset()
+        # Some bound-query variable has an empty domain: the per-answer
+        # product is empty for every non-answer.
+        return {key: frozenset() for key in targets}
+
+    for variable, values in variable_domains.items():
+        for value in values:
+            _check_value(f"domain of {variable.name}", value)
+    for key in targets:
+        for variable, value in mappings[key].items():
+            _check_value(f"non-answer binding of {variable.name}", value)
 
     db = backend if backend is not None else SQLiteDatabase(database)
     connection = db.connection
-    domain_tables: Dict[Variable, str] = {}
-    candidates: Set[Tuple] = set()
+    per_answer: Dict[TypingTuple[Any, ...], Set[Tuple]] = {
+        key: set() for key in targets}
 
-    def note(candidate: Tuple) -> None:
-        candidates.add(candidate)
-        if max_candidates is not None and len(candidates) > max_candidates:
+    def note(key: TypingTuple[Any, ...], candidate: Tuple) -> None:
+        per_answer[key].add(candidate)
+        if max_candidates is not None and len(per_answer[key]) > max_candidates:
             raise CausalityError(
                 f"candidate set exceeds max_candidates={max_candidates}; "
                 "restrict the variable domains"
             )
 
-    for variable, values in variable_domains.items():
-        for value in values:
-            _check_value(f"domain of {variable.name}", value)
+    temp_tables: List[str] = []
+    domain_tables: Dict[Variable, str] = {}
+    head_column = {var: f"h{i}" for i, var in enumerate(head_variables)}
     try:
-        for index, variable in enumerate(variables):
+        for index, variable in enumerate(open_variables):
             name = f"__dom_{index}"
             # Register before CREATE so cleanup covers partial failures.
+            temp_tables.append(name)
             domain_tables[variable] = name
             connection.execute(f"CREATE TEMP TABLE {name} (v)")
             connection.executemany(
                 f"INSERT INTO {name} VALUES (?)",
                 [(value,) for value in variable_domains[variable]])
+        if head_variables:
+            temp_tables.append("__whyno_heads")
+            columns = ", ".join(head_column[v] for v in head_variables)
+            connection.execute(f"CREATE TEMP TABLE __whyno_heads ({columns})")
+            projections = {tuple(mappings[key][v] for v in head_variables)
+                           for key in targets}
+            placeholders = ", ".join("?" for _ in head_variables)
+            connection.executemany(
+                f"INSERT INTO __whyno_heads VALUES ({placeholders})",
+                sorted(projections, key=lambda row: tuple(map(repr, row))))
 
         for atom in query.atoms:
             atom_vars = sorted(atom.variables(), key=lambda v: v.name)
+            atom_head = [v for v in atom_vars if v in head_set]
+            atom_open = [v for v in atom_vars if v not in head_set]
+            # Group the non-answers by their projection onto this atom's head
+            # variables: equal projections share the atom's candidates.
+            groups: Dict[TypingTuple[Any, ...],
+                         List[TypingTuple[Any, ...]]] = {}
+            for key in targets:
+                projection = tuple(mappings[key][v] for v in atom_head)
+                groups.setdefault(projection, []).append(key)
             if not atom_vars:
                 # All-constant atom: a single candidate, resolved in Python.
                 tup = Tuple(atom.relation,
                             tuple(term.value for term in atom.terms))
                 if not database.contains(tup):
-                    note(tup)
+                    for key in targets:
+                        note(key, tup)
                 continue
-            aliases = {var: f"d{j}" for j, var in enumerate(atom_vars)}
+            aliases = {var: f"d{j}" for j, var in enumerate(atom_open)}
             select_items: List[str] = []
             params: List[Any] = []
+            projection_positions: List[int] = []
+            position_of: Dict[Variable, int] = {}
             for position, term in enumerate(atom.terms):
-                target = default_column(position)
-                if isinstance(term, Variable):
-                    select_items.append(f"{aliases[term]}.v AS {target}")
+                target_col = default_column(position)
+                if isinstance(term, Variable) and term in head_set:
+                    select_items.append(
+                        f"h.{head_column[term]} AS {target_col}")
+                    position_of.setdefault(term, position)
+                elif isinstance(term, Variable):
+                    select_items.append(f"{aliases[term]}.v AS {target_col}")
                 else:
                     assert isinstance(term, Constant)
-                    select_items.append(f"? AS {target}")
+                    select_items.append(f"? AS {target_col}")
                     params.append(term.value)
-            from_clause = ", ".join(
-                f"{domain_tables[var]} AS {aliases[var]}" for var in atom_vars)
+            projection_positions = [position_of[v] for v in atom_head]
+            from_parts = (["__whyno_heads AS h"] if atom_head else []) + [
+                f"{domain_tables[var]} AS {aliases[var]}" for var in atom_open]
             sql = (f"SELECT DISTINCT {', '.join(select_items)}"
-                   f" FROM {from_clause}")
+                   f" FROM {', '.join(from_parts)}")
             if (atom.relation in db.relations()
                     and db.arity_of(atom.relation) == atom.arity):
                 columns = ", ".join(
                     default_column(p) for p in range(atom.arity))
                 sql += f" EXCEPT SELECT {columns} FROM {atom.relation}"
             for row in connection.execute(sql, params):
-                note(Tuple(atom.relation, tuple(row)))
+                tup = Tuple(atom.relation, tuple(row))
+                projection = tuple(row[p] for p in projection_positions)
+                for key in groups.get(projection, ()):
+                    note(key, tup)
     finally:
-        for name in domain_tables.values():
+        for name in temp_tables:
             connection.execute(f"DROP TABLE IF EXISTS {name}")
-    return frozenset(candidates)
+    return {key: frozenset(values) for key, values in per_answer.items()}

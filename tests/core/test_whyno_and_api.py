@@ -90,6 +90,47 @@ class TestWhyNoResponsibility:
                                       Tuple("R", ("a", "b")))
 
 
+class TestWhyNoTiedWitnesses:
+    """Contingency selection must be deterministic under tied witnesses.
+
+    ``whyno_causes_with_responsibility`` used ``min(witnesses, key=len)``,
+    whose winner under equal lengths depends on set iteration order;
+    ``whyno_minimum_contingency`` already broke ties by ``(len, sorted
+    repr)``.  Both must pick the same witness, for every insertion order of
+    the tied candidates.
+    """
+
+    @staticmethod
+    def _combined(candidate_labels):
+        """q :- A(x), B(x, y) with candidate A(1) and tied B(1, ·) partners."""
+        db = database_from_dict({"R0": [("seed",)]})  # non-empty active domain
+        candidates = [Tuple("A", (1,))] + \
+            [Tuple("B", (1, label)) for label in candidate_labels]
+        return build_whyno_instance(db, candidates)
+
+    @pytest.mark.parametrize("labels", [("p", "q"), ("q", "p"),
+                                        ("z", "m", "a")])
+    def test_causes_agree_with_minimum_contingency(self, labels):
+        q = parse_query("q :- A(x), B(x, y)")
+        combined = self._combined(labels)
+        causes = {c.tuple: c for c in
+                  whyno_causes_with_responsibility(q, combined)}
+        for tup, cause in causes.items():
+            assert cause.contingency == \
+                whyno_minimum_contingency(q, combined, tup), (labels, tup)
+        # A(1) has one tied witness {A(1), B(1, ℓ)} per label ℓ; the canonical
+        # pick is the lexicographically smallest repr.
+        best_label = min(labels)
+        assert causes[Tuple("A", (1,))].contingency == \
+            frozenset({Tuple("B", (1, best_label))})
+
+    def test_tied_witnesses_share_responsibility(self):
+        q = parse_query("q :- A(x), B(x, y)")
+        combined = self._combined(("p", "q"))
+        rho = whyno_responsibility(q, combined, Tuple("A", (1,)))
+        assert rho == Fraction(1, 2)
+
+
 class TestExplainWhySo:
     def test_example22_explanation(self, example22_db, example22_query):
         db, tuples = example22_db

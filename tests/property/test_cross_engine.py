@@ -19,13 +19,20 @@ from repro.core import (
     exact_responsibility,
     explain,
     flow_responsibility_value,
+    whyno_causes_with_responsibility,
 )
-from repro.engine import BatchExplainer
-from repro.lineage import n_lineage
+from repro.engine import BatchExplainer, WhyNoBatchExplainer
+from repro.lineage import (
+    build_whyno_instance,
+    candidate_missing_tuples,
+    n_lineage,
+)
 from repro.relational import (
+    Atom,
     ConjunctiveQuery,
     QueryEvaluator,
     SQLiteEvaluator,
+    evaluate,
     evaluate_boolean,
 )
 from repro.workloads import chain_query, random_database_for_query, star_query
@@ -199,5 +206,108 @@ class TestSQLiteBackendMatchesMemory:
                     for c in memory_all[answer].ranked()] == \
                 [(c.tuple, c.responsibility)
                  for c in sqlite_all[answer].ranked()]
+
+
+class TestWhyNoBatchMatchesPerNonAnswer:
+    """The batched Why-No engine reproduces ``explain(mode="why-no")`` bit
+    for bit — same causes, responsibilities *and* contingencies — on random
+    instances, for both backends and through the legacy per-instance pipeline
+    (candidates → combined instance → n-lineage causes)."""
+
+    @staticmethod
+    def non_answers_of(query, db):
+        answers = evaluate(query, db)
+        return [(value,) for value in sorted(db.active_domain(), key=repr)
+                if (value,) not in answers]
+
+    @staticmethod
+    def whyno_ranking(explanation):
+        return [(c.tuple, c.responsibility, c.contingency)
+                for c in explanation.ranked()]
+
+    @pytest.mark.parametrize("make_query", [open_chain, open_star],
+                             ids=["chain", "star"])
+    @pytest.mark.parametrize("size", [2, 3])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batched_whyno_equals_per_non_answer_loop(self, make_query, size,
+                                                      seed):
+        query = make_query(size)
+        db = random_database_for_query(query, tuples_per_relation=3,
+                                       domain_size=4, seed=seed)
+        non_answers = self.non_answers_of(query, db)
+        if not non_answers:
+            pytest.skip("random instance leaves no answer missing")
+        for backend in ("memory", "sqlite"):
+            batch = WhyNoBatchExplainer(query, db, non_answers=non_answers,
+                                        backend=backend)
+            explanations = batch.explain_all()
+            assert list(explanations) == non_answers
+            for na in non_answers:
+                single = explain(query, db, answer=na, mode="why-no",
+                                 backend=backend)
+                assert self.whyno_ranking(explanations[na]) == \
+                    self.whyno_ranking(single), (query.name, seed, backend, na)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_self_join_queries_agree(self, seed):
+        # Self-joins are the adversarial case for the shared combined
+        # instance: a head-free R atom matches every R candidate in the
+        # union, so per-non-answer candidate isolation is load-bearing here.
+        query = ConjunctiveQuery(
+            [Atom("R", ["x0", "x1"]), Atom("R", ["x1", "x2"])],
+            head=["x0"], name="selfjoin_open")
+        db = random_database_for_query(query, tuples_per_relation=3,
+                                       domain_size=3, seed=seed)
+        non_answers = self.non_answers_of(query, db)
+        if not non_answers:
+            pytest.skip("random instance leaves no answer missing")
+        for backend in ("memory", "sqlite"):
+            batch = WhyNoBatchExplainer(query, db, non_answers=non_answers,
+                                        backend=backend).explain_all()
+            for na in non_answers:
+                single = explain(query, db, answer=na, mode="why-no",
+                                 backend=backend)
+                assert self.whyno_ranking(batch[na]) == \
+                    self.whyno_ranking(single), (seed, backend, na)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batched_whyno_equals_legacy_pipeline(self, seed):
+        query = open_chain(2)
+        db = random_database_for_query(query, tuples_per_relation=3,
+                                       domain_size=4, seed=seed)
+        non_answers = self.non_answers_of(query, db)
+        if not non_answers:
+            pytest.skip("random instance leaves no answer missing")
+        batch = WhyNoBatchExplainer(query, db,
+                                    non_answers=non_answers).explain_all()
+        for na in non_answers:
+            bound = query.bind(na)
+            combined = build_whyno_instance(
+                db, candidate_missing_tuples(bound, db))
+            legacy = whyno_causes_with_responsibility(bound, combined)
+            assert [(c.tuple, c.responsibility, c.contingency)
+                    for c in batch[na].causes] == \
+                [(c.tuple, c.responsibility, c.contingency)
+                 for c in legacy], (seed, na)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(6))
+    def test_larger_whyno_instances(self, seed):
+        query = open_chain(3)
+        db = random_database_for_query(query, tuples_per_relation=5,
+                                       domain_size=4, seed=seed)
+        non_answers = self.non_answers_of(query, db)
+        if not non_answers:
+            pytest.skip("random instance leaves no answer missing")
+        memory_all = WhyNoBatchExplainer(
+            query, db, non_answers=non_answers).explain_all()
+        sqlite_all = WhyNoBatchExplainer(
+            query, db, non_answers=non_answers,
+            backend="sqlite").explain_all()
+        for na in non_answers:
+            assert self.whyno_ranking(memory_all[na]) == \
+                self.whyno_ranking(sqlite_all[na]) == \
+                self.whyno_ranking(explain(query, db, answer=na,
+                                           mode="why-no")), (seed, na)
 
 

@@ -94,6 +94,60 @@ class TestExplainBatchCommand:
         assert capsys.readouterr().out == memory_out
 
 
+class TestExplainBatchWhyNoCommand:
+    def test_explicit_non_answers(self, data_file, capsys):
+        code = main(["explain-batch", "--data", data_file,
+                     "--query", "q(x) :- R(x, y), S(y)", "--mode", "why-no",
+                     "--non-answer", "a1", "--non-answer", "a9",
+                     "--domain", "y=a1,a2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 missing answer(s)" in out
+        assert "missing answer ('a1',)" in out
+        assert "missing answer ('a9',)" in out
+        assert "R('a1', 'a1')" in out
+
+    def test_missing_answers_enumerated_without_non_answer_flag(
+            self, data_file, capsys):
+        code = main(["explain-batch", "--data", data_file,
+                     "--query", "q(x) :- R(x, y), S(y)", "--mode", "why-no",
+                     "--domain", "x=a1,a2", "--domain", "y=a1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # a2 is an answer, so only a1 is missing within the head domain.
+        assert "1 missing answer(s)" in out
+        assert "missing answer ('a1',)" in out
+
+    def test_matches_single_why_no_ranking(self, data_file, capsys):
+        assert main(["explain", "--data", data_file,
+                     "--query", "q(x) :- R(x, y), S(y)", "--answer", "a1",
+                     "--why-no"]) == 0
+        single_out = capsys.readouterr().out
+        single_table = single_out.split("ρ_t")[1]
+        assert main(["explain-batch", "--data", data_file,
+                     "--query", "q(x) :- R(x, y), S(y)", "--mode", "why-no",
+                     "--non-answer", "a1"]) == 0
+        batch_out = capsys.readouterr().out
+        assert batch_out.split("ρ_t")[1] == single_table
+
+    def test_sqlite_backend_output_matches_memory(self, data_file, capsys):
+        args = ["explain-batch", "--data", data_file,
+                "--query", "q(x) :- R(x, y), S(y)", "--mode", "why-no",
+                "--non-answer", "a1", "--non-answer", "a3",
+                "--domain", "y=a1,a2,a3"]
+        assert main(args) == 0
+        memory_out = capsys.readouterr().out
+        assert main(args + ["--backend", "sqlite"]) == 0
+        assert capsys.readouterr().out == memory_out
+
+    def test_actual_answer_rejected(self, data_file):
+        from repro.exceptions import CausalityError
+        with pytest.raises(CausalityError):
+            main(["explain-batch", "--data", data_file,
+                  "--query", "q(x) :- R(x, y), S(y)", "--mode", "why-no",
+                  "--non-answer", "a4"])
+
+
 class TestExplainBackendFlag:
     def test_why_so_sqlite(self, data_file, capsys):
         args = ["explain", "--data", data_file,
