@@ -1,0 +1,179 @@
+"""Incremental re-explanation vs. from-scratch re-runs (this PR's headline).
+
+The interactive loop the paper motivates — inspect a ranking, delete a few
+suspect tuples, ask "why so / why no" again — used to pay a full re-run per
+change: re-load the backend, re-evaluate the open query, re-explain every
+answer.  The delta-aware engines instead apply the change to the live
+backend session in place and re-evaluate only the valuation groups whose
+lineage the change touches (:meth:`repro.engine.BatchExplainer.refresh`,
+:meth:`repro.engine.WhyNoBatchExplainer.refresh`).
+
+This module pins that speedup on a ≤ 5-tuple delta against the same
+Fig. 2-scale workload ``bench_batch_explain`` uses, on **both** backends,
+and asserts bit-identical output: the refreshed explanations must equal a
+from-scratch explain on the mutated database, answer by answer, cause by
+cause (the randomized twin lives in ``tests/property/test_incremental.py``).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the workload and only requires parity plus
+a nominal ≥ 1× speedup, so CI smoke stays timing-noise-proof.
+
+Run with ``pytest benchmarks/bench_incremental.py -s`` to see the table.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.engine import BatchExplainer, WhyNoBatchExplainer
+from repro.relational import Database, DatabaseDelta, parse_query
+from repro.relational.tuples import Tuple
+from repro.workloads import random_two_table_instance
+
+QUERY = parse_query("q(x) :- R(x, y), S(y, z)")
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+MIN_SPEEDUP = 1.0 if SMOKE else 3.0
+N_R = 60 if SMOKE else 150
+N_S = 40 if SMOKE else 100
+DOMAIN = 18 if SMOKE else 25
+
+
+def ranking(explanation):
+    return [(c.tuple, c.responsibility, c.contingency)
+            for c in explanation.ranked()]
+
+
+def build_workload() -> Database:
+    return random_two_table_instance(n_r=N_R, n_s=N_S, domain_size=DOMAIN,
+                                     seed=3)
+
+
+def small_delta(database: Database) -> DatabaseDelta:
+    """A ≤ 5-tuple recorded change touching a handful of lineages."""
+    r_tuples = sorted(database.tuples_of("R"))
+    s_tuples = sorted(database.tuples_of("S"))
+    return DatabaseDelta(
+        deletes=[r_tuples[0], s_tuples[0]],
+        inserts=[Tuple("R", ("fresh_x", s_tuples[1][0])),
+                 (s_tuples[2], False)],  # partition flip
+    )
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+def test_whyso_refresh_matches_and_beats_from_scratch(backend, table_printer):
+    database = build_workload()
+    explainer = BatchExplainer(QUERY, database, backend=backend)
+    baseline = explainer.explain_all()
+    assert len(baseline) >= 10, "workload too small to be meaningful"
+    delta = small_delta(database)
+
+    start = time.perf_counter()
+    report = explainer.refresh(delta)
+    refreshed = explainer.explain_all()
+    refresh_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scratch = BatchExplainer(QUERY, database.copy(),
+                             backend=backend).explain_all()
+    scratch_seconds = time.perf_counter() - start
+
+    assert set(refreshed) == set(scratch)
+    for answer in scratch:
+        assert ranking(refreshed[answer]) == ranking(scratch[answer]), (
+            f"refresh diverged from from-scratch for {answer!r}")
+    assert not report.full_reset
+    assert len(report.stale | report.new_answers) < len(scratch), (
+        "the small delta should leave most answers untouched")
+
+    speedup = scratch_seconds / refresh_seconds if refresh_seconds \
+        else float("inf")
+    table_printer(
+        f"Why-So refresh vs. from-scratch ({backend})",
+        ("variant", "answers", "re-explained", "seconds"),
+        [
+            ("from-scratch explain_all", len(scratch), len(scratch),
+             f"{scratch_seconds:.3f}"),
+            ("refresh(delta) + explain_all", len(refreshed),
+             len(report.stale | report.new_answers),
+             f"{refresh_seconds:.3f}"),
+            ("speedup", "", "", f"{speedup:.1f}x"),
+        ],
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"refresh only {speedup:.1f}x faster (wanted >= {MIN_SPEEDUP}x)"
+    )
+
+
+WHYNO_QUERY = parse_query("q(x) :- R(x, y), S(y), T(y)")
+WHYNO_MISSING = 12 if SMOKE else 30
+WHYNO_DOMAIN = 5 if SMOKE else 8
+WHYNO_CONTEXT = 200 if SMOKE else 2000
+
+
+def build_whyno_workload():
+    """As in ``bench_whyno_batch``: R populated, S partial, T empty."""
+    db = Database()
+    for i in range(WHYNO_MISSING):
+        db.add_fact("R", f"x{i}", f"b{i % WHYNO_DOMAIN}")
+        db.add_fact("R", f"x{i}", f"b{(i + 1) % WHYNO_DOMAIN}")
+    for j in range(0, WHYNO_DOMAIN, 2):
+        db.add_fact("S", f"b{j}")
+    for k in range(WHYNO_CONTEXT):
+        db.add_fact("Log", f"x{k % WHYNO_MISSING}", f"event{k}",
+                    endogenous=False)
+    domains = {"y": [f"b{j}" for j in range(WHYNO_DOMAIN)]}
+    non_answers = [(f"x{i}",) for i in range(WHYNO_MISSING)]
+    return db, domains, non_answers
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+def test_whyno_refresh_matches_and_beats_from_scratch(backend, table_printer):
+    database, domains, non_answers = build_whyno_workload()
+    explainer = WhyNoBatchExplainer(WHYNO_QUERY, database,
+                                    non_answers=non_answers,
+                                    domains=domains, backend=backend)
+    baseline = explainer.explain_all()
+    assert len(baseline) == len(non_answers)
+    # ≤ 5 tuples, local to two non-answers: drop both R witnesses of x1 and
+    # give x2 a fresh join partner (a shared-S delete would legitimately
+    # touch every lineage — that case is covered by the property suite).
+    delta = DatabaseDelta(
+        deletes=[Tuple("R", ("x1", "b1")), Tuple("R", ("x1", "b2"))],
+        inserts=[Tuple("R", ("x2", f"b{WHYNO_DOMAIN - 1}"))],
+    )
+
+    start = time.perf_counter()
+    report = explainer.refresh(delta)
+    refreshed = explainer.explain_all()
+    refresh_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scratch_explainer = WhyNoBatchExplainer(
+        WHYNO_QUERY, database.copy(), non_answers=list(explainer.non_answers),
+        domains=domains, backend=backend)
+    scratch = scratch_explainer.explain_all()
+    scratch_seconds = time.perf_counter() - start
+
+    assert set(refreshed) == set(scratch)
+    for answer in scratch:
+        assert ranking(refreshed[answer]) == ranking(scratch[answer]), (
+            f"refresh diverged from from-scratch for {answer!r}")
+
+    speedup = scratch_seconds / refresh_seconds if refresh_seconds \
+        else float("inf")
+    table_printer(
+        f"Why-No refresh vs. from-scratch ({backend})",
+        ("variant", "non-answers", "re-explained", "seconds"),
+        [
+            ("from-scratch batch", len(scratch), len(scratch),
+             f"{scratch_seconds:.3f}"),
+            ("refresh(delta) + explain_all", len(refreshed),
+             len(report.stale), f"{refresh_seconds:.3f}"),
+            ("speedup", "", "", f"{speedup:.1f}x"),
+        ],
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"refresh only {speedup:.1f}x faster (wanted >= {MIN_SPEEDUP}x)"
+    )

@@ -40,6 +40,7 @@ from .core import (
     Cause,
     ComplexityCategory,
     Explanation,
+    ExplanationSession,
     actual_causes,
     causes_of,
     classify,
@@ -49,9 +50,11 @@ from .core import (
 )
 from .relational import (
     Atom,
+    BackendSession,
     ConjunctiveQuery,
     Constant,
     Database,
+    DatabaseDelta,
     Schema,
     RelationSchema,
     Tuple,
@@ -59,6 +62,7 @@ from .relational import (
     database_from_dict,
     evaluate,
     evaluate_boolean,
+    open_session,
     parse_atom,
     parse_query,
 )
@@ -67,6 +71,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "Atom",
+    "BackendSession",
     "BatchExplainer",
     "CausalityMode",
     "Cause",
@@ -74,7 +79,9 @@ __all__ = [
     "ConjunctiveQuery",
     "Constant",
     "Database",
+    "DatabaseDelta",
     "Explanation",
+    "ExplanationSession",
     "LineageCache",
     "WhyNoBatchExplainer",
     "RelationSchema",
@@ -91,6 +98,7 @@ __all__ = [
     "evaluate",
     "evaluate_boolean",
     "explain",
+    "open_session",
     "parse_atom",
     "parse_query",
     "responsibilities",

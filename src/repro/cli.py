@@ -17,6 +17,10 @@ driven without writing Python:
   instance (``--domain y=b1,b2`` restricts a variable's candidate domain;
   omit ``--non-answer`` entirely to explain every missing answer the head
   domains allow);
+* ``repro explain-batch --delta change.json ...`` — after the initial
+  explanations, apply a recorded change (inserts/deletes in the same JSON
+  relation format) through the delta-aware engines and re-explain *only*
+  the answers whose lineage the change touches (both modes);
 * ``repro demo`` — run the built-in Fig. 2 IMDB scenario.
 
 The JSON data format is ``{"relations": {"R": [[...], ...]},
@@ -36,7 +40,8 @@ from typing import List, Optional, Sequence
 from .core import CausalityMode, classify, explain
 from .engine import BatchExplainer, WhyNoBatchExplainer
 from .exceptions import CausalityError
-from .relational import Database, database_from_dict, parse_query
+from .relational import Database, DatabaseDelta, database_from_dict, parse_query
+from .relational.tuples import value_sort_key
 from .workloads import generate_imdb
 
 
@@ -102,6 +107,30 @@ def _parse_domains(raw: Optional[List[str]]) -> Optional[dict]:
     return domains
 
 
+def _refresh_and_print(explainer, delta_path: str, top: Optional[int],
+                       label: str) -> None:
+    """Apply a recorded delta through ``refresh`` and print what changed."""
+    delta = DatabaseDelta.from_json_file(delta_path)
+    report = explainer.refresh(delta)
+    print(f"\napplied delta {delta!r}: {report!r}")
+    if report.full_reset:
+        explanations = explainer.explain_all()
+        print(f"re-explained all {len(explanations)} {label}(s):")
+    else:
+        stale = sorted(report.stale | report.new_answers, key=value_sort_key)
+        for removed in sorted(report.removed_answers, key=value_sort_key):
+            print(f"  {label} {removed!r} is gone after the delta")
+        if not stale:
+            print("no explanation touched by the delta")
+            return
+        explanations = {key: explainer.explain(key) for key in stale}
+        print(f"re-explained {len(stale)} {label}(s) "
+              "(the rest are unchanged):")
+    for answer, explanation in explanations.items():
+        print(f"\ncauses of {label} {answer!r}:")
+        print(explanation.to_table(top=top))
+
+
 def _cmd_explain_batch(args: argparse.Namespace) -> int:
     database = _load_database(args.data)
     query = parse_query(args.query)
@@ -117,6 +146,8 @@ def _cmd_explain_batch(args: argparse.Namespace) -> int:
     for answer, explanation in explanations.items():
         print(f"\ncauses of answer {answer!r}:")
         print(explanation.to_table(top=args.top))
+    if args.delta is not None:
+        _refresh_and_print(explainer, args.delta, args.top, "answer")
     if args.cache_stats:
         if args.workers is not None and args.workers > 1:
             print("\nlineage cache: no in-process statistics — with --workers "
@@ -150,6 +181,8 @@ def _run_whyno_batch(args: argparse.Namespace, query, database: Database) -> int
         else:
             print("  no candidate insertions complete a witness "
                   "(restrict --domain less tightly?)")
+    if args.delta is not None:
+        _refresh_and_print(explainer, args.delta, args.top, "missing answer")
     if args.cache_stats:
         print("\nlineage cache: not used by the Why-No engine "
               "(responsibilities are read off witness sizes)")
@@ -221,6 +254,11 @@ def build_parser() -> argparse.ArgumentParser:
                               choices=("memory", "sqlite"),
                               help="execution backend for the valuation pass "
                                    "(default: memory)")
+    batch_parser.add_argument("--delta", default=None, metavar="FILE",
+                              help="after explaining, apply a recorded JSON "
+                                   "delta ({\"insert\": {\"relations\": ...}, "
+                                   "\"delete\": ...}) and incrementally "
+                                   "re-explain only what it touches")
     batch_parser.add_argument("--workers", type=int, default=None,
                               help="fan answers out over N worker processes")
     batch_parser.add_argument("--top", type=int, default=None,

@@ -17,7 +17,7 @@ Highlights
 """
 
 from .abstract import AbstractAtom, AbstractQuery, abstract_query
-from .api import Explanation, causes_of, explain
+from .api import Explanation, ExplanationSession, causes_of, explain
 from .bruteforce import (
     brute_force_causes,
     brute_force_is_cause,
@@ -97,6 +97,7 @@ __all__ = [
     "DichotomyResult",
     "DualHypergraph",
     "Explanation",
+    "ExplanationSession",
     "FlowEngine",
     "FlowResponsibilityResult",
     "ResponsibilityResult",

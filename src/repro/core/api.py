@@ -91,6 +91,151 @@ class Explanation:
         return f"Explanation({label} {self.answer!r}, {len(self.causes)} causes)"
 
 
+class ExplanationSession:
+    """A long-lived explanation context over one query and database.
+
+    The one-shot :func:`explain` rebuilds its engine per call; an
+    ``ExplanationSession`` keeps the delta-aware batch engines — the Why-So
+    :class:`~repro.engine.batch.BatchExplainer` and the last Why-No
+    :class:`~repro.engine.whyno_batch.WhyNoBatchExplainer` — alive across
+    calls, so repeated questions share evaluation state and a recorded
+    change (:class:`~repro.relational.delta.DatabaseDelta`) re-evaluates
+    only the answers whose lineage it touches (:meth:`refresh`).  This is
+    the paper's interactive loop: inspect a ranking, delete a few suspect
+    tuples, ask again.
+
+    Examples
+    --------
+    >>> from repro.relational import Database, DatabaseDelta, parse_query
+    >>> from repro.relational.tuples import Tuple
+    >>> db = Database()
+    >>> for x, y in [("a2", "a1"), ("a4", "a3")]:
+    ...     _ = db.add_fact("R", x, y)
+    >>> for y in ["a1", "a3"]:
+    ...     _ = db.add_fact("S", y)
+    >>> session = ExplanationSession(parse_query("q(x) :- R(x, y), S(y)"), db)
+    >>> [c.tuple for c in session.explain(("a4",)).ranked()]
+    [R('a4', 'a3'), S('a3')]
+    >>> report = session.refresh(DatabaseDelta(deletes=[Tuple("S", ("a3",))]))
+    >>> sorted(session.answers())
+    [('a2',)]
+    """
+
+    def __init__(self, query: ConjunctiveQuery, database: Database,
+                 method: str = "auto", backend: str = "memory"):
+        from ..engine.batch import BatchExplainer  # local: engine builds on core
+
+        self.query = query
+        self.database = database
+        self.method = method
+        self.backend = backend
+        self._whyso: Optional[Any] = None
+        self._whyno: Optional[Any] = None
+        self._explainer_cls = BatchExplainer
+
+    # -- engine plumbing -------------------------------------------------- #
+    def _whyso_engine(self):
+        if self._whyso is None:
+            self._whyso = self._explainer_cls(
+                self.query, self.database, method=self.method,
+                backend=self.backend)
+        return self._whyso
+
+    def _whyno_engine(self, non_answers, domains, candidates):
+        """The last Why-No batch, reused when it already covers the request."""
+        from ..engine.whyno_batch import WhyNoBatchExplainer
+
+        keys = [() if self.query.is_boolean else tuple(a)
+                for a in (non_answers or [()])]
+        engine = self._whyno
+        if engine is not None and engine.covers(keys, domains, candidates):
+            return engine
+        self._whyno = WhyNoBatchExplainer(
+            self.query, self.database, non_answers=keys, domains=domains,
+            candidates=candidates, backend=self.backend)
+        return self._whyno
+
+    # -- queries ---------------------------------------------------------- #
+    def answers(self) -> List[Any]:
+        """Every answer of the query, via the shared Why-So engine."""
+        return self._whyso_engine().answers()
+
+    def explain(self, answer: Optional[Sequence[Any]] = None,
+                mode: CausalityMode = CausalityMode.WHY_SO,
+                whyno_candidates: Optional[Iterable[Tuple]] = None,
+                whyno_domains: Optional[Mapping[str, Iterable[Any]]] = None
+                ) -> Explanation:
+        """As :func:`explain`, over the session's shared engines."""
+        mode = CausalityMode.coerce(mode)
+        if self.query.is_boolean:
+            if answer not in (None, (), []):
+                raise CausalityError("a Boolean query takes no answer tuple")
+        elif answer is None:
+            raise CausalityError(
+                "a non-Boolean query needs the answer (or non-answer) tuple "
+                "to explain"
+            )
+        if mode is CausalityMode.WHY_SO:
+            return self._whyso_engine().explain(answer)
+        key = () if self.query.is_boolean else tuple(answer)
+        engine = self._whyno_engine([key], whyno_domains, whyno_candidates)
+        explanation = engine.explain(key)
+        return Explanation(self.query, answer, mode, explanation.causes)
+
+    def explain_all(self, answers: Optional[Iterable[Sequence[Any]]] = None,
+                    workers: Optional[int] = None) -> Dict[Any, Explanation]:
+        """Why-So explanations for every answer, via the shared engine."""
+        return self._whyso_engine().explain_all(answers, workers=workers)
+
+    def for_missing_answers(
+        self, domains: Optional[Mapping[str, Iterable[Any]]] = None,
+        max_candidates: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> Dict[Any, Explanation]:
+        """Why-No explanations for every missing answer the domains allow.
+
+        The constructed batch becomes the session's live Why-No engine, so a
+        later :meth:`refresh` re-evaluates only the touched non-answers.
+        """
+        from ..engine.whyno_batch import WhyNoBatchExplainer
+
+        self._whyno = WhyNoBatchExplainer.for_missing_answers(
+            self.query, self.database, domains=domains,
+            max_candidates=max_candidates, backend=self.backend)
+        return self._whyno.explain_all(workers=workers)
+
+    # -- incremental re-explanation --------------------------------------- #
+    def refresh(self, delta) -> Dict[str, Any]:
+        """Apply one recorded change to *both* live engines, exactly once.
+
+        The engines share ``self.database``; the delta is applied to it a
+        single time and the already-applied change set is handed to the
+        Why-No engine, whose combined instance is a separate object.
+        Returns ``{"why-so": RefreshReport | None, "why-no": ... | None}``
+        for whichever engines exist.
+        """
+        reports: Dict[str, Any] = {"why-so": None, "why-no": None}
+        changed = None
+        if self._whyso is not None:
+            report = self._whyso.refresh(delta)
+            changed = report.changed_tuples
+            reports["why-so"] = report
+        if self._whyno is not None:
+            if changed is None:
+                changed = delta.apply_to(self.database)
+            reports["why-no"] = self._whyno.refresh(delta, _changed=changed)
+        if self._whyso is None and self._whyno is None:
+            delta.apply_to(self.database)
+        return reports
+
+    def __repr__(self) -> str:
+        live = [name for name, engine in
+                (("why-so", self._whyso), ("why-no", self._whyno))
+                if engine is not None]
+        return (f"ExplanationSession({self.query!r}, {self.database!r}, "
+                f"backend={self.backend!r}, engines={live or ['none']})")
+
+
 def explain(query: ConjunctiveQuery, database: Database,
             answer: Optional[Sequence[Any]] = None,
             mode: CausalityMode = CausalityMode.WHY_SO,
@@ -120,36 +265,17 @@ def explain(query: ConjunctiveQuery, database: Database,
 
     Returns an :class:`Explanation` whose causes carry exact responsibilities.
 
-    Both modes are served by the batch subsystem with a single-answer scope —
-    Why-So by :class:`repro.engine.BatchExplainer`, Why-No by
-    :class:`repro.engine.WhyNoBatchExplainer` — so this entry point and the
-    batch ``explain_all`` paths share one code path and stay consistent.
+    Both modes are served by a one-shot :class:`ExplanationSession` — Why-So
+    through :class:`repro.engine.BatchExplainer`, Why-No through
+    :class:`repro.engine.WhyNoBatchExplainer` — so this entry point, the
+    batch ``explain_all`` paths and the long-lived session API share one
+    code path and stay consistent.
     """
-    mode = CausalityMode.coerce(mode)
-    if query.is_boolean:
-        if answer not in (None, (), []):
-            raise CausalityError("a Boolean query takes no answer tuple")
-    elif answer is None:
-        raise CausalityError(
-            "a non-Boolean query needs the answer (or non-answer) tuple to explain"
-        )
-
-    if mode is CausalityMode.WHY_SO:
-        from ..engine.batch import BatchExplainer  # local: engine builds on core
-
-        explainer = BatchExplainer(query, database, method=method,
-                                   backend=backend)
-        return explainer.explain(answer)
-
-    # Why-No: a single-non-answer batch over the combined instance Dx ∪ Dn.
-    from ..engine.whyno_batch import WhyNoBatchExplainer  # local: engine builds on core
-
-    key = () if query.is_boolean else tuple(answer)
-    explainer = WhyNoBatchExplainer(
-        query, database, non_answers=[key], domains=whyno_domains,
-        candidates=whyno_candidates, backend=backend)
-    explanation = explainer.explain(key)
-    return Explanation(query, answer, mode, explanation.causes)
+    session = ExplanationSession(query, database, method=method,
+                                 backend=backend)
+    return session.explain(answer, mode=mode,
+                           whyno_candidates=whyno_candidates,
+                           whyno_domains=whyno_domains)
 
 
 def causes_of(query: ConjunctiveQuery, database: Database,

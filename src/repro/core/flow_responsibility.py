@@ -46,6 +46,7 @@ from ..flow.network import INFINITY, FlowNetwork
 from ..relational.database import Database
 from ..relational.evaluation import QueryEvaluator
 from ..relational.query import Atom, ConjunctiveQuery, Constant, Variable
+from ..relational.query import match_atom as _match_atom_terms
 from ..relational.tuples import Tuple
 from .abstract import AbstractQuery, abstract_query
 from .definitions import responsibility_value
@@ -84,23 +85,17 @@ class FlowResponsibilityResult:
 # helpers
 # --------------------------------------------------------------------------- #
 def match_atom(atom: Atom, tup: Tuple) -> Optional[Dict[str, Any]]:
-    """Match a tuple against an atom; return the variable assignment or None.
+    """Match a tuple against an atom; the name-keyed variable assignment.
 
-    Constants must agree and repeated variables must receive equal values.
+    A thin view over the shared unifier
+    :func:`~repro.relational.query.match_atom` (constants must agree,
+    repeated variables must receive equal values), keyed by variable *name*
+    as the layer construction expects.
     """
-    if atom.relation != tup.relation or atom.arity != tup.arity:
+    mapping = _match_atom_terms(atom, tup)
+    if mapping is None:
         return None
-    assignment: Dict[str, Any] = {}
-    for term, value in zip(atom.terms, tup.values):
-        if isinstance(term, Constant):
-            if term.value != value:
-                return None
-        else:
-            assert isinstance(term, Variable)
-            if term.name in assignment and assignment[term.name] != value:
-                return None
-            assignment[term.name] = value
-    return assignment
+    return {variable.name: value for variable, value in mapping.items()}
 
 
 def _variable_domains(query: ConjunctiveQuery, database: Database) -> Dict[str, Set[Any]]:

@@ -20,13 +20,14 @@ paths (Why-So and Why-No alike), so both entry points stay bit-compatible by
 construction.
 """
 
-from .batch import BatchExplainer, batch_explain
+from .batch import BatchExplainer, RefreshReport, batch_explain
 from .cache import LineageCache
 from .whyno_batch import WhyNoBatchExplainer, batch_explain_whyno
 
 __all__ = [
     "BatchExplainer",
     "LineageCache",
+    "RefreshReport",
     "WhyNoBatchExplainer",
     "batch_explain",
     "batch_explain_whyno",

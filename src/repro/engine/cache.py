@@ -19,11 +19,28 @@ per-database side table instead.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, FrozenSet, Hashable, Optional
+from typing import Any, Callable, FrozenSet, Hashable, Iterable, Optional
 
 from ..core.responsibility import minimum_contingency_from_lineage
 from ..lineage.boolean_expr import PositiveDNF
 from ..relational.tuples import Tuple
+
+
+def _key_mentions(key: Hashable, tuples: FrozenSet[Tuple]) -> bool:
+    """Does a cache key reference any of the given database tuples?
+
+    Keys are trees of hashables; the tuple-bearing leaves are
+    :class:`~repro.relational.tuples.Tuple` values (the inspected tuple) and
+    :class:`PositiveDNF` formulas (whose variables are tuples).  Anything
+    else is opaque and treated as tuple-free.
+    """
+    if isinstance(key, Tuple):
+        return key in tuples
+    if isinstance(key, PositiveDNF):
+        return bool(key.variables() & tuples)
+    if isinstance(key, (tuple, frozenset)):
+        return any(_key_mentions(part, tuples) for part in key)
+    return False
 
 
 class LineageCache:
@@ -99,6 +116,44 @@ class LineageCache:
             lambda: minimum_contingency_from_lineage(phi_n, tuple_,
                                                      assume_minimal=True),
         )
+
+    # ------------------------------------------------------------------ #
+    # per-tuple invalidation (incremental re-explanation)
+    # ------------------------------------------------------------------ #
+    def invalidate_tuples(self, tuples: Iterable[Tuple]) -> int:
+        """Drop every entry whose key mentions one of ``tuples``; returns count.
+
+        Called by the engines' ``refresh(delta)`` with the delta's changed
+        tuples — inserts, deletes and partition flips alike, on *either*
+        side of the endogenous/exogenous split.  The n-lineage part of a key
+        only carries endogenous tuples (exogenous ones were substituted
+        true), so an entry computed against a conjunct that silently lost an
+        exogenous tuple would otherwise keep serving its old responsibility;
+        dropping by the inspected tuple and by the lineage variables covers
+        both channels.
+
+        Examples
+        --------
+        >>> cache = LineageCache()
+        >>> t = Tuple("R", (1,))
+        >>> _ = cache.minimum_contingency(PositiveDNF([{t}]), t)
+        >>> cache.invalidate_tuples([t])
+        1
+        >>> len(cache)
+        0
+        """
+        doomed = frozenset(tuples)
+        if not doomed:
+            return 0
+        stale = [key for key in self._entries
+                 if _key_mentions(key, doomed)]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def invalidate_tuple(self, tuple_: Tuple) -> int:
+        """Single-tuple convenience for :meth:`invalidate_tuples`."""
+        return self.invalidate_tuples((tuple_,))
 
     # ------------------------------------------------------------------ #
     def clear(self) -> None:

@@ -34,6 +34,15 @@ workload almost all of that work is shared, mirroring the Why-So
 Independent non-answers can be fanned out over a ``concurrent.futures``
 process pool (``workers=N``); each worker rebuilds the batch for its chunk,
 and per-non-answer independence makes the results equal to the serial ones.
+
+On the ``sqlite`` backend the whole construction runs over **one** backend
+session: the real database is loaded once, serves the actual-answer check
+and the candidate generation, and is then mutated in place (all real tuples
+flipped exogenous, candidates inserted) into the combined instance for the
+shared valuation pass — the historical second load is gone.  The same seam
+powers :meth:`WhyNoBatchExplainer.refresh`: a recorded change to the real
+database is translated into a combined-instance delta and only the touched
+valuation groups are re-evaluated.
 """
 
 from __future__ import annotations
@@ -58,11 +67,13 @@ from ..exceptions import CausalityError
 from ..lineage.boolean_expr import PositiveDNF
 from ..lineage.whyno import batch_candidate_missing_tuples, build_whyno_instance
 from ..relational.database import Database
+from ..relational.delta import DatabaseDelta
 from ..relational.evaluation import QueryEvaluator, evaluate, evaluate_boolean
-from ..relational.query import ConjunctiveQuery, Variable
+from ..relational.query import ConjunctiveQuery, Variable, match_atom
+from ..relational.session import MemorySession, SQLiteSession
 from ..relational.tuples import Tuple, value_sort_key
 from ._pool import fan_out_chunks
-from .batch import BatchExplainer
+from .batch import BatchExplainer, RefreshReport
 
 Answer = TypingTuple[Any, ...]
 
@@ -137,6 +148,26 @@ class WhyNoBatchExplainer:
         self._explicit_candidates = None if candidates is None \
             else frozenset(candidates)
 
+        # One backend load for the whole construction: the same SQLite
+        # snapshot of the real database serves the actual-answer check and
+        # the candidate generation, then is mutated in place (flip all real
+        # tuples exogenous, insert the candidates) into the combined
+        # instance for the shared valuation pass — where two separate loads
+        # used to happen.
+        if backend == "sqlite":
+            from ..relational.sqlite_backend import (
+                SQLiteDatabase,
+                SQLiteEvaluator,
+            )
+
+            snapshot: Any = SQLiteDatabase(database)
+            real_evaluator: Any = SQLiteEvaluator(
+                database, respect_annotations=True, backend=snapshot)
+        else:
+            snapshot = None
+            real_evaluator = QueryEvaluator(database,
+                                            respect_annotations=True)
+
         if query.is_boolean:
             targets = [()] if non_answers is None \
                 else [tuple(a) for a in non_answers]
@@ -158,8 +189,7 @@ class WhyNoBatchExplainer:
         # :meth:`for_missing_answers` constructed the batch (bind() still
         # validates arity and head-constant consistency per target).
         actual = _actual_answers
-        checker = None if actual is not None \
-            else QueryEvaluator(database, respect_annotations=True)
+        checker = None if actual is not None else real_evaluator
         if checker is not None and not query.is_boolean and len(targets) > 1:
             actual = checker.answers(query)
         for target in targets:
@@ -174,19 +204,56 @@ class WhyNoBatchExplainer:
 
         if self._explicit_candidates is not None:
             per_answer = {t: self._explicit_candidates for t in targets}
+        elif backend == "sqlite":
+            from ..relational.sqlite_backend import (
+                sql_batch_candidate_missing_tuples,
+            )
+
+            per_answer = sql_batch_candidate_missing_tuples(
+                query, database, targets, domains=domains,
+                max_candidates=max_candidates, backend=snapshot)
         else:
             per_answer = batch_candidate_missing_tuples(
                 query, database, targets, domains=domains,
-                max_candidates=max_candidates, backend=backend)
+                max_candidates=max_candidates)
         self._per_answer_candidates: Dict[Answer, FrozenSet[Tuple]] = per_answer
         union: FrozenSet[Tuple] = frozenset().union(*per_answer.values()) \
             if per_answer else frozenset()
         self.combined = build_whyno_instance(database, union)
+        if backend == "sqlite":
+            snapshot.set_all_exogenous()
+            snapshot.apply_delta(DatabaseDelta(
+                inserts=[(tup, True) for tup in sorted(union)
+                         if not database.contains(tup)]))
+            session = SQLiteSession(self.combined, backend=snapshot)
+        else:
+            session = MemorySession(self.combined)
         # The sibling Why-So engine supplies the shared machinery: pluggable
         # evaluator over the combined instance, one open-query pass grouped
         # by head tuple, and the lazy bound-query path for single targets.
         self._inner = BatchExplainer(query, self.combined, method="exact",
-                                     backend=backend)
+                                     session=session)
+        # non-answer -> Explanation, kept across refreshes when untouched.
+        self._explanations: Dict[Answer, Explanation] = {}
+        # Set when a refresh failed after the delta already landed on the
+        # real database: the engine then refuses to serve (stale) answers.
+        self._poisoned: Optional[str] = None
+        # Variables whose candidate domain defaulted to the active domain —
+        # if a delta changes the active domain, their products change
+        # wholesale and refresh() falls back to full candidate regeneration.
+        head_set = frozenset(t for t in query.head if isinstance(t, Variable))
+        open_variables = sorted(query.variables() - head_set,
+                                key=lambda v: v.name)
+        self._resolved_domains: Dict[Variable, FrozenSet[Any]] = {}
+        self._defaulted_variables: List[Variable] = []
+        adom = frozenset(database.active_domain())
+        for variable in open_variables:
+            if domains is not None and variable.name in domains:
+                self._resolved_domains[variable] = frozenset(
+                    domains[variable.name])
+            else:
+                self._resolved_domains[variable] = adom
+                self._defaulted_variables.append(variable)
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -271,6 +338,24 @@ class WhyNoBatchExplainer:
         """All candidates in the shared combined instance (its ``Dn`` part)."""
         return self.combined.endogenous_tuples()
 
+    def covers(self, non_answers: Iterable[Sequence[Any]],
+               domains: Optional[Mapping[str, Iterable[Any]]] = None,
+               candidates: Optional[Iterable[Tuple]] = None) -> bool:
+        """Can this batch already serve these targets under this config?
+
+        True iff the generation config matches (same ``domains``, same
+        explicit ``candidates``) and every target is in the batch —
+        :class:`repro.core.api.ExplanationSession` uses this to reuse the
+        live engine instead of rebuilding one per call.
+        """
+        if self._poisoned is not None:
+            return False
+        explicit = None if candidates is None else frozenset(candidates)
+        return (self.domains == domains
+                and self._explicit_candidates == explicit
+                and all(tuple(a) in self._per_answer_candidates
+                        for a in non_answers))
+
     def n_lineage_of(self, non_answer: Optional[Sequence[Any]] = None,
                      simplify: bool = True) -> PositiveDNF:
         """The n-lineage of one non-answer over *its own* combined instance.
@@ -309,6 +394,8 @@ class WhyNoBatchExplainer:
         return phi_n.remove_redundant() if simplify else phi_n
 
     def _key(self, non_answer: Optional[Sequence[Any]]) -> Answer:
+        if self._poisoned is not None:
+            raise CausalityError(self._poisoned)
         if self.query.is_boolean:
             if non_answer not in (None, (), []):
                 raise CausalityError("a Boolean query takes no answer tuple")
@@ -328,13 +415,218 @@ class WhyNoBatchExplainer:
 
     def explain(self, non_answer: Optional[Sequence[Any]] = None
                 ) -> Explanation:
-        """The Why-No :class:`Explanation` of one non-answer of the batch."""
+        """The Why-No :class:`Explanation` of one non-answer of the batch.
+
+        Results are memoized per non-answer; :meth:`refresh` drops exactly
+        the memos a recorded change invalidates.
+        """
         key = self._key(non_answer)
+        memo = self._explanations.get(key)
+        if memo is not None:
+            return memo
         phi_n = self._n_lineage(key, simplify=True)
         causes = whyno_causes_from_n_lineage(phi_n)
-        return Explanation(self.query,
-                           None if self.query.is_boolean else key,
-                           CausalityMode.WHY_NO, causes)
+        explanation = Explanation(self.query,
+                                  None if self.query.is_boolean else key,
+                                  CausalityMode.WHY_NO, causes)
+        self._explanations[key] = explanation
+        return explanation
+
+    # ------------------------------------------------------------------ #
+    # incremental re-explanation
+    # ------------------------------------------------------------------ #
+    def _is_instantiation(self, tup: Tuple, key: Answer) -> bool:
+        """Would ``tup`` be generated as a candidate for non-answer ``key``?
+
+        True iff some bound atom of ``q[key]`` matches ``tup``
+        (:func:`~repro.relational.query.match_atom`, the same unifier the
+        Why-So delta semi-join and the flow engine use) with every open
+        variable drawn from its resolved candidate domain — the membership
+        test of the generators, answered without re-running any product.
+        """
+        head_mapping = {term: value
+                        for term, value in zip(self.query.head, key)
+                        if isinstance(term, Variable)}
+        for atom in self.query.atoms:
+            mapping = match_atom(atom.substitute(head_mapping), tup)
+            if mapping is not None and all(
+                    value in self._resolved_domains.get(variable, ())
+                    for variable, value in mapping.items()):
+                return True
+        return False
+
+    def _refreshed_candidates(
+        self, changed: FrozenSet[Tuple]
+    ) -> TypingTuple[Dict[Answer, FrozenSet[Tuple]], FrozenSet[Answer]]:
+        """Per-target candidate sets after a real-database change.
+
+        Returns ``(new_sets, targets_whose_set_changed)``.  Explicit
+        candidate sets are fixed by the caller and never change; generated
+        sets are patched per changed tuple (a tuple now present stops being
+        a candidate, a tuple now absent becomes one where it instantiates a
+        bound atom within the domains) — unless a defaulted domain's active
+        domain shifted, in which case the products change wholesale and the
+        sets are regenerated via the in-memory generator.
+        """
+        targets = list(self.non_answers)
+        if self._explicit_candidates is not None:
+            return dict(self._per_answer_candidates), frozenset()
+        adom = frozenset(self.database.active_domain())
+        if self._defaulted_variables and any(
+                self._resolved_domains[v] != adom
+                for v in self._defaulted_variables):
+            for variable in self._defaulted_variables:
+                self._resolved_domains[variable] = adom
+            new_sets = batch_candidate_missing_tuples(
+                self.query, self.database, targets, domains=self.domains,
+                max_candidates=self.max_candidates)
+            dirty = frozenset(
+                key for key in targets
+                if new_sets[key] != self._per_answer_candidates[key])
+            return new_sets, dirty
+        if any(not values for values in self._resolved_domains.values()):
+            # The generators produce empty candidate sets when *any* open
+            # variable's domain is empty (the bound-query product is empty);
+            # the sets were empty at construction and must stay empty.
+            return dict(self._per_answer_candidates), frozenset()
+        new_sets = {}
+        dirty = set()
+        for key in targets:
+            candidates = self._per_answer_candidates[key]
+            added = set()
+            removed = set()
+            for tup in changed:
+                if self.database.contains(tup):
+                    if tup in candidates:
+                        removed.add(tup)
+                elif tup not in candidates and self._is_instantiation(tup, key):
+                    added.add(tup)
+            if added or removed:
+                candidates = (candidates - removed) | added
+                if self.max_candidates is not None \
+                        and len(candidates) > self.max_candidates:
+                    raise CausalityError(
+                        f"candidate set exceeds max_candidates="
+                        f"{self.max_candidates}; restrict the variable domains"
+                    )
+                dirty.add(key)
+            new_sets[key] = candidates
+        return new_sets, frozenset(dirty)
+
+    def refresh(self, delta: DatabaseDelta,
+                _changed: Optional[FrozenSet[Tuple]] = None) -> RefreshReport:
+        """Apply a change to the **real** database; re-evaluate only its wake.
+
+        The recorded delta lands on ``Dx``; this method translates it into a
+        delta on the combined instance ``Dx ∪ Dn`` — real inserts arrive as
+        exogenous context, candidate sets are patched (an inserted tuple
+        stops being a candidate, a deleted one may become one), and the
+        whole thing is handed to the inner Why-So engine's
+        :meth:`~repro.engine.batch.BatchExplainer.refresh`, which diffs the
+        shared valuation groups instead of re-running the combined pass.
+
+        Targets whose lineage the change touches lose their memoized
+        explanations; targets that *became answers* of the query on the
+        mutated database are dropped from the batch and reported in
+        ``removed_answers`` (a from-scratch construction would reject them).
+        New non-answers are **not** discovered — the batch keeps explaining
+        the targets it was built for.
+
+        ``_changed`` is internal (:class:`repro.core.api.ExplanationSession`
+        shares one database between both engines and pre-applies the delta).
+
+        Examples
+        --------
+        >>> from repro.relational import Database, DatabaseDelta, parse_query
+        >>> from repro.relational.tuples import Tuple
+        >>> db = Database()
+        >>> _ = db.add_fact("R", "a", "b")
+        >>> explainer = WhyNoBatchExplainer(
+        ...     parse_query("q(x) :- R(x, y), S(y)"), db,
+        ...     non_answers=[("a",)], domains={"y": ["b"]})
+        >>> [c.tuple for c in explainer.explain(("a",)).ranked()]
+        [S('b')]
+        >>> report = explainer.refresh(DatabaseDelta(
+        ...     inserts=[(Tuple("S", ("b",)), False)]))
+        >>> sorted(report.removed_answers)  # q("a") now holds on Dx
+        [('a',)]
+        >>> explainer.non_answers
+        []
+        """
+        if _changed is not None:
+            changed = _changed
+        else:
+            changed = delta.apply_to(self.database)
+        if not changed:
+            return RefreshReport(changed)
+
+        try:
+            old_dn = self.combined.endogenous_tuples()
+            new_sets, candidate_dirty = self._refreshed_candidates(changed)
+            raw_union: FrozenSet[Tuple] = \
+                frozenset().union(*new_sets.values()) if new_sets \
+                else frozenset()
+            new_dn = frozenset(t for t in raw_union
+                               if not self.database.contains(t))
+
+            # Translate into a combined-instance delta.  Deletes apply
+            # first, so a tuple switching sides (real delete that becomes a
+            # candidate, or candidate that became real) is listed on both
+            # and the insert wins.
+            combined_inserts: List[TypingTuple[Tuple, bool]] = [
+                (tup, True) for tup in sorted(new_dn - old_dn)]
+            combined_deletes: List[Tuple] = list(old_dn - new_dn)
+            for tup in changed:
+                if self.database.contains(tup):
+                    if self.combined.is_endogenous(tup) or \
+                            not self.combined.contains(tup):
+                        combined_inserts.append((tup, False))
+                    # else: pure partition flip on Dx — invisible in the
+                    # combined instance, where every real tuple is exogenous.
+                elif tup not in new_dn:
+                    combined_deletes.append(tup)
+            inner_report = self._inner.refresh(DatabaseDelta(
+                inserts=combined_inserts, deletes=combined_deletes))
+        except Exception:
+            # The delta already landed on the real database but the batch
+            # state could not follow (e.g. the patched candidate set blew
+            # the max_candidates limit).  Serving memoized pre-delta
+            # explanations now would be silent staleness — refuse instead.
+            self._poisoned = (
+                "a refresh failed after its delta was applied; the batch "
+                "state no longer matches the database — rebuild the explainer"
+            )
+            self._explanations = {}
+            raise
+
+        self._per_answer_candidates = new_sets
+        if inner_report.full_reset:
+            dirty = set(self.non_answers)
+            self._explanations = {}
+        else:
+            dirty = set(candidate_dirty)
+            dirty.update(key for key in self.non_answers
+                         if key in inner_report.stale
+                         or key in inner_report.new_answers
+                         or key in inner_report.removed_answers)
+            for key in dirty:
+                self._explanations.pop(key, None)
+
+        # A dirty target whose group gained an all-real conjunct is now an
+        # actual answer of the query on Dx: drop it, as construction would.
+        exogenous = self._inner._exogenous
+        now_answers = set()
+        for key in sorted(dirty, key=value_sort_key):
+            conjuncts = self._inner._conjuncts_for(key)
+            if any(all(t in exogenous for t in conjunct)
+                   for conjunct in conjuncts):
+                now_answers.add(key)
+                del self._per_answer_candidates[key]
+                self._explanations.pop(key, None)
+                self.non_answers = [t for t in self.non_answers if t != key]
+        dirty -= now_answers
+        return RefreshReport(changed, frozenset(dirty),
+                             removed_answers=frozenset(now_answers))
 
     def explain_all(self, non_answers: Optional[Iterable[Sequence[Any]]] = None,
                     workers: Optional[int] = None) -> Dict[Answer, Explanation]:

@@ -8,6 +8,7 @@ valuations ``θ : Var(q) → Adom(D)``.
 """
 
 from .database import Database, database_from_dict
+from .delta import DatabaseDelta
 from .evaluation import (
     QueryEvaluator,
     Valuation,
@@ -23,10 +24,17 @@ from .query import (
     Constant,
     Term,
     Variable,
+    match_atom,
     parse_atom,
     parse_query,
 )
 from .schema import RelationSchema, Schema
+from .session import (
+    BackendSession,
+    MemorySession,
+    SQLiteSession,
+    open_session,
+)
 from .sqlite_backend import (
     SQLiteDatabase,
     SQLiteEvaluator,
@@ -38,10 +46,14 @@ from .tuples import Tuple, make_tuple
 
 __all__ = [
     "Atom",
+    "BackendSession",
     "ConjunctiveQuery",
     "Constant",
     "Database",
+    "DatabaseDelta",
+    "MemorySession",
     "QueryEvaluator",
+    "SQLiteSession",
     "RelationSchema",
     "SQLiteDatabase",
     "SQLiteEvaluator",
@@ -57,6 +69,8 @@ __all__ = [
     "greedy_atom_order",
     "is_answer",
     "make_tuple",
+    "match_atom",
+    "open_session",
     "parse_atom",
     "parse_query",
     "sql_batch_candidate_missing_tuples",

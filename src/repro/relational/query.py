@@ -40,6 +40,7 @@ from typing import (
 )
 
 from ..exceptions import ParseError, QueryError
+from .tuples import Tuple
 
 
 # --------------------------------------------------------------------------- #
@@ -207,6 +208,38 @@ class Atom:
         marker = {True: "^n", False: "^x", None: ""}[self.endogenous]
         inner = ", ".join(str(t) for t in self.terms)
         return f"{self.relation}{marker}({inner})"
+
+
+def match_atom(atom: Atom, tup: Tuple) -> Optional[Dict[Variable, Any]]:
+    """The variable binding that makes ``atom`` match ``tup``, if any.
+
+    Constants must agree and repeated variables must receive equal values.
+    This is the single unifier shared by the flow engine's layer
+    construction and the incremental-refresh paths (delta semi-join,
+    Why-No candidate patching), so they cannot drift apart on constant or
+    repeated-variable handling.
+
+    Examples
+    --------
+    >>> binding = match_atom(parse_atom("R(x, 'a')"), Tuple("R", ("v", "a")))
+    >>> sorted((v.name, value) for v, value in binding.items())
+    [('x', 'v')]
+    >>> match_atom(parse_atom("R(x, x)"), Tuple("R", ("v", "w"))) is None
+    True
+    """
+    if atom.relation != tup.relation or atom.arity != tup.arity:
+        return None
+    mapping: Dict[Variable, Any] = {}
+    for term, value in zip(atom.terms, tup.values):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            assert isinstance(term, Variable)
+            if term in mapping and mapping[term] != value:
+                return None
+            mapping[term] = value
+    return mapping
 
 
 # --------------------------------------------------------------------------- #

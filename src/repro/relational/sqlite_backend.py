@@ -33,8 +33,12 @@ On top of that layout three execution services are provided:
   query per query atom covers an entire non-answer set by joining a
   temporary table of the non-answer head tuples.
 
-The backend snapshots the database at construction time — reload (or build a
-fresh backend) after mutating the source instance.  Values must round-trip
+The backend snapshots the database at construction time; a recorded change
+(:class:`~repro.relational.delta.DatabaseDelta`) can then be applied *in
+place* with :meth:`SQLiteDatabase.apply_delta` — ``DELETE`` / upsert
+statements against the loaded tables instead of a re-load, which is what
+makes the incremental re-explanation path of
+:class:`~repro.relational.session.SQLiteSession` cheap.  Values must round-trip
 through SQLite's storage classes unchanged, so only ``str``, ``int``,
 ``float``, ``bytes`` and ``None`` are accepted (``bool`` is rejected: SQLite
 would hand it back as an integer and silently break cross-engine equality).
@@ -60,6 +64,7 @@ from typing import (
 
 from ..exceptions import BackendError, CausalityError
 from .database import Database
+from .delta import DatabaseDelta
 from .evaluation import Valuation
 from .query import ConjunctiveQuery, Constant, Variable
 from .tuples import Tuple
@@ -112,8 +117,8 @@ class _ValuationSQL:
     decodes back to the matched tuples plus the full variable assignment.
     """
 
-    __slots__ = ("query", "sql", "exists_sql", "params", "atom_offsets",
-                 "var_positions")
+    __slots__ = ("query", "sql", "grouped_sql", "answers_sql", "exists_sql",
+                 "params", "atom_offsets", "var_positions")
 
     def __init__(self, query: ConjunctiveQuery, respect_annotations: bool = True):
         from ..datalog.sql import default_column, table_name
@@ -159,11 +164,35 @@ class _ValuationSQL:
         # Existence checks must not pay for a sort of the full join.
         self.exists_sql = (f"SELECT 1\n  FROM {', '.join(tables)}\n"
                            f"  WHERE {where}\n  LIMIT 1")
+        all_ordinals = [str(i + 1) for i in range(len(select_items))]
         if select_items:
             # Deterministic enumeration order (by ordinal, names repeat).
-            sql += "\n  ORDER BY " + ", ".join(
-                str(i + 1) for i in range(len(select_items)))
+            sql += "\n  ORDER BY " + ", ".join(all_ordinals)
         self.sql = sql
+        # Grouped variant: head columns lead the sort, so the rows of one
+        # answer arrive contiguously and the consumer can stream groups with
+        # no per-answer dictionary (SQLite does the grouping work).
+        head_ordinals = [str(self.var_positions[term] + 1)
+                         for term in query.head if isinstance(term, Variable)]
+        grouped = (f"SELECT {select}\n  FROM {', '.join(tables)}\n"
+                   f"  WHERE {where}")
+        if select_items:
+            grouped += "\n  ORDER BY " + ", ".join(
+                head_ordinals + all_ordinals)
+        self.grouped_sql = grouped
+        # Answer-set variant: GROUP BY the head columns inside SQL, so only
+        # one row per answer is shipped to Python (no valuation decode).
+        head_columns = [locations[term][0] for term in query.head
+                        if isinstance(term, Variable)]
+        if head_columns:
+            self.answers_sql: Optional[str] = (
+                f"SELECT {', '.join(head_columns)}\n"
+                f"  FROM {', '.join(tables)}\n  WHERE {where}\n"
+                f"  GROUP BY {', '.join(head_columns)}")
+        else:
+            # Boolean or all-constant head: the answer set is decided by
+            # existence alone; there is nothing to group.
+            self.answers_sql = None
 
     def decode(self, row: Sequence[Any]) -> Valuation:
         assignment = {var: row[idx] for var, idx in self.var_positions.items()}
@@ -172,6 +201,17 @@ class _ValuationSQL:
             for atom, off in zip(self.query.atoms, self.atom_offsets)
         ]
         return Valuation(assignment, atom_tuples)
+
+    def decode_head(self, row: Sequence[Any]) -> TypingTuple[Any, ...]:
+        """The head (answer) tuple a full valuation row projects to."""
+        values: List[Any] = []
+        for term in self.query.head:
+            if isinstance(term, Variable):
+                values.append(row[self.var_positions[term]])
+            else:
+                assert isinstance(term, Constant)
+                values.append(term.value)
+        return tuple(values)
 
 
 def valuation_sql(query: ConjunctiveQuery, respect_annotations: bool = True
@@ -298,6 +338,80 @@ class SQLiteDatabase:
         self._connection.commit()
 
     # ------------------------------------------------------------------ #
+    # in-place mutation (the incremental re-load path)
+    # ------------------------------------------------------------------ #
+    def _match_clause(self, tup: Tuple) -> TypingTuple[str, TypingTuple[Any, ...]]:
+        """NULL-safe ``WHERE`` clause matching exactly this tuple's row."""
+        from ..datalog.sql import default_column
+
+        conditions = [f"{default_column(i)} IS ?" for i in range(tup.arity)]
+        return " AND ".join(conditions) if conditions else "1", \
+            tuple(tup.values)
+
+    def apply_delta(self, delta: "DatabaseDelta") -> None:
+        """Apply a recorded change to the loaded tables **in place**.
+
+        Deletes first, then inserts; inserting a row already present updates
+        its ``is_endogenous`` flag (upsert), matching
+        :meth:`~repro.relational.delta.DatabaseDelta.apply_to`.  Relations
+        the snapshot has never seen are created on the fly.  The original
+        ``source`` :class:`Database` is *not* touched — the
+        :class:`~repro.relational.session.SQLiteSession` seam keeps the two
+        sides in sync.
+
+        Examples
+        --------
+        >>> from repro.relational import Database
+        >>> from repro.relational.delta import DatabaseDelta
+        >>> db = Database()
+        >>> _ = db.add_fact("R", "a", "b")
+        >>> backend = SQLiteDatabase(db)
+        >>> backend.apply_delta(DatabaseDelta(
+        ...     inserts=[Tuple("R", ("c", "d"))],
+        ...     deletes=[Tuple("R", ("a", "b"))]))
+        >>> sorted(backend.execute_sql("SELECT c0, c1 FROM R"))
+        [('c', 'd')]
+        """
+        # Validate everything up front, then create any missing relations
+        # (pure additions — harmless if a later step fails), and only then
+        # touch rows: a rejected delta must leave the loaded data intact,
+        # so sessions can mutate backend-first without desyncing.
+        for tup, _ in delta.insert_items():
+            for value in tup.values:
+                _check_value(tup.relation, value)
+        for tup, _ in delta.insert_items():
+            self.ensure_relation(tup.relation, tup.arity)
+        for tup in sorted(delta.delete_tuples()):
+            arity = self._arities.get(tup.relation)
+            if arity is None or arity != tup.arity:
+                continue  # nothing to delete in this layout
+            where, params = self._match_clause(tup)
+            self._connection.execute(
+                f"DELETE FROM {tup.relation} WHERE {where}", params)
+        for tup, endogenous in delta.insert_items():
+            where, params = self._match_clause(tup)
+            self._connection.execute(
+                f"DELETE FROM {tup.relation} WHERE {where}", params)
+            placeholders = ", ".join("?" for _ in range(tup.arity + 1))
+            self._connection.execute(
+                f"INSERT INTO {tup.relation} VALUES ({placeholders})",
+                tuple(tup.values) + (1 if endogenous else 0,))
+        self._connection.commit()
+
+    def set_all_exogenous(self) -> None:
+        """Flip every loaded tuple exogenous (one ``UPDATE`` per relation).
+
+        This is the Why-No construction step: the real database becomes pure
+        context (``Dx``) before the candidate insertions arrive as the
+        endogenous ``Dn`` — without re-loading the instance.
+        """
+        for relation in sorted(self._arities):
+            self._connection.execute(
+                f"UPDATE {relation} SET is_endogenous = 0 "
+                "WHERE is_endogenous")
+        self._connection.commit()
+
+    # ------------------------------------------------------------------ #
     # access / execution
     # ------------------------------------------------------------------ #
     @property
@@ -398,20 +512,32 @@ class SQLiteEvaluator:
     [('a2',), ('a4',)]
     """
 
+    _RENDER_CACHE_SIZE = 256
+
     def __init__(self, database: Database, respect_annotations: bool = True,
                  path: str = ":memory:",
                  backend: Optional[SQLiteDatabase] = None):
+        from collections import OrderedDict
+
         self.database = database
         self.respect_annotations = respect_annotations
         self.backend = backend if backend is not None \
             else SQLiteDatabase(database, path=path)
-        self._rendered: Dict[ConjunctiveQuery, _ValuationSQL] = {}
+        # LRU-bounded: a long-lived session refreshing many deltas renders
+        # one ground residual query per (changed tuple, atom) pair, so an
+        # unbounded memo would grow with the session's lifetime.
+        self._rendered: "OrderedDict[ConjunctiveQuery, _ValuationSQL]" = \
+            OrderedDict()
 
     def _render(self, query: ConjunctiveQuery) -> _ValuationSQL:
         rendered = self._rendered.get(query)
         if rendered is None:
             rendered = _ValuationSQL(query, self.respect_annotations)
             self._rendered[query] = rendered
+            if len(self._rendered) > self._RENDER_CACHE_SIZE:
+                self._rendered.popitem(last=False)
+        else:
+            self._rendered.move_to_end(query)
         return rendered
 
     def _executable(self, query: ConjunctiveQuery) -> bool:
@@ -421,13 +547,61 @@ class SQLiteEvaluator:
 
     # ------------------------------------------------------------------ #
     def valuations(self, query: ConjunctiveQuery) -> Iterator[Valuation]:
-        """Yield every valuation of ``query``, enumerated by SQLite."""
+        """Yield every valuation of ``query``, enumerated by SQLite.
+
+        Rows are **streamed** off the cursor — nothing is fetched eagerly,
+        so a consumer that stops early (or aggregates on the fly) never
+        materialises the full join result in Python.
+        """
         if not self._executable(query):
             return
         rendered = self._render(query)
         cursor = self.backend.connection.execute(rendered.sql, rendered.params)
         for row in cursor:
             yield rendered.decode(row)
+
+    def grouped_valuations(
+        self, query: ConjunctiveQuery
+    ) -> Iterator[TypingTuple[TypingTuple[Any, ...], List[Valuation]]]:
+        """Yield ``(answer, [valuations])`` with the grouping done in SQL.
+
+        The head columns lead the ``ORDER BY`` of the valuation query, so
+        each answer's rows arrive contiguously and are sliced off the
+        streamed cursor run by run — no per-answer dictionary, no second
+        pass.  This is the backend-side grouping the batch engines build
+        their per-answer lineages on.
+
+        Examples
+        --------
+        >>> from repro.relational import Database, parse_query
+        >>> db = Database()
+        >>> for x, y in [("a2", "a1"), ("a4", "a3")]:
+        ...     _ = db.add_fact("R", x, y)
+        >>> for y in ["a1", "a3"]:
+        ...     _ = db.add_fact("S", y)
+        >>> evaluator = SQLiteEvaluator(db)
+        >>> for answer, group in evaluator.grouped_valuations(
+        ...         parse_query("q(x) :- R(x, y), S(y)")):
+        ...     print(answer, len(group))
+        ('a2',) 1
+        ('a4',) 1
+        """
+        if not self._executable(query):
+            return
+        rendered = self._render(query)
+        cursor = self.backend.connection.execute(
+            rendered.grouped_sql, rendered.params)
+        current_head: Optional[TypingTuple[Any, ...]] = None
+        group: List[Valuation] = []
+        for row in cursor:
+            head = rendered.decode_head(row)
+            if head != current_head:
+                if current_head is not None:
+                    yield current_head, group
+                current_head, group = head, []
+            group.append(rendered.decode(row))
+        if current_head is not None:
+            yield current_head, group
 
     def holds(self, query: ConjunctiveQuery) -> bool:
         """``D ⊨ q`` for a Boolean query: unordered ``SELECT 1 ... LIMIT 1``."""
@@ -440,17 +614,31 @@ class SQLiteEvaluator:
 
     def answers(self, query: ConjunctiveQuery
                 ) -> FrozenSet[TypingTuple[Any, ...]]:
-        """The answer relation of a non-Boolean query (set of head tuples)."""
+        """The answer relation of a non-Boolean query (set of head tuples).
+
+        Runs the ``GROUP BY`` head-columns variant of the valuation query,
+        so SQLite ships one row per *answer* instead of one row per
+        valuation — the difference between ``|answers|`` and ``|join|``
+        rows crossing the boundary.
+        """
+        if not self._executable(query):
+            return frozenset()
+        rendered = self._render(query)
+        if rendered.answers_sql is None:
+            # No head variables: the (possibly constant) head is an answer
+            # iff any valuation exists.
+            if not self.holds(query.as_boolean()):
+                return frozenset()
+            return frozenset({tuple(term.value for term in query.head)})
+        head_terms = [t for t in query.head if isinstance(t, Variable)]
         results: Set[TypingTuple[Any, ...]] = set()
-        for valuation in self.valuations(query):
-            row = []
-            for term in query.head:
-                if isinstance(term, Variable):
-                    row.append(valuation.assignment[term])
-                else:
-                    assert isinstance(term, Constant)
-                    row.append(term.value)
-            results.add(tuple(row))
+        cursor = self.backend.connection.execute(
+            rendered.answers_sql, rendered.params)
+        for row in cursor:
+            grouped = dict(zip(head_terms, row))
+            results.add(tuple(
+                grouped[term] if isinstance(term, Variable) else term.value
+                for term in query.head))
         return frozenset(results)
 
     def __repr__(self) -> str:

@@ -1,0 +1,171 @@
+"""Refresh ≡ from-scratch: the incremental re-explanation contract.
+
+For random instances and random ≤ 5-tuple deltas (inserts, deletes and
+partition flips), on both backends, a delta-aware engine that ``refresh``-es
+must produce **bit-identical** explanations — causes, responsibilities *and*
+contingencies — to an engine built from scratch on the mutated database.
+This is the contract ``bench_incremental`` measures the value of; here it is
+pinned across the randomized space, for Why-So and Why-No alike.
+
+Instance sizes are deliberately tiny in the default tier; the ``slow`` tier
+sweeps more seeds and larger instances.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import BatchExplainer, WhyNoBatchExplainer
+from repro.relational import Database, DatabaseDelta, evaluate, parse_query
+from repro.relational.tuples import Tuple
+
+QUERY = parse_query("q(x) :- R(x, y), S(y)")
+BACKENDS = ("memory", "sqlite")
+
+
+def ranking(explanation):
+    return [(c.tuple, c.responsibility, c.contingency)
+            for c in explanation.ranked()]
+
+
+def random_instance(rng: random.Random) -> Database:
+    db = Database()
+    for _ in range(rng.randint(4, 14)):
+        db.add_fact("R", f"a{rng.randint(0, 4)}", f"b{rng.randint(0, 3)}",
+                    endogenous=rng.random() < 0.8)
+    for _ in range(rng.randint(1, 5)):
+        db.add_fact("S", f"b{rng.randint(0, 3)}",
+                    endogenous=rng.random() < 0.8)
+    return db
+
+
+def random_delta(rng: random.Random, db: Database) -> DatabaseDelta:
+    """≤ 5 changes: deletes of real tuples, inserts, random endo flags.
+
+    Inserts drawn from a slightly larger domain than the instance, so the
+    delta can add brand-new values (changing the active domain) as well as
+    re-insert deleted tuples or flip partitions of existing ones.
+    """
+    all_tuples = sorted(db.all_tuples())
+    deletes = rng.sample(all_tuples, k=min(len(all_tuples), rng.randint(0, 2)))
+    inserts = []
+    for _ in range(rng.randint(0, 3)):
+        if rng.random() < 0.7:
+            tup = Tuple("R", (f"a{rng.randint(0, 5)}", f"b{rng.randint(0, 4)}"))
+        else:
+            tup = Tuple("S", (f"b{rng.randint(0, 4)}",))
+        inserts.append((tup, rng.random() < 0.8))
+    return DatabaseDelta(inserts=inserts, deletes=deletes)
+
+
+class TestWhySoRefresh:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_refresh_equals_from_scratch(self, seed, backend):
+        rng = random.Random(1000 + seed)
+        db = random_instance(rng)
+        explainer = BatchExplainer(QUERY, db, backend=backend)
+        explainer.explain_all()  # force the full pass + memos
+        for _ in range(2):  # two consecutive deltas: refresh composes
+            delta = random_delta(rng, db)
+            explainer.refresh(delta)
+            refreshed = explainer.explain_all()
+            scratch = BatchExplainer(QUERY, db.copy(),
+                                     backend=backend).explain_all()
+            assert set(refreshed) == set(scratch)
+            for answer in scratch:
+                assert ranking(refreshed[answer]) == ranking(scratch[answer])
+
+    @pytest.mark.parametrize("method", ["auto", "exact"])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_refresh_with_annotated_atoms(self, seed, method):
+        """Regression: the flow engine reads an annotation-*blind* lineage.
+
+        For a query with ``^n`` atoms, a delta can touch a flow-relevant
+        valuation without touching any annotation-respecting group; refresh
+        must still converge to the from-scratch explanations.
+        """
+        query = parse_query("q(x) :- R^n(x, y), S(y)")
+        rng = random.Random(3000 + seed)
+        db = random_instance(rng)
+        explainer = BatchExplainer(query, db, method=method)
+        explainer.explain_all()
+        delta = random_delta(rng, db)
+        explainer.refresh(delta)
+        refreshed = explainer.explain_all()
+        scratch = BatchExplainer(query, db.copy(),
+                                 method=method).explain_all()
+        assert set(refreshed) == set(scratch)
+        for answer in scratch:
+            assert ranking(refreshed[answer]) == ranking(scratch[answer])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_refresh_before_any_pass_resets_lazily(self, backend):
+        rng = random.Random(17)
+        db = random_instance(rng)
+        explainer = BatchExplainer(QUERY, db, backend=backend)
+        report = explainer.refresh(random_delta(rng, db))
+        assert report.full_reset or not report.changed_tuples
+        scratch = BatchExplainer(QUERY, db.copy(),
+                                 backend=backend).explain_all()
+        refreshed = explainer.explain_all()
+        assert set(refreshed) == set(scratch)
+        for answer in scratch:
+            assert ranking(refreshed[answer]) == ranking(scratch[answer])
+
+
+class TestWhyNoRefresh:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_refresh_equals_from_scratch(self, seed, backend):
+        rng = random.Random(2000 + seed)
+        db = random_instance(rng)
+        # Half the seeds pin explicit domains; the rest default to the
+        # active domain, exercising the regeneration fallback when a delta
+        # shifts Adom(D).
+        domains = {"y": [f"b{j}" for j in range(4)]} if seed % 2 else None
+        actual = evaluate(QUERY, db)
+        targets = [(f"a{i}",) for i in range(5) if (f"a{i}",) not in actual]
+        targets = rng.sample(targets, k=min(len(targets), 3))
+        if not targets:
+            pytest.skip("random instance answers every candidate head")
+        explainer = WhyNoBatchExplainer(QUERY, db, non_answers=targets,
+                                        domains=domains, backend=backend)
+        explainer.explain_all()
+        delta = random_delta(rng, db)
+        report = explainer.refresh(delta)
+        # Targets dropped by the refresh really are answers now...
+        for dropped in report.removed_answers:
+            assert dropped in evaluate(QUERY, db)
+        # ...and the survivors explain exactly like a fresh batch.
+        refreshed = explainer.explain_all()
+        assert set(refreshed) == set(explainer.non_answers)
+        if explainer.non_answers:
+            scratch = WhyNoBatchExplainer(
+                QUERY, db.copy(), non_answers=list(explainer.non_answers),
+                domains=domains, backend=backend).explain_all()
+            assert set(refreshed) == set(scratch)
+            for answer in scratch:
+                assert ranking(refreshed[answer]) == ranking(scratch[answer])
+
+
+@pytest.mark.slow
+class TestRefreshSweep:
+    """Larger randomized sweep (deselected by default)."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(40))
+    def test_whyso_sweep(self, seed, backend):
+        rng = random.Random(5000 + seed)
+        db = random_instance(rng)
+        explainer = BatchExplainer(QUERY, db, backend=backend)
+        explainer.explain_all()
+        for _ in range(3):
+            delta = random_delta(rng, db)
+            explainer.refresh(delta)
+            refreshed = explainer.explain_all()
+            scratch = BatchExplainer(QUERY, db.copy(),
+                                     backend=backend).explain_all()
+            assert set(refreshed) == set(scratch)
+            for answer in scratch:
+                assert ranking(refreshed[answer]) == ranking(scratch[answer])
