@@ -10,8 +10,10 @@ driven without writing Python:
   ``--why-no``) and print the responsibility ranking;
 * ``repro explain-batch --data db.json --query "q(x) :- R(x,y), S(y)"`` —
   explain *every* answer in one pass through the batch engine, printing the
-  Fig. 2b-style table per answer (``--workers N`` fans answers out over a
-  process pool, ``--backend sqlite`` runs the valuation pass in SQLite);
+  Fig. 2b-style table per answer (``--workers N`` fans answers out over
+  worker processes that inherit the shared evaluation pass, ``--transport``
+  picks how they inherit it, ``--backend sqlite`` runs the valuation pass in
+  SQLite);
 * ``repro explain-batch --mode why-no --non-answer a7 --non-answer a9 ...`` —
   the Why-No batch: explain many *missing* answers over one shared combined
   instance (``--domain y=b1,b2`` restricts a variable's candidate domain;
@@ -107,6 +109,20 @@ def _parse_domains(raw: Optional[List[str]]) -> Optional[dict]:
     return domains
 
 
+def _print_fanout_report(args: argparse.Namespace, explanations) -> None:
+    """Say what the fan-out actually ran (only when workers were requested).
+
+    The pool shrinks to ``min(workers, targets)`` and ``--transport auto``
+    resolves per platform; printing the effective values keeps benchmark
+    drivers and scripts honest about what they measured.
+    """
+    if args.workers is None and args.transport == "auto":
+        return
+    print(f"fan-out: transport={explanations.transport}, "
+          f"{explanations.requested_workers} requested / "
+          f"{explanations.effective_workers} effective worker(s)")
+
+
 def _refresh_and_print(explainer, delta_path: str, top: Optional[int],
                        label: str) -> None:
     """Apply a recorded delta through ``refresh`` and print what changed."""
@@ -138,11 +154,13 @@ def _cmd_explain_batch(args: argparse.Namespace) -> int:
         return _run_whyno_batch(args, query, database)
     explainer = BatchExplainer(query, database, method=args.method,
                                backend=args.backend)
-    explanations = explainer.explain_all(workers=args.workers)
+    explanations = explainer.explain_all(workers=args.workers,
+                                         transport=args.transport)
     if not explanations:
         print("the query has no answers on this database")
         return 0
     print(f"{len(explanations)} answer(s) of {query!r}:")
+    _print_fanout_report(args, explanations)
     for answer, explanation in explanations.items():
         print(f"\ncauses of answer {answer!r}:")
         print(explanation.to_table(top=args.top))
@@ -150,8 +168,9 @@ def _cmd_explain_batch(args: argparse.Namespace) -> int:
         _refresh_and_print(explainer, args.delta, args.top, "answer")
     if args.cache_stats:
         if args.workers is not None and args.workers > 1:
-            print("\nlineage cache: no in-process statistics — with --workers "
-                  "the caches live in the worker processes")
+            # Worker entries merge back but count neither as hits nor misses.
+            print(f"\nlineage cache: {len(explainer.cache)} entries after "
+                  f"the fan-out merge ({explainer.cache.stats} locally)")
         else:
             print(f"\nlineage cache: {explainer.cache.stats}")
     return 0
@@ -167,13 +186,15 @@ def _run_whyno_batch(args: argparse.Namespace, query, database: Database) -> int
         explainer = WhyNoBatchExplainer(query, database,
                                         non_answers=non_answers,
                                         domains=domains, backend=args.backend)
-    explanations = explainer.explain_all(workers=args.workers)
+    explanations = explainer.explain_all(workers=args.workers,
+                                         transport=args.transport)
     if not explanations:
         print("no missing answers to explain "
               "(every candidate head tuple is an answer)")
         return 0
     print(f"{len(explanations)} missing answer(s) of {query!r} "
           f"({len(explainer.candidate_union())} candidate insertions):")
+    _print_fanout_report(args, explanations)
     for answer, explanation in explanations.items():
         print(f"\ncauses of missing answer {answer!r}:")
         if explanation.causes:
@@ -260,7 +281,17 @@ def build_parser() -> argparse.ArgumentParser:
                                    "\"delete\": ...}) and incrementally "
                                    "re-explain only what it touches")
     batch_parser.add_argument("--workers", type=int, default=None,
-                              help="fan answers out over N worker processes")
+                              help="fan answers out over N worker processes "
+                                   "(the workers inherit the parent's "
+                                   "evaluation pass)")
+    batch_parser.add_argument("--transport", default="auto",
+                              choices=("auto", "serial", "fork",
+                                       "shared-memory"),
+                              help="how workers receive the shared state: "
+                                   "fork inheritance (POSIX), a pickle-once "
+                                   "shared-memory segment, or in-process "
+                                   "serial (default: auto = fork where "
+                                   "available, else shared-memory)")
     batch_parser.add_argument("--top", type=int, default=None,
                               help="print only the K best causes per answer")
     batch_parser.add_argument("--cache-stats", action="store_true",

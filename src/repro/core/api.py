@@ -183,14 +183,23 @@ class ExplanationSession:
         return Explanation(self.query, answer, mode, explanation.causes)
 
     def explain_all(self, answers: Optional[Iterable[Sequence[Any]]] = None,
-                    workers: Optional[int] = None) -> Dict[Any, Explanation]:
-        """Why-So explanations for every answer, via the shared engine."""
-        return self._whyso_engine().explain_all(answers, workers=workers)
+                    workers: Optional[int] = None,
+                    transport: str = "auto") -> Dict[Any, Explanation]:
+        """Why-So explanations for every answer, via the shared engine.
+
+        ``workers``/``transport`` select the parallel fan-out of
+        :meth:`repro.engine.BatchExplainer.explain_all`; the workers inherit
+        the session engine's completed open-query pass, and their cache
+        entries merge back into it.
+        """
+        return self._whyso_engine().explain_all(answers, workers=workers,
+                                                transport=transport)
 
     def for_missing_answers(
         self, domains: Optional[Mapping[str, Iterable[Any]]] = None,
         max_candidates: Optional[int] = None,
         workers: Optional[int] = None,
+        transport: str = "auto",
     ) -> Dict[Any, Explanation]:
         """Why-No explanations for every missing answer the domains allow.
 
@@ -202,7 +211,7 @@ class ExplanationSession:
         self._whyno = WhyNoBatchExplainer.for_missing_answers(
             self.query, self.database, domains=domains,
             max_candidates=max_candidates, backend=self.backend)
-        return self._whyno.explain_all(workers=workers)
+        return self._whyno.explain_all(workers=workers, transport=transport)
 
     # -- incremental re-explanation --------------------------------------- #
     def refresh(self, delta) -> Dict[str, Any]:

@@ -6,7 +6,8 @@ answer" — workloads:
 
 * :class:`~repro.engine.batch.BatchExplainer` — evaluate the open query once,
   share the valuation set and n-lineage across all answers, optionally fan
-  independent answers out over a process pool (Why-So);
+  independent answers out over worker processes that *inherit* the completed
+  pass (Why-So; see :mod:`repro.engine._pool` for the transport seam);
 * :class:`~repro.engine.whyno_batch.WhyNoBatchExplainer` — its Why-No
   sibling: generate the candidate missing tuples for a whole non-answer set
   in one pass, build the combined instance ``Dx ∪ Dn`` once, and read every
@@ -20,12 +21,14 @@ paths (Why-So and Why-No alike), so both entry points stay bit-compatible by
 construction.
 """
 
+from ._pool import FanOutResult
 from .batch import BatchExplainer, RefreshReport, batch_explain
 from .cache import LineageCache
 from .whyno_batch import WhyNoBatchExplainer, batch_explain_whyno
 
 __all__ = [
     "BatchExplainer",
+    "FanOutResult",
     "LineageCache",
     "RefreshReport",
     "WhyNoBatchExplainer",

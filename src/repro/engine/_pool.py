@@ -1,39 +1,447 @@
-"""Shared process-pool fan-out for the batch explainers.
+"""Shared-memory parallel fan-out for the batch explainers.
 
 Both :class:`~repro.engine.batch.BatchExplainer` and
-:class:`~repro.engine.whyno_batch.WhyNoBatchExplainer` fan their targets out
-the same way: contiguous chunks (``targets[0:k]``, ``targets[k:2k]``, ...),
-one worker-side explainer per chunk so intra-chunk sharing is preserved, and
-a result dict rebuilt in the serial target order so the output is independent
-of the worker count.  This module is that one strategy, factored out so a fix
-to the chunking applies to both engines at once.
+:class:`~repro.engine.whyno_batch.WhyNoBatchExplainer` parallelise the same
+way: the parent finishes the expensive shared work (the open-query valuation
+pass, candidate generation, the combined instance), and only the cheap
+per-target explanation step is fanned out.  Workers therefore *inherit* the
+parent's shared state instead of re-deriving it — the historical pool
+shipped each worker a bound query and had it re-run everything.
+
+The seam has three pieces:
+
+* :class:`FanOutSpec` — what a worker does: an optional per-worker ``setup``
+  turning the shared state into a worker context, a per-target ``compute``,
+  and an optional ``finalize`` returning a picklable extra (e.g. cache
+  entries to merge back).  All three must be module-level functions so they
+  pickle by reference.
+* a **transport** — how the shared state reaches the worker processes:
+
+  =================  ========================================================
+  ``serial``         no processes; chunks run in the parent (also the
+                     automatic fallback for one worker or one target)
+  ``fork``           POSIX: workers are forked *after* the shared state is
+                     staged, so they inherit it copy-on-write — nothing is
+                     pickled but the chunk keys and the results
+  ``shared-memory``  spawn-safe fallback: the shared state is pickled
+                     **once** into a :mod:`multiprocessing.shared_memory`
+                     segment; every worker attaches and unpickles it once
+  ``auto``           ``fork`` where available, else ``shared-memory``
+  =================  ========================================================
+
+* :class:`FanOutResult` — a plain dict of per-target results (keyed in the
+  serial target order, independent of the worker count) that additionally
+  reports what actually ran: :attr:`~FanOutResult.transport`,
+  :attr:`~FanOutResult.requested_workers` and
+  :attr:`~FanOutResult.effective_workers` (the pool silently shrinks to
+  ``min(workers, len(targets))``; the result makes that shrinkage visible so
+  benchmarks and tests can assert on it).
+
+Failures are typed, never hung and never half-merged: a worker that raises
+surfaces as a :class:`~repro.exceptions.FanOutWorkerError` naming the
+offending target; a worker *process* that dies surfaces the same error
+naming the chunks it left unfinished.  A failing chunk aborts its own
+remaining targets immediately; sibling chunks run to completion (every
+chunk starts at once — there is no queue to cancel), so the wait is bounded
+by the slowest chunk.  On any failure no result (and no ``finalize`` extra)
+is handed to the caller, so the parent's caches stay exactly as they were.
+
+Examples
+--------
+The serial transport runs in-process, so it also serves as the reference
+semantics for the parallel ones:
+
+>>> spec = FanOutSpec(compute=lambda state, target: state * target)
+>>> result = fan_out([1, 2, 3], 10, spec, workers=1)
+>>> dict(result)
+{1: 10, 2: 20, 3: 30}
+>>> result.transport, result.requested_workers, result.effective_workers
+('serial', 1, 1)
+
+``setup`` runs once per worker, ``finalize`` once per worker after its
+chunk; the extras are collected on the result:
+
+>>> spec = FanOutSpec(setup=lambda state: {"base": state, "seen": []},
+...                   compute=lambda ctx, t: ctx["seen"].append(t) or ctx["base"] + t,
+...                   finalize=lambda ctx: tuple(ctx["seen"]))
+>>> result = fan_out(["a", "b"], "!", spec, workers=1)
+>>> dict(result), result.extras
+({'a': '!a', 'b': '!b'}, [('a', 'b')])
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Any, Callable, Dict, List, Sequence, TypeVar
+import multiprocessing
+import pickle
+import traceback
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+
+from ..exceptions import FanOutError, FanOutWorkerError
 
 Key = TypeVar("Key")
 
+#: The transports a caller may request (``auto`` resolves to a concrete one).
+TRANSPORTS = ("auto", "serial", "fork", "shared-memory")
 
-def fan_out_chunks(targets: Sequence[Key], workers: int,
-                   make_payload: Callable[[List[Key]], Any],
-                   worker: Callable[[Any], Dict[Key, Any]]) -> Dict[Key, Any]:
-    """Run ``worker`` over contiguous chunks of ``targets`` in a process pool.
 
-    ``make_payload`` turns one chunk into the picklable payload handed to
-    ``worker`` (a module-level function returning a dict keyed by target).
-    The merged result is keyed in the order of ``targets`` — the serial
-    order — regardless of ``workers``.
+class FanOutSpec:
+    """What each fan-out worker runs, as three module-level functions.
+
+    Parameters
+    ----------
+    compute:
+        ``compute(context, target) -> value`` — the per-target work.
+    setup:
+        Optional ``setup(shared_state) -> context``, run once per worker
+        before its first target (build the worker-side explainer here).
+        When omitted the shared state itself is the context.
+    finalize:
+        Optional ``finalize(context) -> extra``, run once per worker after
+        its last target; the picklable extras are collected on
+        :attr:`FanOutResult.extras` (merge caches back from here).
+
+    For the process transports all three must be importable module-level
+    functions (they are pickled by reference); the serial transport also
+    accepts lambdas, which keeps doctests and tests lightweight.
     """
-    pool_size = min(workers, len(targets))
+
+    __slots__ = ("compute", "setup", "finalize")
+
+    def __init__(self, compute: Callable[[Any, Any], Any],
+                 setup: Optional[Callable[[Any], Any]] = None,
+                 finalize: Optional[Callable[[Any], Any]] = None):
+        self.compute = compute
+        self.setup = setup
+        self.finalize = finalize
+
+
+class FanOutResult(Dict[Any, Any]):
+    """Per-target results plus a report of what actually ran.
+
+    A plain ``dict`` (key order = serial target order), extended with:
+
+    Attributes
+    ----------
+    transport:
+        The concrete transport that ran (``"serial"``, ``"fork"`` or
+        ``"shared-memory"`` — never ``"auto"``).
+    requested_workers:
+        The worker count the caller asked for (1 when unspecified).
+    effective_workers:
+        The number of worker processes that actually ran — one per
+        contiguous chunk (see :func:`effective_pool_size`: ceil-division
+        chunking can produce fewer chunks than both the request and the
+        target count).  The serial transport always reports 1.
+    extras:
+        The per-worker ``finalize`` returns, in chunk order (empty when the
+        spec has no ``finalize``).
+    """
+
+    def __init__(self, results: Dict[Any, Any], transport: str,
+                 requested_workers: int, effective_workers: int,
+                 extras: Optional[List[Any]] = None):
+        super().__init__(results)
+        self.transport = transport
+        self.requested_workers = requested_workers
+        self.effective_workers = effective_workers
+        self.extras: List[Any] = [] if extras is None else extras
+
+    def __repr__(self) -> str:
+        return (f"FanOutResult({len(self)} target(s), "
+                f"transport={self.transport!r}, "
+                f"workers={self.effective_workers}/{self.requested_workers})")
+
+
+def resolve_transport(transport: str, workers: Optional[int],
+                      n_targets: int) -> str:
+    """The concrete transport a request resolves to.
+
+    Examples
+    --------
+    >>> resolve_transport("auto", None, 10)
+    'serial'
+    >>> resolve_transport("auto", 4, 1)
+    'serial'
+    >>> import multiprocessing
+    >>> expected = "fork" if "fork" in multiprocessing.get_all_start_methods() \
+        else "shared-memory"
+    >>> resolve_transport("auto", 4, 10) == expected
+    True
+    """
+    if transport not in TRANSPORTS:
+        raise FanOutError(
+            f"unknown transport {transport!r} (choose from {TRANSPORTS})"
+        )
+    if transport == "serial" or workers is None or workers <= 1 \
+            or n_targets <= 1:
+        return "serial"
+    if transport == "auto":
+        return "fork" if "fork" in multiprocessing.get_all_start_methods() \
+            else "shared-memory"
+    if transport == "fork" \
+            and "fork" not in multiprocessing.get_all_start_methods():
+        raise FanOutError(
+            "the 'fork' transport is not available on this platform; "
+            "use transport='shared-memory' (or 'auto')"
+        )
+    return transport
+
+
+def effective_pool_size(n_targets: int, workers: int) -> int:
+    """Workers that actually run for a request: one per contiguous chunk.
+
+    Chunks are sized by ceil division, which can produce *fewer* chunks
+    (hence workers) than ``min(workers, n_targets)`` — 5 targets at 4
+    workers means chunks of 2, so only 3 workers run.  This is the number
+    :attr:`FanOutResult.effective_workers` reports.
+
+    Examples
+    --------
+    >>> effective_pool_size(5, 4)
+    3
+    >>> effective_pool_size(8, 4)
+    4
+    >>> effective_pool_size(2, 7)
+    2
+    >>> effective_pool_size(1, 4)
+    1
+    """
+    if n_targets <= 1 or workers <= 1:
+        return 1
+    pool_size = min(workers, n_targets)
+    chunk_size = -(-n_targets // pool_size)
+    return -(-n_targets // chunk_size)
+
+
+def _chunked(targets: Sequence[Any], pool_size: int) -> List[List[Any]]:
+    """Contiguous chunks (``targets[0:k]``, ``targets[k:2k]``, ...).
+
+    One worker-side context per chunk preserves intra-chunk sharing, and the
+    merged result is re-keyed in the serial target order, so the output is
+    independent of the worker count.
+    """
     chunk_size = -(-len(targets) // pool_size)  # ceil division
-    chunks = [list(targets[i:i + chunk_size])
-              for i in range(0, len(targets), chunk_size)]
-    payloads = [make_payload(chunk) for chunk in chunks]
-    with concurrent.futures.ProcessPoolExecutor(max_workers=pool_size) as pool:
-        results: Dict[Key, Any] = {}
-        for chunk_result in pool.map(worker, payloads):
-            results.update(chunk_result)
-    return {target: results[target] for target in targets}
+    return [list(targets[i:i + chunk_size])
+            for i in range(0, len(targets), chunk_size)]
+
+
+def _run_chunk(spec: FanOutSpec, state: Any, chunk: List[Any]) -> Dict[str, Any]:
+    """Run one chunk; never raises — failures are returned as data.
+
+    The per-target try/except is what lets the parent name the *offending
+    target* of a failed worker instead of just the chunk.
+    """
+    try:
+        context = state if spec.setup is None else spec.setup(state)
+        results: Dict[Any, Any] = {}
+        for target in chunk:
+            try:
+                results[target] = spec.compute(context, target)
+            except Exception as error:
+                return {"failed": (target,),
+                        "detail": f"{type(error).__name__}: {error}\n"
+                                  + traceback.format_exc()}
+        extra = None if spec.finalize is None else spec.finalize(context)
+    except Exception as error:
+        # setup/finalize failures cannot be pinned on one target.
+        return {"failed": tuple(chunk),
+                "detail": f"{type(error).__name__}: {error}\n"
+                          + traceback.format_exc()}
+    return {"results": results, "extra": extra}
+
+
+# --------------------------------------------------------------------------- #
+# transport plumbing (module-level so the workers pickle by reference)
+# --------------------------------------------------------------------------- #
+# fork: the parent stages (spec, state) here *before* the pool forks, so the
+# children inherit it copy-on-write and the payload is just the chunk.
+_FORK_SHARED: Any = None
+
+
+def _fork_chunk(chunk: List[Any]) -> Dict[str, Any]:
+    spec, state = _FORK_SHARED
+    return _run_chunk(spec, state, chunk)
+
+
+# shared-memory: (spec, state) is pickled once into a segment; each spawned
+# worker attaches and unpickles it once, cached per process.
+_SHM_CACHE: Dict[str, Any] = {}
+
+
+def _attach_segment(name: str):
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13 has no track parameter
+        # Attaching would register the segment with the resource tracker,
+        # which the *parent* already did at creation; a second registration
+        # makes the tracker unlink (and warn about) a segment it does not
+        # own when this worker exits.  Suppress registration for the
+        # duration of the attach — the parent remains the sole owner.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shared_memory(res_name, rtype):
+            if rtype != "shared_memory":
+                original(res_name, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _shm_chunk(payload) -> Dict[str, Any]:
+    name, size, chunk = payload
+    shared = _SHM_CACHE.get(name)
+    if shared is None:
+        segment = _attach_segment(name)
+        try:
+            shared = pickle.loads(bytes(segment.buf[:size]))
+        finally:
+            segment.close()
+        _SHM_CACHE.clear()  # one pool per process lifetime; keep it bounded
+        _SHM_CACHE[name] = shared
+    spec, state = shared
+    return _run_chunk(spec, state, chunk)
+
+
+def _collect(futures_to_chunks, transport: str):
+    """Gather chunk outcomes; raise typed errors, merge nothing on failure.
+
+    Every future is drained before deciding what to raise: a dead worker
+    process breaks the *whole* pool, failing innocent pending futures too,
+    so a per-target failure report from any worker (precise attribution)
+    wins over the broken-pool signal, and the broken-pool error names the
+    union of the chunks that never completed — the dead worker's chunk is
+    always among them.
+    """
+    outcomes: List[Dict[str, Any]] = []
+    broken: List[Any] = []
+    broken_error: Optional[BaseException] = None
+    for future, chunk in futures_to_chunks:
+        try:
+            outcomes.append(future.result())
+        except BrokenProcessPool as error:
+            broken.extend(chunk)
+            broken_error = error
+    for outcome in outcomes:
+        if "failed" in outcome:
+            failed = outcome["failed"]
+            raise FanOutWorkerError(
+                f"a fan-out worker failed on target "
+                f"{_describe_targets(failed)}: "
+                f"{outcome['detail'].splitlines()[0]}",
+                targets=failed, transport=transport,
+                detail=outcome["detail"])
+    if broken_error is not None:
+        raise FanOutWorkerError(
+            f"a fan-out worker process died; unfinished chunk(s): "
+            f"{_describe_targets(broken)}",
+            targets=broken, transport=transport,
+            detail=repr(broken_error)) from broken_error
+    return outcomes
+
+
+def _describe_targets(targets) -> str:
+    listed = ", ".join(repr(t) for t in list(targets)[:5])
+    if len(targets) > 5:
+        listed += f", ... ({len(targets)} targets)"
+    return listed if len(targets) != 1 else repr(list(targets)[0])
+
+
+def fan_out(targets: Sequence[Key], shared_state: Any, spec: FanOutSpec,
+            workers: Optional[int] = None,
+            transport: str = "auto") -> FanOutResult:
+    """Run ``spec`` over ``targets`` with workers sharing ``shared_state``.
+
+    The targets are split into contiguous chunks, one per worker; each
+    worker receives the *whole* shared state through its transport (fork
+    inheritance or the pickle-once shared-memory segment — never one pickle
+    per chunk) plus only its chunk of target keys.  Results come back as a
+    :class:`FanOutResult` keyed in the serial target order.
+
+    Raises :class:`~repro.exceptions.FanOutWorkerError` when a worker raises
+    or dies; in that case nothing is merged, so the caller's state is
+    untouched (sibling chunks still run to completion — all chunks start
+    concurrently, so the wait is bounded by the slowest one).
+    """
+    requested = 1 if workers is None else workers
+    concrete = resolve_transport(transport, workers, len(targets))
+    if concrete == "serial":
+        outcomes = _collect_serial(targets, shared_state, spec)
+        return _merge(targets, outcomes, "serial", requested, 1)
+
+    pool_size = min(requested, len(targets))
+    chunks = _chunked(targets, pool_size)
+    if concrete == "fork":
+        outcomes = _fan_out_fork(chunks, shared_state, spec)
+    else:
+        outcomes = _fan_out_shared_memory(chunks, shared_state, spec)
+    # One worker per chunk actually runs; report that, not the request.
+    return _merge(targets, outcomes, concrete, requested, len(chunks))
+
+
+def _collect_serial(targets, shared_state, spec) -> List[Dict[str, Any]]:
+    outcome = _run_chunk(spec, shared_state, list(targets))
+    if "failed" in outcome:
+        raise FanOutWorkerError(
+            f"a fan-out worker failed on target "
+            f"{_describe_targets(outcome['failed'])}: "
+            f"{outcome['detail'].splitlines()[0]}",
+            targets=outcome["failed"], transport="serial",
+            detail=outcome["detail"])
+    return [outcome]
+
+
+def _fan_out_fork(chunks, shared_state, spec) -> List[Dict[str, Any]]:
+    global _FORK_SHARED
+    context = multiprocessing.get_context("fork")
+    _FORK_SHARED = (spec, shared_state)
+    try:
+        # The pool forks its workers on first submit — after the staging
+        # above, so every worker inherits the shared state copy-on-write.
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=len(chunks), mp_context=context) as pool:
+            pairs = [(pool.submit(_fork_chunk, chunk), chunk)
+                     for chunk in chunks]
+            return _collect(pairs, "fork")
+    finally:
+        _FORK_SHARED = None
+
+
+def _fan_out_shared_memory(chunks, shared_state, spec) -> List[Dict[str, Any]]:
+    from multiprocessing import shared_memory
+
+    blob = pickle.dumps((spec, shared_state),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+    segment = shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
+    try:
+        segment.buf[:len(blob)] = blob
+        context = multiprocessing.get_context("spawn")
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=len(chunks), mp_context=context) as pool:
+            pairs = [(pool.submit(_shm_chunk,
+                                  (segment.name, len(blob), chunk)), chunk)
+                     for chunk in chunks]
+            return _collect(pairs, "shared-memory")
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def _merge(targets, outcomes, transport: str, requested: int,
+           effective: int) -> FanOutResult:
+    results: Dict[Any, Any] = {}
+    extras: List[Any] = []
+    for outcome in outcomes:
+        results.update(outcome["results"])
+        if outcome["extra"] is not None:
+            extras.append(outcome["extra"])
+    ordered = {target: results[target] for target in targets}
+    return FanOutResult(ordered, transport, requested, effective, extras)

@@ -15,9 +15,17 @@ is shared:
   minimum-contingency instances, solved once through the shared
   :class:`~repro.engine.cache.LineageCache`.
 
-Independent answers can optionally be fanned out over a
-``concurrent.futures`` process pool (``workers=N``); each worker re-derives
-its answer from the bound query, so results are identical to the serial path.
+Independent answers can optionally be fanned out over worker processes
+(``workers=N``) through the :mod:`repro.engine._pool` seam: the parent
+finishes the open-query pass first and the workers *inherit* it — the
+pre-grouped per-answer valuations, the exogenous set and a read-only
+:meth:`~repro.relational.session.BackendSession.fanout_snapshot` of the
+database travel by fork inheritance or one pickled shared-memory segment,
+never per chunk — so no worker re-runs any valuation pass.  Workers send
+back ranked :class:`Explanation`\\ s plus their
+:class:`~repro.engine.cache.LineageCache` entries, which merge into the
+parent's cache (the keys are database-independent, so the merge is sound);
+results are bit-identical to the serial path.
 
 The valuation pass itself is pluggable (``backend="memory"`` /
 ``"sqlite"``): the SQLite backend of
@@ -59,7 +67,7 @@ from ..relational.delta import DatabaseDelta
 from ..relational.query import ConjunctiveQuery, Constant, Variable, match_atom
 from ..relational.session import BackendSession, open_session
 from ..relational.tuples import Tuple, value_sort_key
-from ._pool import fan_out_chunks
+from ._pool import FanOutResult, FanOutSpec, fan_out, resolve_transport
 from .cache import LineageCache
 
 Answer = TypingTuple[Any, ...]
@@ -339,15 +347,25 @@ class BatchExplainer:
                            CausalityMode.WHY_SO, causes)
 
     def explain_all(self, answers: Optional[Iterable[Sequence[Any]]] = None,
-                    workers: Optional[int] = None) -> Dict[Answer, Explanation]:
+                    workers: Optional[int] = None,
+                    transport: str = "auto") -> FanOutResult:
         """Explanations for every answer (or the given subset), keyed by answer.
 
-        ``workers`` > 1 fans the answers out over a process pool in
-        contiguous chunks (``targets[0:k]``, ``targets[k:2k]``, ...) — one
-        explainer (hence one shared evaluator, cache and flow engine) per
-        worker, so intra-worker sharing is preserved and the results equal
-        the serial ones.  The returned dict is keyed in the serial answer
-        order regardless of the worker count.
+        ``workers`` > 1 fans the answers out over worker processes in
+        contiguous chunks.  The parent completes the open-query valuation
+        pass first; every worker *inherits* the resulting per-answer groups,
+        the exogenous set and a read-only snapshot of the database through
+        the chosen ``transport`` (see :mod:`repro.engine._pool`: ``"auto"``,
+        ``"serial"``, ``"fork"``, ``"shared-memory"``), so no worker re-runs
+        a valuation pass.  Afterwards the workers' explanations are memoized
+        and their :class:`~repro.engine.cache.LineageCache` entries merged
+        into this explainer, leaving its state exactly as a serial run would
+        — bit-identical results, keyed in the serial answer order regardless
+        of the worker count.
+
+        The returned :class:`~repro.engine._pool.FanOutResult` is a plain
+        dict that additionally reports the transport and the requested vs.
+        effective worker count that actually ran.
 
         Examples
         --------
@@ -362,18 +380,48 @@ class BatchExplainer:
         ...     print(answer, [c.tuple for c in explanation.ranked()])
         ('a2',) [R('a2', 'a1'), S('a1')]
         ('a4',) [R('a4', 'a3'), S('a3')]
+        >>> explainer.explain_all().transport
+        'serial'
         """
         if answers is None:
             targets = self.answers()
         else:
             targets = [tuple(a) for a in answers]
-        if workers is not None and workers > 1 and len(targets) > 1:
-            return fan_out_chunks(
-                targets, workers,
-                lambda chunk: (self.query, self.database, chunk, self.method,
-                               self.backend),
-                _explain_chunk)
-        return {answer: self.explain(answer) for answer in targets}
+        requested = 1 if workers is None else workers
+        concrete = resolve_transport(transport, workers, len(targets))
+        pending = targets
+        if concrete != "serial":
+            # Finish the shared pass here, so the workers inherit it.
+            self._run_full_pass()
+            for target in targets:
+                # Validate in the parent — same error, same place, as serial.
+                if target not in self._conjuncts:
+                    raise CausalityError(
+                        f"{target!r} is not an answer on this database; "
+                        "use mode='why-no'"
+                    )
+            # Memoized answers (e.g. kept across a refresh) are served from
+            # the parent; only the rest is worth shipping to workers.
+            pending = [t for t in targets if t not in self._explanations]
+            concrete = resolve_transport(transport, workers, len(pending))
+        if concrete == "serial":
+            results = {answer: self.explain(answer) for answer in targets}
+            return FanOutResult(results, "serial", requested, 1)
+
+        state = _WhySoFanOutState(self.query, self.session.fanout_snapshot(),
+                                  self.method, self._conjuncts,
+                                  self._exogenous)
+        result = fan_out(pending, state, _WHYSO_SPEC, workers=workers,
+                         transport=concrete)
+        # Success: adopt the workers' results so this explainer ends up in
+        # the same state as after a serial run (a failed fan-out raises
+        # above and merges nothing).
+        self._explanations.update(result)
+        for entries in result.extras:
+            self.cache.merge_entries(entries)
+        return FanOutResult({t: self._explanations[t] for t in targets},
+                            result.transport, requested,
+                            result.effective_workers, result.extras)
 
     # ------------------------------------------------------------------ #
     # incremental re-explanation
@@ -559,16 +607,62 @@ class BatchExplainer:
                 f"method={self.method!r}, backend={self.backend!r}, {state})")
 
 
-def _explain_chunk(payload) -> Dict[Answer, Explanation]:
-    """Process-pool worker: explain a chunk of answers with one explainer."""
-    query, database, answers, method, backend = payload
-    explainer = BatchExplainer(query, database, method=method, backend=backend)
-    return {tuple(answer): explainer.explain(answer) for answer in answers}
+class _WhySoFanOutState:
+    """What a Why-So fan-out worker inherits from the parent.
+
+    Everything here is the *completed* shared work: the pre-grouped
+    per-answer lineage conjuncts of the open-query pass, the exogenous set,
+    and the read-only database snapshot (needed for partition lookups and
+    the per-answer flow engines) — no backend handles, no bound queries.
+    """
+
+    __slots__ = ("query", "database", "method", "conjuncts", "exogenous")
+
+    def __init__(self, query: ConjunctiveQuery, database: Database,
+                 method: str, conjuncts: Dict[Answer, List[FrozenSet[Tuple]]],
+                 exogenous: FrozenSet[Tuple]):
+        self.query = query
+        self.database = database
+        self.method = method
+        self.conjuncts = conjuncts
+        self.exogenous = exogenous
+
+
+def _whyso_worker_setup(state: _WhySoFanOutState) -> BatchExplainer:
+    """Build the worker-side explainer *around* the inherited pass.
+
+    The explainer is constructed on the memory backend (workers never touch
+    an execution backend) and then handed the parent's grouped valuations,
+    so its ``explain`` runs exactly the serial per-answer step — lineage to
+    n-lineage to ranked causes — without any evaluation.
+    """
+    explainer = BatchExplainer(state.query, state.database,
+                               method=state.method)
+    explainer._conjuncts = state.conjuncts
+    explainer._full_pass_done = True
+    explainer._exogenous = state.exogenous
+    return explainer
+
+
+def _whyso_worker_explain(explainer: BatchExplainer,
+                          answer: Answer) -> Explanation:
+    return explainer.explain(answer)
+
+
+def _whyso_worker_export_cache(explainer: BatchExplainer):
+    """Ship the worker's lineage-cache entries back for the parent merge."""
+    return explainer.cache.export_entries()
+
+
+_WHYSO_SPEC = FanOutSpec(compute=_whyso_worker_explain,
+                         setup=_whyso_worker_setup,
+                         finalize=_whyso_worker_export_cache)
 
 
 def batch_explain(query: ConjunctiveQuery, database: Database,
                   method: str = "auto", workers: Optional[int] = None,
-                  backend: str = "memory") -> Dict[Answer, Explanation]:
+                  backend: str = "memory",
+                  transport: str = "auto") -> Dict[Answer, Explanation]:
     """One-shot convenience: explanations for every answer of ``query``.
 
     Examples
@@ -582,4 +676,5 @@ def batch_explain(query: ConjunctiveQuery, database: Database,
     [('a2',)]
     """
     return BatchExplainer(query, database, method=method,
-                          backend=backend).explain_all(workers=workers)
+                          backend=backend).explain_all(workers=workers,
+                                                       transport=transport)

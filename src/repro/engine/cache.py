@@ -19,7 +19,7 @@ per-database side table instead.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, FrozenSet, Hashable, Iterable, Optional
+from typing import Any, Callable, FrozenSet, Hashable, Iterable, Mapping, Optional
 
 from ..core.responsibility import minimum_contingency_from_lineage
 from ..lineage.boolean_expr import PositiveDNF
@@ -154,6 +154,51 @@ class LineageCache:
     def invalidate_tuple(self, tuple_: Tuple) -> int:
         """Single-tuple convenience for :meth:`invalidate_tuples`."""
         return self.invalidate_tuples((tuple_,))
+
+    # ------------------------------------------------------------------ #
+    # cross-process merge (parallel fan-out)
+    # ------------------------------------------------------------------ #
+    def export_entries(self) -> "OrderedDict[Hashable, Any]":
+        """A snapshot of the memo table, for merging into another cache.
+
+        Keys are database-independent by construction (see the module
+        docstring), which is what makes shipping them across a process
+        boundary and merging them into the parent's cache sound: the same
+        key means literally the same hitting-set instance, whichever worker
+        solved it.
+        """
+        return OrderedDict(self._entries)
+
+    def merge_entries(self, entries: "Mapping[Hashable, Any]") -> int:
+        """Adopt entries computed elsewhere (e.g. by a fan-out worker).
+
+        Existing keys keep their local value — both sides computed the same
+        deterministic result, and keeping the local one preserves this
+        cache's LRU recency.  Merged entries count neither as hits nor as
+        misses (:attr:`stats` keeps reflecting local computations only) but
+        do respect :attr:`maxsize`.  Returns the number of entries adopted.
+
+        Examples
+        --------
+        >>> worker, parent = LineageCache(), LineageCache()
+        >>> phi = PositiveDNF([{Tuple("R", (1,))}])
+        >>> _ = worker.minimum_contingency(phi, Tuple("R", (1,)))
+        >>> parent.merge_entries(worker.export_entries())
+        1
+        >>> parent.minimum_contingency(phi, Tuple("R", (1,)))  # now a hit
+        frozenset()
+        >>> parent.hits, parent.misses
+        (1, 0)
+        """
+        adopted = 0
+        for key, value in entries.items():
+            if key in self._entries:
+                continue
+            self._entries[key] = value
+            adopted += 1
+            if self.maxsize is not None and len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return adopted
 
     # ------------------------------------------------------------------ #
     def clear(self) -> None:

@@ -31,9 +31,15 @@ workload almost all of that work is shared, mirroring the Why-So
   single-non-answer :func:`repro.core.api.explain` is a thin wrapper over
   this class).
 
-Independent non-answers can be fanned out over a ``concurrent.futures``
-process pool (``workers=N``); each worker rebuilds the batch for its chunk,
-and per-non-answer independence makes the results equal to the serial ones.
+Independent non-answers can be fanned out over worker processes
+(``workers=N``) through the :mod:`repro.engine._pool` seam: the parent
+finishes the combined-instance valuation pass, and the workers inherit the
+pre-grouped conjuncts, the per-non-answer candidate sets and the exogenous
+set (fork inheritance or one pickled shared-memory segment) — where the
+historical pool had every worker regenerate candidates, rebuild the combined
+instance and re-run the pass for its chunk.  Each worker only restricts its
+groups to its targets' own candidates and reads the causes off the
+n-lineage, so the results are bit-identical to the serial ones.
 
 On the ``sqlite`` backend the whole construction runs over **one** backend
 session: the real database is loaded once, serves the actual-answer check
@@ -72,10 +78,38 @@ from ..relational.evaluation import QueryEvaluator, evaluate, evaluate_boolean
 from ..relational.query import ConjunctiveQuery, Variable, match_atom
 from ..relational.session import MemorySession, SQLiteSession
 from ..relational.tuples import Tuple, value_sort_key
-from ._pool import fan_out_chunks
+from ._pool import FanOutResult, FanOutSpec, fan_out, resolve_transport
 from .batch import BatchExplainer, RefreshReport
 
 Answer = TypingTuple[Any, ...]
+
+
+def _restricted_n_lineage(conjuncts: Iterable[FrozenSet[Tuple]],
+                          allowed: FrozenSet[Tuple],
+                          exogenous: FrozenSet[Tuple],
+                          simplify: bool = True) -> PositiveDNF:
+    """One non-answer's n-lineage, restricted to its own candidate set.
+
+    The shared pass runs over the *union* combined instance, where a
+    self-joined relation's head-free atoms can match candidates another
+    non-answer contributed.  Keeping only the conjuncts whose endogenous
+    tuples all lie in ``allowed`` (= ``Dn(ā)``) yields exactly the lineage
+    of the bound query on ``Dx ∪ Dn(ā)``: per-answer valuations all exist
+    over the union, and a union valuation confined to ``Dx ∪ Dn(ā)`` is a
+    per-answer valuation.  (For self-join-free queries the filter is a
+    no-op: every candidate a bound atom can match fixes that atom's head
+    projection, hence is already in ``Dn(ā)``.)
+
+    This pure function is the single source of truth for the serial path
+    (:meth:`WhyNoBatchExplainer.n_lineage_of`) and the fan-out workers, so
+    the two stay bit-identical by construction.
+    """
+    kept = [
+        conjunct for conjunct in conjuncts
+        if all(t in allowed or t in exogenous for t in conjunct)
+    ]
+    phi_n = PositiveDNF(kept).set_true(exogenous)
+    return phi_n.remove_redundant() if simplify else phi_n
 
 
 class WhyNoBatchExplainer:
@@ -370,28 +404,17 @@ class WhyNoBatchExplainer:
     # explanation
     # ------------------------------------------------------------------ #
     def _n_lineage(self, key: Answer, simplify: bool = True) -> PositiveDNF:
-        """n-lineage of one non-answer, restricted to its own candidates.
+        """n-lineage of one non-answer over *its own* combined instance.
 
-        The shared pass runs over the *union* combined instance, where a
-        self-joined relation's head-free atoms can match candidates another
-        non-answer contributed.  Keeping only the conjuncts whose endogenous
-        tuples all lie in ``Dn(key)`` yields exactly the lineage of the bound
-        query on ``Dx ∪ Dn(key)``: per-answer valuations all exist over the
-        union, and a union valuation confined to ``Dx ∪ Dn(key)`` is a
-        per-answer valuation.  (For self-join-free queries the filter is a
-        no-op: every candidate a bound atom can match fixes that atom's head
-        projection, hence is already in ``Dn(key)``.)
+        The sibling engine shares its precomputed state — grouped conjuncts
+        (lazy bound-query pass for single targets) and the exogenous set —
+        and :func:`_restricted_n_lineage` confines the shared pass to this
+        non-answer's own candidates (see there for the soundness argument).
         """
-        allowed = self._per_answer_candidates[key]
-        # The sibling engine shares its precomputed state: grouped conjuncts
-        # (lazy bound-query pass for single targets) and the exogenous set.
-        exogenous = self._inner._exogenous
-        conjuncts = [
-            conjunct for conjunct in self._inner._conjuncts_for(key)
-            if all(t in allowed or t in exogenous for t in conjunct)
-        ]
-        phi_n = PositiveDNF(conjuncts).set_true(exogenous)
-        return phi_n.remove_redundant() if simplify else phi_n
+        return _restricted_n_lineage(self._inner._conjuncts_for(key),
+                                     self._per_answer_candidates[key],
+                                     self._inner._exogenous,
+                                     simplify=simplify)
 
     def _key(self, non_answer: Optional[Sequence[Any]]) -> Answer:
         if self._poisoned is not None:
@@ -629,14 +652,21 @@ class WhyNoBatchExplainer:
                              removed_answers=frozenset(now_answers))
 
     def explain_all(self, non_answers: Optional[Iterable[Sequence[Any]]] = None,
-                    workers: Optional[int] = None) -> Dict[Answer, Explanation]:
+                    workers: Optional[int] = None,
+                    transport: str = "auto") -> FanOutResult:
         """Explanations for every non-answer (or the given subset).
 
-        ``workers`` > 1 fans the non-answers out over a process pool in
-        contiguous chunks, one batch explainer per worker; per-non-answer
-        independence of the combined instance makes the results identical to
-        the serial ones, keyed in the serial order regardless of the worker
-        count.
+        ``workers`` > 1 fans the non-answers out over worker processes in
+        contiguous chunks.  The parent finishes the one shared valuation
+        pass over the combined instance first; the workers inherit the
+        pre-grouped conjuncts, the per-non-answer candidate sets and the
+        exogenous set through the chosen ``transport`` (see
+        :mod:`repro.engine._pool`) and only restrict + rank — no worker
+        regenerates candidates, rebuilds the combined instance or re-runs a
+        pass.  The results are bit-identical to the serial ones, keyed in
+        the serial order regardless of the worker count, and the returned
+        :class:`~repro.engine._pool.FanOutResult` reports the transport and
+        effective worker count that actually ran.
 
         Examples
         --------
@@ -651,24 +681,43 @@ class WhyNoBatchExplainer:
         ('a',) [S('b')]
         ('c',) [R('c', 'b'), S('b')]
         """
+        if self._poisoned is not None:
+            raise CausalityError(self._poisoned)
         if non_answers is None:
             targets = list(self.non_answers)
         else:
-            # Validate up front so the serial and process-pool paths reject
+            # Validate up front so the serial and fan-out paths reject
             # out-of-batch targets identically.
             targets = [self._key(a) for a in non_answers]
-        if workers is not None and workers > 1 and len(targets) > 1:
-            return fan_out_chunks(
-                targets, workers,
-                lambda chunk: (self.query, self.database, chunk, self.domains,
-                               self._explicit_candidates, self.max_candidates,
-                               self.backend),
-                _explain_whyno_chunk)
-        if len(targets) > 1:
-            # Force the single shared valuation pass; single targets keep the
-            # cheaper lazy bound-query evaluation instead.
-            self._inner.answers()
-        return {answer: self.explain(answer) for answer in targets}
+        requested = 1 if workers is None else workers
+        concrete = resolve_transport(transport, workers, len(targets))
+        pending = targets
+        if concrete != "serial":
+            # Memoized non-answers (e.g. kept across a refresh) are served
+            # from the parent; only the rest is worth shipping to workers.
+            pending = [t for t in targets if t not in self._explanations]
+            concrete = resolve_transport(transport, workers, len(pending))
+        if concrete == "serial":
+            if len(targets) > 1:
+                # Force the single shared valuation pass; single targets keep
+                # the cheaper lazy bound-query evaluation instead.
+                self._inner.answers()
+            results = {answer: self.explain(answer) for answer in targets}
+            return FanOutResult(results, "serial", requested, 1)
+
+        # Parallel: finish the shared pass here, so the workers inherit it.
+        self._inner.answers()
+        state = _WhyNoFanOutState(self.query, self._inner._conjuncts,
+                                  self._inner._exogenous,
+                                  self._per_answer_candidates)
+        result = fan_out(pending, state, _WHYNO_SPEC, workers=workers,
+                         transport=concrete)
+        # Success: memoize like the serial loop (a failed fan-out raises
+        # above and merges nothing).
+        self._explanations.update(result)
+        return FanOutResult({t: self._explanations[t] for t in targets},
+                            result.transport, requested,
+                            result.effective_workers, result.extras)
 
     def __repr__(self) -> str:
         return (f"WhyNoBatchExplainer({self.query!r}, {len(self.non_answers)} "
@@ -676,13 +725,38 @@ class WhyNoBatchExplainer:
                 f"backend={self.backend!r})")
 
 
-def _explain_whyno_chunk(payload) -> Dict[Answer, Explanation]:
-    """Process-pool worker: explain a chunk of non-answers with one batch."""
-    query, database, chunk, domains, candidates, max_candidates, backend = payload
-    explainer = WhyNoBatchExplainer(
-        query, database, non_answers=chunk, domains=domains,
-        candidates=candidates, max_candidates=max_candidates, backend=backend)
-    return explainer.explain_all()
+class _WhyNoFanOutState:
+    """What a Why-No fan-out worker inherits from the parent.
+
+    Only completed shared work travels: the grouped conjuncts of the one
+    combined-instance pass, the exogenous set (= all real tuples) and the
+    per-non-answer candidate sets.  Notably *no* database and no backend —
+    restriction and witness-size ranking are pure formula work.
+    """
+
+    __slots__ = ("query", "conjuncts", "exogenous", "per_answer_candidates")
+
+    def __init__(self, query: ConjunctiveQuery,
+                 conjuncts: Dict[Answer, List[FrozenSet[Tuple]]],
+                 exogenous: FrozenSet[Tuple],
+                 per_answer_candidates: Dict[Answer, FrozenSet[Tuple]]):
+        self.query = query
+        self.conjuncts = conjuncts
+        self.exogenous = exogenous
+        self.per_answer_candidates = per_answer_candidates
+
+
+def _whyno_worker_explain(state: _WhyNoFanOutState, key: Answer) -> Explanation:
+    """Fan-out worker: restrict the inherited group, read the causes off it."""
+    phi_n = _restricted_n_lineage(state.conjuncts.get(key, []),
+                                  state.per_answer_candidates[key],
+                                  state.exogenous)
+    causes = whyno_causes_from_n_lineage(phi_n)
+    return Explanation(state.query, None if state.query.is_boolean else key,
+                       CausalityMode.WHY_NO, causes)
+
+
+_WHYNO_SPEC = FanOutSpec(compute=_whyno_worker_explain)
 
 
 def batch_explain_whyno(query: ConjunctiveQuery, database: Database,
@@ -691,7 +765,8 @@ def batch_explain_whyno(query: ConjunctiveQuery, database: Database,
                         candidates: Optional[Iterable[Tuple]] = None,
                         max_candidates: Optional[int] = None,
                         workers: Optional[int] = None,
-                        backend: str = "memory") -> Dict[Answer, Explanation]:
+                        backend: str = "memory",
+                        transport: str = "auto") -> Dict[Answer, Explanation]:
     """One-shot convenience: Why-No explanations for every given non-answer.
 
     Examples
@@ -707,4 +782,4 @@ def batch_explain_whyno(query: ConjunctiveQuery, database: Database,
     explainer = WhyNoBatchExplainer(
         query, database, non_answers=non_answers, domains=domains,
         candidates=candidates, max_candidates=max_candidates, backend=backend)
-    return explainer.explain_all(workers=workers)
+    return explainer.explain_all(workers=workers, transport=transport)

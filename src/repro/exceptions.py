@@ -43,5 +43,41 @@ class BackendError(ReproError):
     instance, or was asked to evaluate a query it does not support."""
 
 
+class FanOutError(CausalityError):
+    """The parallel fan-out layer could not run as requested (unknown or
+    unavailable transport, malformed task).  Derives from
+    :class:`CausalityError` so callers guarding an ``explain_all`` keep
+    catching one exception type whether it runs serial or fanned out."""
+
+
+class FanOutWorkerError(FanOutError):
+    """A fan-out worker failed (raised, or its process died).
+
+    Attributes
+    ----------
+    targets:
+        The targets of the failed worker's chunk.  When the failure could be
+        attributed to a single target (the worker raised while computing it),
+        this is a one-element tuple and :attr:`target` names it; when the
+        worker *process* died mid-chunk, every target of the chunk is listed.
+    transport:
+        The transport that ran the worker.
+    detail:
+        Human-readable failure detail (exception repr or worker traceback).
+    """
+
+    def __init__(self, message: str, targets=(), transport: str = "unknown",
+                 detail: str = ""):
+        super().__init__(message)
+        self.targets = tuple(targets)
+        self.transport = transport
+        self.detail = detail
+
+    @property
+    def target(self):
+        """The offending target when the failure names exactly one."""
+        return self.targets[0] if len(self.targets) == 1 else None
+
+
 class ReductionError(ReproError):
     """A hardness-reduction helper received an invalid instance."""

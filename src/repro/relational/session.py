@@ -60,6 +60,30 @@ class BackendSession:
         """The reusable loaded form of the instance (share, don't re-load)."""
         raise NotImplementedError
 
+    def fanout_snapshot(self) -> Database:
+        """A read-only handle for fan-out workers: the Python-side instance.
+
+        This is what the parallel fan-out ships to (or lets be inherited by)
+        its workers alongside the pre-grouped valuations.  For the memory
+        backend it *is* :meth:`snapshot`; for SQLite it is deliberately the
+        Python-side :class:`Database` rather than the loaded connection —
+        workers never re-run the valuation pass (the parent already grouped
+        it), so they need the partition lookups and relation scans of the
+        plain instance, not a second backend load.  Workers must treat the
+        handle as read-only: under the fork transport it is shared
+        copy-on-write with the parent.
+
+        Examples
+        --------
+        >>> from repro.relational import Database
+        >>> db = Database()
+        >>> MemorySession(db).fanout_snapshot() is db
+        True
+        >>> SQLiteSession(db).fanout_snapshot() is db
+        True
+        """
+        return self.database
+
     def _apply_backend_delta(self, delta: DatabaseDelta) -> None:
         """Propagate an already-validated delta into the backend state."""
         raise NotImplementedError

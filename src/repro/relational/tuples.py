@@ -73,6 +73,15 @@ class Tuple:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Rebuild through __init__ so the cached hash is *recomputed* on
+        # unpickle.  String hashing is salted per process (PYTHONHASHSEED),
+        # so a hash carried verbatim across a spawn boundary would disagree
+        # with hashes of equal tuples built in the receiving process and
+        # silently corrupt every set/dict the unpickled tuple lands in —
+        # exactly what the shared-memory fan-out transport does.
+        return (Tuple, (self._relation, self._values))
+
     def __lt__(self, other: "Tuple") -> bool:
         # A deterministic (but otherwise arbitrary) ordering is convenient for
         # reproducible output in examples and benchmarks.

@@ -7,10 +7,23 @@ without re-building them.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.relational import Atom, ConjunctiveQuery, Constant, Database, parse_query
 from repro.workloads import generate_imdb
+
+
+@pytest.fixture(scope="session")
+def suite_workers():
+    """The fan-out worker count suites honouring ``REPRO_TEST_WORKERS`` use.
+
+    CI runs the engine and property directories twice — with
+    ``REPRO_TEST_WORKERS=1`` (serial) and ``=2`` (parallel) — so the fan-out
+    path is exercised on every push without doubling the whole suite.
+    """
+    return int(os.environ.get("REPRO_TEST_WORKERS", "1"))
 
 
 @pytest.fixture

@@ -1,0 +1,156 @@
+"""Failure injection for the fan-out pool.
+
+A worker that raises must surface as a typed
+:class:`~repro.exceptions.FanOutWorkerError` in the parent, *naming the
+offending target*; a worker process that dies outright must surface the same
+typed error naming its chunk — never a hang, never a partially merged cache.
+After a failed fan-out the parent engine must remain fully usable.
+
+The compute/setup functions live at module level so every transport
+(including spawn-based shared-memory) can pickle them by reference.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.engine import BatchExplainer
+from repro.engine import batch as batch_module
+from repro.engine._pool import FanOutSpec, fan_out
+from repro.exceptions import CausalityError, FanOutError, FanOutWorkerError
+from repro.relational import Database, parse_query
+
+QUERY = parse_query("q(x) :- R(x, y), S(y)")
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+TRANSPORTS = ("serial",) + (("fork",) if HAS_FORK else ()) + ("shared-memory",)
+
+POISON = "t2"
+
+
+def _compute_or_raise(state, target):
+    if target == POISON:
+        raise ValueError(f"injected failure for {target}")
+    return state + target
+
+
+def _compute_or_die(state, target):
+    if target == POISON:
+        os._exit(13)  # simulate a worker killed mid-chunk
+    return state + target
+
+
+def _setup_that_raises(state):
+    raise RuntimeError("injected setup failure")
+
+
+def _explode_on_marked_answer(explainer, answer):
+    if answer == ("a4",):
+        raise RuntimeError("injected per-answer failure")
+    return batch_module._whyso_worker_explain(explainer, answer)
+
+
+def _exit_on_marked_answer(explainer, answer):
+    if answer == ("a4",):
+        os._exit(7)
+    return batch_module._whyso_worker_explain(explainer, answer)
+
+
+def example_db() -> Database:
+    db = Database()
+    for x, y in [("a1", "a5"), ("a2", "a1"), ("a3", "a3"), ("a4", "a3"),
+                 ("a4", "a2")]:
+        db.add_fact("R", x, y)
+    for y in ["a1", "a2", "a3", "a4", "a6"]:
+        db.add_fact("S", y)
+    return db
+
+
+class TestPoolFailures:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_raising_worker_names_the_target(self, transport):
+        spec = FanOutSpec(compute=_compute_or_raise)
+        with pytest.raises(FanOutWorkerError) as excinfo:
+            fan_out(["t1", "t2", "t3", "t4"], "state-", spec, workers=2,
+                    transport=transport)
+        error = excinfo.value
+        assert error.target == POISON
+        assert error.targets == (POISON,)
+        assert error.transport == transport
+        assert "ValueError" in error.detail
+        assert POISON in str(error)
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_setup_failure_names_the_chunk(self, transport):
+        spec = FanOutSpec(compute=_compute_or_raise,
+                          setup=_setup_that_raises)
+        with pytest.raises(FanOutWorkerError) as excinfo:
+            fan_out(["t1", "t3"], "state-", spec, workers=2,
+                    transport=transport)
+        error = excinfo.value
+        assert error.target is None or len(error.targets) == 1
+        assert set(error.targets) <= {"t1", "t3"}
+        assert "RuntimeError" in error.detail
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork transport is POSIX-only")
+    def test_dying_worker_process_is_a_typed_error_not_a_hang(self):
+        spec = FanOutSpec(compute=_compute_or_die)
+        with pytest.raises(FanOutWorkerError) as excinfo:
+            fan_out(["t1", "t2", "t3", "t4"], "state-", spec, workers=2,
+                    transport="fork")
+        error = excinfo.value
+        # The process died without reporting, so the whole chunk is named.
+        assert POISON in error.targets
+        assert error.transport == "fork"
+
+    def test_unknown_transport_is_typed(self):
+        with pytest.raises(FanOutError):
+            fan_out(["t1", "t2"], "s", FanOutSpec(compute=_compute_or_raise),
+                    workers=2, transport="carrier-pigeon")
+
+    def test_successful_run_keeps_all_targets(self):
+        spec = FanOutSpec(compute=_compute_or_raise)
+        result = fan_out(["t1", "t3", "t4"], "s-", spec, workers=2,
+                         transport="fork" if HAS_FORK else "shared-memory")
+        assert dict(result) == {"t1": "s-t1", "t3": "s-t3", "t4": "s-t4"}
+
+
+class TestEngineFailures:
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_non_answer_target_rejected_identically(self, workers):
+        """Serial and fan-out validate targets with the same error."""
+        explainer = BatchExplainer(QUERY, example_db())
+        with pytest.raises(CausalityError, match="not an answer"):
+            explainer.explain_all(answers=[("a2",), ("zz",)], workers=workers)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork transport is POSIX-only")
+    @pytest.mark.parametrize("compute", [_explode_on_marked_answer,
+                                         _exit_on_marked_answer])
+    def test_failed_fanout_leaves_parent_usable(self, compute, monkeypatch):
+        """A failed fan-out merges nothing and the engine keeps working."""
+        db = example_db()
+        expected = BatchExplainer(QUERY, db, method="exact").explain_all()
+
+        explainer = BatchExplainer(QUERY, db, method="exact")
+        monkeypatch.setattr(
+            batch_module, "_WHYSO_SPEC",
+            FanOutSpec(compute=compute,
+                       setup=batch_module._whyso_worker_setup,
+                       finalize=batch_module._whyso_worker_export_cache))
+        with pytest.raises(FanOutWorkerError) as excinfo:
+            explainer.explain_all(workers=2, transport="fork")
+        assert ("a4",) in excinfo.value.targets
+
+        # Nothing was merged: no memoized explanations, no cache entries.
+        assert explainer._explanations == {}
+        assert len(explainer.cache) == 0
+
+        # The parent engine is still fully usable — serial and parallel.
+        monkeypatch.undo()
+        serial_after = explainer.explain_all()
+        assert {k: [(c.tuple, c.responsibility) for c in v.ranked()]
+                for k, v in serial_after.items()} == \
+               {k: [(c.tuple, c.responsibility) for c in v.ranked()]
+                for k, v in expected.items()}
+        parallel_after = explainer.explain_all(workers=2)
+        assert list(parallel_after) == list(expected)

@@ -149,6 +149,76 @@ class TestWhyNoRefresh:
                 assert ranking(refreshed[answer]) == ranking(scratch[answer])
 
 
+class TestRefreshThenFanOut:
+    """Refresh composes with the parallel fan-out (the workers dimension).
+
+    After ``refresh(delta)`` the parent's maintained valuation groups are
+    what the fan-out workers inherit; a parallel ``explain_all`` must still
+    be bit-identical to a serial from-scratch engine on the mutated
+    database, for any worker count.  ``suite_workers`` adds the CI
+    ``REPRO_TEST_WORKERS`` dimension on top of the explicit counts.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_whyso_refresh_then_parallel(self, seed, backend, suite_workers):
+        rng = random.Random(7100 + seed)
+        db = random_instance(rng)
+        explainer = BatchExplainer(QUERY, db, backend=backend)
+        explainer.explain_all()
+        delta = random_delta(rng, db)
+        explainer.refresh(delta)
+        scratch = BatchExplainer(QUERY, db.copy(),
+                                 backend=backend).explain_all()
+        for workers in {2, suite_workers}:
+            refreshed = explainer.explain_all(workers=workers)
+            assert list(refreshed) == list(scratch), (seed, workers)
+            for answer in scratch:
+                assert ranking(refreshed[answer]) == \
+                    ranking(scratch[answer]), (seed, workers, answer)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_whyno_refresh_then_parallel(self, seed, backend, suite_workers):
+        rng = random.Random(7200 + seed)
+        db = random_instance(rng)
+        actual = evaluate(QUERY, db)
+        targets = [(f"a{i}",) for i in range(7) if (f"a{i}",) not in actual]
+        domains = {"y": [f"b{j}" for j in range(4)]}
+        explainer = WhyNoBatchExplainer(QUERY, db, non_answers=targets,
+                                        domains=domains, backend=backend)
+        explainer.explain_all()
+        delta = random_delta(rng, db)
+        explainer.refresh(delta)
+        if len(explainer.non_answers) < 2:
+            pytest.skip("delta answered almost every target")
+        scratch = WhyNoBatchExplainer(
+            QUERY, db.copy(), non_answers=list(explainer.non_answers),
+            domains=domains, backend=backend).explain_all()
+        for workers in {2, suite_workers}:
+            refreshed = explainer.explain_all(workers=workers)
+            assert list(refreshed) == list(scratch), (seed, workers)
+            for answer in scratch:
+                assert ranking(refreshed[answer]) == \
+                    ranking(scratch[answer]), (seed, workers, answer)
+
+    def test_session_refresh_then_parallel(self, suite_workers):
+        """The ExplanationSession loop: refresh once, fan out both engines."""
+        from repro.core.api import ExplanationSession
+
+        rng = random.Random(77)
+        db = random_instance(rng)
+        session = ExplanationSession(QUERY, db)
+        session.explain_all()
+        delta = random_delta(rng, db)
+        session.refresh(delta)
+        scratch = BatchExplainer(QUERY, db.copy()).explain_all()
+        refreshed = session.explain_all(workers=max(2, suite_workers))
+        assert list(refreshed) == list(scratch)
+        for answer in scratch:
+            assert ranking(refreshed[answer]) == ranking(scratch[answer])
+
+
 @pytest.mark.slow
 class TestRefreshSweep:
     """Larger randomized sweep (deselected by default)."""
