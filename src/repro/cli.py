@@ -21,8 +21,9 @@ driven without writing Python:
   domains allow);
 * ``repro explain-batch --delta change.json ...`` — after the initial
   explanations, apply a recorded change (inserts/deletes in the same JSON
-  relation format) through the delta-aware engines and re-explain *only*
-  the answers whose lineage the change touches (both modes);
+  relation format), or a JSON *list* of such changes applied in order as
+  one stream, through the delta-aware engines and re-explain *only* the
+  answers whose lineage the stream touches (both modes);
 * ``repro demo`` — run the built-in Fig. 2 IMDB scenario.
 
 The JSON data format is ``{"relations": {"R": [[...], ...]},
@@ -42,7 +43,12 @@ from typing import List, Optional, Sequence
 from .core import CausalityMode, classify, explain
 from .engine import BatchExplainer, WhyNoBatchExplainer
 from .exceptions import CausalityError
-from .relational import Database, DatabaseDelta, database_from_dict, parse_query
+from .relational import (
+    Database,
+    database_from_dict,
+    deltas_from_json_file,
+    parse_query,
+)
 from .relational.tuples import value_sort_key
 from .workloads import generate_imdb
 
@@ -112,9 +118,9 @@ def _parse_domains(raw: Optional[List[str]]) -> Optional[dict]:
 def _print_fanout_report(args: argparse.Namespace, explanations) -> None:
     """Say what the fan-out actually ran (only when workers were requested).
 
-    The pool shrinks to ``min(workers, targets)`` and ``--transport auto``
-    resolves per platform; printing the effective values keeps benchmark
-    drivers and scripts honest about what they measured.
+    The pool runs ``min(workers, targets)`` processes and ``--transport
+    auto`` resolves per platform; printing the effective values keeps
+    benchmark drivers and scripts honest about what they measured.
     """
     if args.workers is None and args.transport == "auto":
         return
@@ -125,10 +131,15 @@ def _print_fanout_report(args: argparse.Namespace, explanations) -> None:
 
 def _refresh_and_print(explainer, delta_path: str, top: Optional[int],
                        label: str) -> None:
-    """Apply a recorded delta through ``refresh`` and print what changed."""
-    delta = DatabaseDelta.from_json_file(delta_path)
-    report = explainer.refresh(delta)
-    print(f"\napplied delta {delta!r}: {report!r}")
+    """Apply a recorded delta stream via ``refresh_all``; print what changed.
+
+    The file may hold one delta object or a JSON list of them; either way
+    the whole stream is applied with one batched re-evaluation.
+    """
+    deltas = deltas_from_json_file(delta_path)
+    report = explainer.refresh_all(deltas)
+    noun = "delta" if len(deltas) == 1 else f"stream of {len(deltas)} deltas"
+    print(f"\napplied {noun}: {report!r}")
     if report.full_reset:
         explanations = explainer.explain_all()
         print(f"re-explained all {len(explanations)} {label}(s):")
@@ -278,8 +289,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument("--delta", default=None, metavar="FILE",
                               help="after explaining, apply a recorded JSON "
                                    "delta ({\"insert\": {\"relations\": ...}, "
-                                   "\"delete\": ...}) and incrementally "
-                                   "re-explain only what it touches")
+                                   "\"delete\": ...}) — or a JSON list of "
+                                   "such deltas, applied in order as one "
+                                   "stream — and incrementally re-explain "
+                                   "only what it touches")
     batch_parser.add_argument("--workers", type=int, default=None,
                               help="fan answers out over N worker processes "
                                    "(the workers inherit the parent's "

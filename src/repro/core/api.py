@@ -215,26 +215,39 @@ class ExplanationSession:
 
     # -- incremental re-explanation --------------------------------------- #
     def refresh(self, delta) -> Dict[str, Any]:
-        """Apply one recorded change to *both* live engines, exactly once.
+        """Apply one recorded change; equivalent to ``refresh_all([delta])``."""
+        return self.refresh_all((delta,))
 
-        The engines share ``self.database``; the delta is applied to it a
-        single time and the already-applied change set is handed to the
-        Why-No engine, whose combined instance is a separate object.
-        Returns ``{"why-so": RefreshReport | None, "why-no": ... | None}``
-        for whichever engines exist.
+    def refresh_all(self, deltas: Iterable[Any]) -> Dict[str, Any]:
+        """Apply a delta *stream* to *both* live engines, exactly once.
+
+        The engines share ``self.database``; the stream is applied to it a
+        single time (by the Why-So engine when one exists) and the
+        already-applied change set is handed to the Why-No engine, whose
+        combined instance is a separate object.  Each engine patches its
+        state with one batched lineage-index probe and one re-derivation
+        pass for the whole stream.  Returns
+        ``{"why-so": RefreshReport | None, "why-no": ... | None}`` for
+        whichever engines exist.
         """
+        deltas = list(deltas)
         reports: Dict[str, Any] = {"why-so": None, "why-no": None}
         changed = None
         if self._whyso is not None:
-            report = self._whyso.refresh(delta)
+            report = self._whyso.refresh_all(deltas)
             changed = report.changed_tuples
             reports["why-so"] = report
         if self._whyno is not None:
             if changed is None:
-                changed = delta.apply_to(self.database)
-            reports["why-no"] = self._whyno.refresh(delta, _changed=changed)
+                changed_set = set()
+                for delta in deltas:
+                    changed_set |= delta.apply_to(self.database)
+                changed = frozenset(changed_set)
+            reports["why-no"] = self._whyno.refresh_all(
+                deltas, _changed=changed)
         if self._whyso is None and self._whyno is None:
-            delta.apply_to(self.database)
+            for delta in deltas:
+                delta.apply_to(self.database)
         return reports
 
     def __repr__(self) -> str:

@@ -14,7 +14,12 @@ answer" — workloads:
   non-answer's causes off one shared open-query valuation pass
   (Theorem 4.17);
 * :class:`~repro.engine.cache.LineageCache` — keyed memoization of the
-  hitting-set / contingency results, shareable across explainers.
+  hitting-set / contingency results, shareable across explainers;
+* :class:`~repro.engine.lineage_index.LineageIndex` — the tuple → answers
+  inverted index both engines maintain alongside their valuation groups, so
+  ``refresh`` / ``refresh_all`` probe the delta's neighbourhood instead of
+  sweeping every answer (the SQLite twin lives in
+  :mod:`repro.relational.sqlite_backend`).
 
 The single-answer :func:`repro.core.api.explain` is a thin wrapper over these
 paths (Why-So and Why-No alike), so both entry points stay bit-compatible by
@@ -24,12 +29,14 @@ construction.
 from ._pool import FanOutResult
 from .batch import BatchExplainer, RefreshReport, batch_explain
 from .cache import LineageCache
+from .lineage_index import LineageIndex
 from .whyno_batch import WhyNoBatchExplainer, batch_explain_whyno
 
 __all__ = [
     "BatchExplainer",
     "FanOutResult",
     "LineageCache",
+    "LineageIndex",
     "RefreshReport",
     "WhyNoBatchExplainer",
     "batch_explain",

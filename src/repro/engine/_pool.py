@@ -33,9 +33,10 @@ The seam has three pieces:
   serial target order, independent of the worker count) that additionally
   reports what actually ran: :attr:`~FanOutResult.transport`,
   :attr:`~FanOutResult.requested_workers` and
-  :attr:`~FanOutResult.effective_workers` (the pool silently shrinks to
-  ``min(workers, len(targets))``; the result makes that shrinkage visible so
-  benchmarks and tests can assert on it).
+  :attr:`~FanOutResult.effective_workers` (the pool shrinks to
+  ``min(workers, len(targets))`` only when targets are scarcer than
+  workers; the result makes the actual count visible so benchmarks and
+  tests can assert on it).
 
 Failures are typed, never hung and never half-merged: a worker that raises
 surfaces as a :class:`~repro.exceptions.FanOutWorkerError` naming the
@@ -131,9 +132,10 @@ class FanOutResult(Dict[Any, Any]):
         The worker count the caller asked for (1 when unspecified).
     effective_workers:
         The number of worker processes that actually ran — one per
-        contiguous chunk (see :func:`effective_pool_size`: ceil-division
-        chunking can produce fewer chunks than both the request and the
-        target count).  The serial transport always reports 1.
+        contiguous chunk, i.e. ``min(requested_workers, len(targets))``
+        (see :func:`effective_pool_size`: chunks are balanced, so a
+        request is only ever shrunk when there are fewer targets than
+        workers).  The serial transport always reports 1.
     extras:
         The per-worker ``finalize`` returns, in chunk order (empty when the
         spec has no ``finalize``).
@@ -192,15 +194,18 @@ def resolve_transport(transport: str, workers: Optional[int],
 def effective_pool_size(n_targets: int, workers: int) -> int:
     """Workers that actually run for a request: one per contiguous chunk.
 
-    Chunks are sized by ceil division, which can produce *fewer* chunks
-    (hence workers) than ``min(workers, n_targets)`` — 5 targets at 4
-    workers means chunks of 2, so only 3 workers run.  This is the number
+    Chunks are balanced (floor size plus one extra target for the first
+    ``n_targets % pool`` chunks), so whenever there are at least as many
+    targets as workers, every requested worker gets a chunk:
+    ``effective == min(workers, n_targets)``.  The earlier ceil-division
+    chunking silently wasted parallelism — 5 targets at 4 workers produced
+    chunks of 2 and ran only 3 workers.  This is the number
     :attr:`FanOutResult.effective_workers` reports.
 
     Examples
     --------
     >>> effective_pool_size(5, 4)
-    3
+    4
     >>> effective_pool_size(8, 4)
     4
     >>> effective_pool_size(2, 7)
@@ -210,21 +215,32 @@ def effective_pool_size(n_targets: int, workers: int) -> int:
     """
     if n_targets <= 1 or workers <= 1:
         return 1
-    pool_size = min(workers, n_targets)
-    chunk_size = -(-n_targets // pool_size)
-    return -(-n_targets // chunk_size)
+    return min(workers, n_targets)
 
 
 def _chunked(targets: Sequence[Any], pool_size: int) -> List[List[Any]]:
-    """Contiguous chunks (``targets[0:k]``, ``targets[k:2k]``, ...).
+    """Balanced contiguous chunks, exactly ``pool_size`` of them.
 
-    One worker-side context per chunk preserves intra-chunk sharing, and the
-    merged result is re-keyed in the serial target order, so the output is
-    independent of the worker count.
+    The first ``len(targets) % pool_size`` chunks carry one extra target
+    (floor + remainder split), so chunk sizes differ by at most one and no
+    requested worker is left without a chunk.  One worker-side context per
+    chunk preserves intra-chunk sharing, and the merged result is re-keyed
+    in the serial target order, so the output is independent of the worker
+    count.
+
+    >>> _chunked(list(range(5)), 4)
+    [[0, 1], [2], [3], [4]]
+    >>> _chunked(list(range(8)), 4)
+    [[0, 1], [2, 3], [4, 5], [6, 7]]
     """
-    chunk_size = -(-len(targets) // pool_size)  # ceil division
-    return [list(targets[i:i + chunk_size])
-            for i in range(0, len(targets), chunk_size)]
+    base, extra = divmod(len(targets), pool_size)
+    chunks: List[List[Any]] = []
+    start = 0
+    for i in range(pool_size):
+        size = base + (1 if i < extra else 0)
+        chunks.append(list(targets[start:start + size]))
+        start += size
+    return chunks
 
 
 def _run_chunk(spec: FanOutSpec, state: Any, chunk: List[Any]) -> Dict[str, Any]:

@@ -186,10 +186,16 @@ class BatchExplainer:
         self.cache = cache if cache is not None else LineageCache()
         self.session = session if session is not None \
             else open_session(database, backend=backend)
-        self._exogenous = database.exogenous_tuples()
+        # Mutable on purpose: refresh patches membership per changed tuple
+        # instead of re-scanning the instance.
+        self._exogenous = set(database.exogenous_tuples())
         # answer -> lineage conjuncts; populated wholesale by the single
         # open-query pass, or per answer by bound-query evaluation.
         self._conjuncts: Dict[Answer, List[FrozenSet[Tuple]]] = {}
+        # tuple -> answers whose group mentions it; built with the full pass
+        # (through the session, so it lives where the backend's data lives)
+        # and kept in lockstep with ``_conjuncts`` by the delta path.
+        self._index: Optional[Any] = None
         self._full_pass_done = False
         # bound query -> FlowEngine (or NotLinearError for self-joins),
         # sharing valuations and layers across that answer's tuples.
@@ -239,6 +245,14 @@ class BatchExplainer:
                     valuation.tuples())
         self._conjuncts = grouped
         self._full_pass_done = True
+        index = self.session.create_lineage_index()
+        index.rebuild(grouped)
+        self._index = index
+
+    @property
+    def lineage_index(self) -> Optional[Any]:
+        """The lineage inverted index (``None`` until the full pass ran)."""
+        return self._index
 
     def _conjuncts_for(self, answer: Answer) -> List[FrozenSet[Tuple]]:
         if self._full_pass_done:
@@ -438,7 +452,10 @@ class BatchExplainer:
         by their per-atom matched tuples (which determine the assignment).
         """
         seen: set = set()
-        for tup in sorted(through):
+        # Sort by the type-tolerant key (relation, value_sort_key) — the one
+        # the why-no refresh uses — so mixed-type values in one relation
+        # cannot break the deterministic iteration order mid-refresh.
+        for tup in sorted(through, key=Tuple.sort_key):
             for atom in self.query.atoms:
                 mapping = match_atom(atom, tup)
                 if mapping is None:
@@ -464,35 +481,12 @@ class BatchExplainer:
         """Drop all evaluated state; everything recomputes lazily on demand."""
         self._conjuncts = {}
         self._full_pass_done = False
+        self._index = None
         self._flow_engines = {}
         self._explanations = {}
 
     def refresh(self, delta: DatabaseDelta) -> RefreshReport:
-        """Apply a recorded change and re-evaluate **only** what it touches.
-
-        The session mutates its loaded instance in place (no re-load), then
-        the valuation groups are diffed instead of re-derived:
-
-        1. every conjunct containing a changed tuple (insert, delete or
-           partition flip) is dropped from its answer's group;
-        2. the valuations running through the changed tuples that still
-           exist are re-derived via :meth:`_delta_valuations` and their
-           conjuncts appended — valuations avoiding the changed tuples are
-           untouched, so the groups end up exactly as a from-scratch pass
-           over the mutated database would build them;
-        3. cached explanations, flow engines and
-           :class:`~repro.engine.cache.LineageCache` entries are invalidated
-           per answer / per tuple, so a following ``explain_all`` re-solves
-           only the stale answers.
-
-        One conservative escape hatch: when the delta changes whether some
-        query relation has endogenous tuples *at all*, the relation-level
-        abstraction behind Algorithm 1 may shift for every answer, so all
-        cached explanations are dropped (the groups are still maintained
-        incrementally).
-
-        Returns a :class:`RefreshReport`; see the ``bench_incremental``
-        benchmark for the speedup this buys on small deltas.
+        """Apply one recorded change; equivalent to ``refresh_all([delta])``.
 
         Examples
         --------
@@ -511,31 +505,86 @@ class BatchExplainer:
         >>> sorted(report.removed_answers), sorted(explainer.answers())
         ([('a4',)], [('a2',)])
         """
-        # Relation-level endogenous emptiness, before the delta lands.
-        touched_relations = delta.relations()
+        return self.refresh_all((delta,))
+
+    def refresh_all(self, deltas: Iterable[DatabaseDelta]) -> RefreshReport:
+        """Apply a delta *stream* and re-evaluate **only** what it touches.
+
+        The deltas are applied in order through the session (each mutates
+        the loaded instance in place — no re-load), then the valuation
+        groups are patched once, against the final state:
+
+        1. one batched probe of the lineage inverted index finds the dirty
+           answers — O(k · fanout) for k changed tuples, instead of a sweep
+           over every answer's group — and their conjuncts containing a
+           changed tuple are dropped;
+        2. the valuations running through the changed tuples that still
+           exist are re-derived via :meth:`_delta_valuations` and their
+           conjuncts appended — one re-derivation pass for the whole stream
+           (intermediate states need no groups: a valuation surviving to
+           the final state is re-derived, one that does not is dropped);
+           the index is then re-pointed for exactly the dirty answers;
+        3. cached explanations, flow engines and
+           :class:`~repro.engine.cache.LineageCache` entries are invalidated
+           per answer / per tuple, so a following ``explain_all`` re-solves
+           only the stale answers.
+
+        One conservative escape hatch: when the stream changes whether some
+        query relation has endogenous tuples *at all*, the relation-level
+        abstraction behind Algorithm 1 may shift for every answer, so all
+        cached explanations are dropped (the groups are still maintained
+        incrementally).
+
+        Returns one :class:`RefreshReport` for the whole stream, with
+        ``changed_tuples`` the union over the deltas; see
+        ``bench_lineage_index`` for the cost model this buys (refresh time
+        proportional to the delta, flat across instance sizes).
+        """
+        deltas = list(deltas)
+        if not deltas:
+            return RefreshReport(frozenset())
+        # Relation-level endogenous emptiness, before the stream lands
+        # (O(1) per relation via the database's partition counters).
+        touched_relations: set = set()
+        for delta in deltas:
+            touched_relations |= delta.relations()
         query_relations = set(self.query.relation_names())
         had_endogenous = {
-            relation: bool(self.database.endogenous_tuples(relation))
+            relation: self.database.has_endogenous(relation)
             for relation in touched_relations & query_relations
         }
 
-        changed = self.session.apply_delta(delta)
-        self._exogenous = self.database.exogenous_tuples()
-        self.cache.invalidate_tuples(changed)
+        changed_set: set = set()
+        for delta in deltas:
+            changed_set |= self.session.apply_delta(delta)
+        changed = frozenset(changed_set)
         if not changed:
+            # Satellite fix: a no-op stream pays nothing — no cache scan,
+            # no exogenous-set maintenance.
             return RefreshReport(changed)
 
-        if not self._full_pass_done:
+        # Patch the exogenous set per changed tuple (never a full rebuild).
+        self._exogenous.difference_update(changed)
+        for tup in changed:
+            if self.database.contains(tup) \
+                    and not self.database.is_endogenous(tup):
+                self._exogenous.add(tup)
+        # Invalidate only now that ``changed`` is known non-empty; the
+        # cache probes its per-tuple key index, not every entry.
+        self.cache.invalidate_tuples(changed)
+
+        if not self._full_pass_done or self._index is None:
             # Nothing evaluated wholesale yet (at most a few lazily bound
             # answers): cheapest correct refresh is to start over lazily.
             self._reset_lazy()
             return RefreshReport(changed, full_reset=True)
 
-        # 1. drop every conjunct that runs through a changed tuple.
-        previously = frozenset(self._conjuncts)
+        # 1. one batched index probe; drop the dirty answers' conjuncts
+        #    that run through a changed tuple.
+        dirty = self._index.answers_with(changed)
         stale: set = set()
-        for answer in list(self._conjuncts):
-            group = self._conjuncts[answer]
+        for answer in dirty:
+            group = self._conjuncts.get(answer, [])
             kept = [conjunct for conjunct in group
                     if not (conjunct & changed)]
             if len(kept) != len(group):
@@ -547,22 +596,33 @@ class BatchExplainer:
 
         # 2. re-derive the valuations through the changed tuples that exist
         #    in the mutated database (inserts and flips; deletes are gone).
+        #    An answer is "new" only if it was in nobody's books before the
+        #    stream — neither grouped nor dirty: a dirty answer whose group
+        #    was emptied above and re-derived here existed throughout (e.g.
+        #    a pure partition flip) and is stale, not new.
         present = {t for t in changed if self.database.contains(t)}
+        fresh_heads: set = set()
+        new_answers: set = set()
         for head, conjunct in self._delta_valuations(present):
+            if head not in self._conjuncts and head not in dirty:
+                new_answers.add(head)
             self._conjuncts.setdefault(head, []).append(conjunct)
+            fresh_heads.add(head)
             stale.add(head)
-        # An answer is "new"/"removed" by comparing the actual answer sets —
-        # an existing answer whose every conjunct was dropped and re-derived
-        # (e.g. a pure partition flip) is stale, not new.
-        current = frozenset(self._conjuncts)
-        new_answers = current - previously
-        removed = previously - current
-        stale &= current
+        removed = frozenset(a for a in dirty if a not in self._conjuncts)
+        stale = {a for a in stale if a in self._conjuncts}
+
+        # Re-point the index for exactly the answers whose groups moved.
+        for answer in dirty | fresh_heads:
+            group = self._conjuncts.get(answer)
+            if group:
+                self._index.index_answer(answer, group)
+            else:
+                self._index.drop_answer(answer)
 
         # 3. invalidate per-answer caches.
         partition_shift = any(
-            had_endogenous[relation] != bool(
-                self.database.endogenous_tuples(relation))
+            had_endogenous[relation] != self.database.has_endogenous(relation)
             for relation in had_endogenous
         )
         # The flow engine enumerates valuations annotation-*blind* (its
@@ -577,10 +637,10 @@ class BatchExplainer:
             # abstract_query/FlowEngine changed, or group-based dirtiness
             # cannot see everything the flow engine reads: drop every
             # memoized explanation (the groups stay incrementally exact).
-            previously_cached = set(self._explanations)
+            previously_cached = self._explanations
             self._flow_engines = {}
             self._explanations = {}
-            stale |= previously_cached & set(self._conjuncts)
+            stale |= {a for a in previously_cached if a in self._conjuncts}
         else:
             for answer in stale | removed:
                 self._explanations.pop(answer, None)

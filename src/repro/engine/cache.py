@@ -19,7 +19,17 @@ per-database side table instead.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, FrozenSet, Hashable, Iterable, Mapping, Optional
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Mapping,
+    Optional,
+    Set,
+)
 
 from ..core.responsibility import minimum_contingency_from_lineage
 from ..lineage.boolean_expr import PositiveDNF
@@ -41,6 +51,38 @@ def _key_mentions(key: Hashable, tuples: FrozenSet[Tuple]) -> bool:
     if isinstance(key, (tuple, frozenset)):
         return any(_key_mentions(part, tuples) for part in key)
     return False
+
+
+def _key_tuples(key: Hashable) -> FrozenSet[Tuple]:
+    """Every database tuple a cache key references (same walk as above).
+
+    The insertion-time twin of :func:`_key_mentions`: instead of answering
+    "does this key mention one of those tuples?" per invalidation, the
+    tuples are collected once when the entry enters the cache and recorded
+    in the per-tuple key index, so ``invalidate_tuples`` becomes keyed
+    lookups instead of a structural scan over every entry.
+
+    Examples
+    --------
+    >>> t = Tuple("R", (1,))
+    >>> sorted(_key_tuples(("contingency", PositiveDNF([{t}]), t)))
+    [R(1)]
+    >>> _key_tuples(("custom", "no tuples here"))
+    frozenset()
+    """
+    found: Set[Tuple] = set()
+    _collect_key_tuples(key, found)
+    return frozenset(found)
+
+
+def _collect_key_tuples(key: Hashable, found: Set[Tuple]) -> None:
+    if isinstance(key, Tuple):
+        found.add(key)
+    elif isinstance(key, PositiveDNF):
+        found.update(key.variables())
+    elif isinstance(key, (tuple, frozenset)):
+        for part in key:
+            _collect_key_tuples(part, found)
 
 
 class LineageCache:
@@ -72,6 +114,35 @@ class LineageCache:
         self.hits = 0
         self.misses = 0
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        # Inverted key index: tuple -> keys of the entries mentioning it.
+        # Maintained on every insertion (local compute and worker merge
+        # alike) and every removal (invalidation, LRU eviction, clear), so
+        # it is always exactly the tuple closure of the live entries.
+        self._tuple_keys: Dict[Tuple, Set[Hashable]] = {}
+
+    # ------------------------------------------------------------------ #
+    # the per-tuple key index
+    # ------------------------------------------------------------------ #
+    def _index_key(self, key: Hashable) -> None:
+        for tup in _key_tuples(key):
+            self._tuple_keys.setdefault(tup, set()).add(key)
+
+    def _unindex_key(self, key: Hashable) -> None:
+        for tup in _key_tuples(key):
+            bucket = self._tuple_keys.get(tup)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._tuple_keys[tup]
+
+    def _evict_lru(self) -> None:
+        key, _ = self._entries.popitem(last=False)
+        self._unindex_key(key)
+
+    def tuple_index(self) -> Dict[Tuple, FrozenSet[Hashable]]:
+        """A snapshot of the per-tuple key index (tests, introspection)."""
+        return {tup: frozenset(keys)
+                for tup, keys in self._tuple_keys.items()}
 
     # ------------------------------------------------------------------ #
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
@@ -94,8 +165,9 @@ class LineageCache:
             value = compute()
             self.misses += 1
             self._entries[key] = value
+            self._index_key(key)
             if self.maxsize is not None and len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                self._evict_lru()
             return value
         self.hits += 1
         self._entries.move_to_end(key)
@@ -132,6 +204,10 @@ class LineageCache:
         dropping by the inspected tuple and by the lineage variables covers
         both channels.
 
+        Cost is O(delta · affected entries): the stale keys come from the
+        per-tuple key index maintained at insertion time, not from walking
+        every cached key.  An empty input returns immediately.
+
         Examples
         --------
         >>> cache = LineageCache()
@@ -145,10 +221,12 @@ class LineageCache:
         doomed = frozenset(tuples)
         if not doomed:
             return 0
-        stale = [key for key in self._entries
-                 if _key_mentions(key, doomed)]
+        stale: Set[Hashable] = set()
+        for tup in doomed:
+            stale.update(self._tuple_keys.get(tup, ()))
         for key in stale:
             del self._entries[key]
+            self._unindex_key(key)
         return len(stale)
 
     def invalidate_tuple(self, tuple_: Tuple) -> int:
@@ -176,7 +254,10 @@ class LineageCache:
         deterministic result, and keeping the local one preserves this
         cache's LRU recency.  Merged entries count neither as hits nor as
         misses (:attr:`stats` keeps reflecting local computations only) but
-        do respect :attr:`maxsize`.  Returns the number of entries adopted.
+        do respect :attr:`maxsize`.  Every adopted key is added to the
+        per-tuple key index, so entries a worker computed are invalidated
+        by later deltas exactly like locally computed ones.  Returns the
+        number of entries adopted.
 
         Examples
         --------
@@ -195,14 +276,16 @@ class LineageCache:
             if key in self._entries:
                 continue
             self._entries[key] = value
+            self._index_key(key)
             adopted += 1
             if self.maxsize is not None and len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                self._evict_lru()
         return adopted
 
     # ------------------------------------------------------------------ #
     def clear(self) -> None:
         self._entries.clear()
+        self._tuple_keys.clear()
         self.hits = 0
         self.misses = 0
 

@@ -63,6 +63,7 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple as TypingTuple,
 )
 
@@ -538,25 +539,7 @@ class WhyNoBatchExplainer:
 
     def refresh(self, delta: DatabaseDelta,
                 _changed: Optional[FrozenSet[Tuple]] = None) -> RefreshReport:
-        """Apply a change to the **real** database; re-evaluate only its wake.
-
-        The recorded delta lands on ``Dx``; this method translates it into a
-        delta on the combined instance ``Dx ∪ Dn`` — real inserts arrive as
-        exogenous context, candidate sets are patched (an inserted tuple
-        stops being a candidate, a deleted one may become one), and the
-        whole thing is handed to the inner Why-So engine's
-        :meth:`~repro.engine.batch.BatchExplainer.refresh`, which diffs the
-        shared valuation groups instead of re-running the combined pass.
-
-        Targets whose lineage the change touches lose their memoized
-        explanations; targets that *became answers* of the query on the
-        mutated database are dropped from the batch and reported in
-        ``removed_answers`` (a from-scratch construction would reject them).
-        New non-answers are **not** discovered — the batch keeps explaining
-        the targets it was built for.
-
-        ``_changed`` is internal (:class:`repro.core.api.ExplanationSession`
-        shares one database between both engines and pre-applies the delta).
+        """Apply one change to the real database; see :meth:`refresh_all`.
 
         Examples
         --------
@@ -576,10 +559,45 @@ class WhyNoBatchExplainer:
         >>> explainer.non_answers
         []
         """
+        return self.refresh_all((delta,), _changed=_changed)
+
+    def refresh_all(self, deltas: Iterable[DatabaseDelta],
+                    _changed: Optional[FrozenSet[Tuple]] = None
+                    ) -> RefreshReport:
+        """Apply a delta *stream* to the **real** database; one re-evaluation.
+
+        The recorded deltas land on ``Dx`` in order; this method translates
+        their net effect into one delta on the combined instance ``Dx ∪ Dn``
+        — real inserts arrive as exogenous context, candidate sets are
+        patched (an inserted tuple stops being a candidate, a deleted one
+        may become one), and the whole thing is handed to the inner Why-So
+        engine's :meth:`~repro.engine.batch.BatchExplainer.refresh_all`,
+        which probes the shared lineage index instead of re-running the
+        combined pass.  The invalidation set is the union of the per-delta
+        changed sets — conservative for tuples a later delta puts back, and
+        always resolved against the final state.
+
+        Targets whose lineage the stream touches lose their memoized
+        explanations; targets that *became answers* of the query on the
+        mutated database are dropped from the batch and reported in
+        ``removed_answers`` (a from-scratch construction would reject them).
+        New non-answers are **not** discovered — the batch keeps explaining
+        the targets it was built for.
+
+        ``_changed`` is internal (:class:`repro.core.api.ExplanationSession`
+        shares one database between both engines and pre-applies the
+        stream).
+        """
+        deltas = list(deltas)
+        if not deltas:
+            return RefreshReport(frozenset())
         if _changed is not None:
             changed = _changed
         else:
-            changed = delta.apply_to(self.database)
+            changed_set: Set[Tuple] = set()
+            for delta in deltas:
+                changed_set |= delta.apply_to(self.database)
+            changed = frozenset(changed_set)
         if not changed:
             return RefreshReport(changed)
 

@@ -8,7 +8,7 @@ valuations ``θ : Var(q) → Adom(D)``.
 """
 
 from .database import Database, database_from_dict
-from .delta import DatabaseDelta
+from .delta import DatabaseDelta, deltas_from_json_file
 from .evaluation import (
     QueryEvaluator,
     Valuation,
@@ -63,6 +63,7 @@ __all__ = [
     "Valuation",
     "Variable",
     "database_from_dict",
+    "deltas_from_json_file",
     "evaluate",
     "evaluate_boolean",
     "find_valuations",

@@ -66,6 +66,28 @@ class Database:
         self.default_endogenous = default_endogenous
         self._relations: Dict[str, Set[Tuple]] = {}
         self._endogenous: Set[Tuple] = set()
+        # Per-relation endogenous cardinalities, kept in lockstep with
+        # ``_endogenous`` so ``has_endogenous`` is O(1) — the incremental
+        # refresh checks it per delta, per touched relation.
+        self._endo_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # partition bookkeeping (every mutation of ``_endogenous`` goes here)
+    # ------------------------------------------------------------------ #
+    def _endo_add(self, tup: Tuple) -> None:
+        if tup not in self._endogenous:
+            self._endogenous.add(tup)
+            self._endo_counts[tup.relation] = \
+                self._endo_counts.get(tup.relation, 0) + 1
+
+    def _endo_discard(self, tup: Tuple) -> None:
+        if tup in self._endogenous:
+            self._endogenous.discard(tup)
+            remaining = self._endo_counts[tup.relation] - 1
+            if remaining:
+                self._endo_counts[tup.relation] = remaining
+            else:
+                del self._endo_counts[tup.relation]
 
     # ------------------------------------------------------------------ #
     # insertion / removal
@@ -85,9 +107,9 @@ class Database:
         if endogenous is None:
             endogenous = self.default_endogenous
         if endogenous:
-            self._endogenous.add(tup)
+            self._endo_add(tup)
         else:
-            self._endogenous.discard(tup)
+            self._endo_discard(tup)
         return tup
 
     def add_fact(self, relation: str, *values: Any, endogenous: Optional[bool] = None) -> Tuple:
@@ -105,7 +127,7 @@ class Database:
             rel.discard(tup)
             if not rel:
                 del self._relations[tup.relation]
-        self._endogenous.discard(tup)
+        self._endo_discard(tup)
 
     # ------------------------------------------------------------------ #
     # endogenous / exogenous partition
@@ -121,27 +143,46 @@ class Database:
         if not self.contains(tup):
             raise SchemaError(f"tuple {tup!r} is not in the database")
         if endogenous:
-            self._endogenous.add(tup)
+            self._endo_add(tup)
         else:
-            self._endogenous.discard(tup)
+            self._endo_discard(tup)
 
     def set_relation_endogenous(self, relation: str) -> None:
         """Declare every tuple of ``relation`` endogenous."""
         for tup in self.tuples_of(relation):
-            self._endogenous.add(tup)
+            self._endo_add(tup)
 
     def set_relation_exogenous(self, relation: str) -> None:
         """Declare every tuple of ``relation`` exogenous."""
         for tup in self.tuples_of(relation):
-            self._endogenous.discard(tup)
+            self._endo_discard(tup)
 
     def partition_by(self, predicate: Callable[[Tuple], bool]) -> None:
         """Set each tuple endogenous iff ``predicate(tuple)`` is true."""
         for tup in self.all_tuples():
             if predicate(tup):
-                self._endogenous.add(tup)
+                self._endo_add(tup)
             else:
-                self._endogenous.discard(tup)
+                self._endo_discard(tup)
+
+    def has_endogenous(self, relation: str) -> bool:
+        """O(1): does ``relation`` currently hold any endogenous tuple?
+
+        Backed by per-relation counters, so the incremental refresh can
+        detect a relation-level partition shift without scanning the
+        relation.
+
+        Examples
+        --------
+        >>> db = Database()
+        >>> _ = db.add_fact("R", "a", endogenous=False)
+        >>> db.has_endogenous("R")
+        False
+        >>> db.set_relation_endogenous("R")
+        >>> db.has_endogenous("R")
+        True
+        """
+        return self._endo_counts.get(relation, 0) > 0
 
     def endogenous_tuples(self, relation: Optional[str] = None) -> FrozenSet[Tuple]:
         """The set ``Dn`` (optionally restricted to one relation)."""
@@ -212,6 +253,7 @@ class Database:
         clone = Database(schema=self.schema, default_endogenous=self.default_endogenous)
         clone._relations = {rel: set(tuples) for rel, tuples in self._relations.items()}
         clone._endogenous = set(self._endogenous)
+        clone._endo_counts = dict(self._endo_counts)
         return clone
 
     def without(self, tuples: Iterable[Tuple]) -> "Database":

@@ -243,8 +243,16 @@ class DatabaseDelta:
 
     @classmethod
     def from_json_file(cls, path: str) -> "DatabaseDelta":
+        """Load a single delta object (use :func:`deltas_from_json_file`
+        when the file may hold a stream)."""
         with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_dict(json.load(handle))
+            payload = json.load(handle)
+        if isinstance(payload, list):
+            raise CausalityError(
+                f"{path!r} holds a delta stream (a JSON list); load it with "
+                "deltas_from_json_file"
+            )
+        return cls.from_dict(payload)
 
     def to_dict(self) -> Dict[str, Any]:
         """Round-trippable payload (``from_dict(to_dict())`` is identity)."""
@@ -280,3 +288,29 @@ class DatabaseDelta:
     def __repr__(self) -> str:
         return (f"DatabaseDelta(+{len(self._inserts)} insert(s), "
                 f"-{len(self._deletes)} delete(s))")
+
+
+def deltas_from_json_file(path: str) -> List[DatabaseDelta]:
+    """Load a delta *stream*: a JSON list of delta objects, applied in order.
+
+    A single delta object (the original ``--delta FILE`` format) is accepted
+    too and returned as a one-element stream, so callers can always hand the
+    result to ``refresh_all``.
+
+    Examples
+    --------
+    >>> import json, tempfile
+    >>> payload = [{"insert": {"relations": {"R": [["a", "b"]]}}},
+    ...            {"delete": {"relations": {"R": [["a", "b"]]}}}]
+    >>> with tempfile.NamedTemporaryFile("w", suffix=".json",
+    ...                                  delete=False) as handle:
+    ...     json.dump(payload, handle)
+    ...     stream_path = handle.name
+    >>> [len(delta) for delta in deltas_from_json_file(stream_path)]
+    [1, 1]
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, list):
+        return [DatabaseDelta.from_dict(entry) for entry in payload]
+    return [DatabaseDelta.from_dict(payload)]

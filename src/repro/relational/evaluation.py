@@ -33,6 +33,7 @@ from typing import (
     Any,
     Dict,
     FrozenSet,
+    Iterable,
     Iterator,
     List,
     Mapping,
@@ -79,13 +80,41 @@ class Valuation:
 
 
 class _RelationIndex:
-    """Hash indexes on every position of a relation, built lazily."""
+    """Hash indexes on every position of a relation, built lazily.
+
+    The tuple set (and any position index already built) is mutable so a
+    :class:`QueryEvaluator` kept alive across recorded deltas can patch
+    membership per changed tuple (:meth:`update_membership`) instead of
+    rebuilding — the residual queries of an incremental refresh then cost
+    O(matching tuples), not O(relation).
+    """
 
     __slots__ = ("tuples", "by_position")
 
-    def __init__(self, tuples: FrozenSet[Tuple]):
-        self.tuples = tuples
+    def __init__(self, tuples: Iterable[Tuple]):
+        self.tuples: Set[Tuple] = set(tuples)
         self.by_position: Dict[int, Dict[Any, Set[Tuple]]] = {}
+
+    def update_membership(self, tup: Tuple, present: bool) -> None:
+        """Add or remove one tuple, patching the built position indexes."""
+        if present:
+            if tup in self.tuples:
+                return
+            self.tuples.add(tup)
+            for position, index in self.by_position.items():
+                if position < len(tup.values):
+                    index.setdefault(tup[position], set()).add(tup)
+        else:
+            if tup not in self.tuples:
+                return
+            self.tuples.discard(tup)
+            for position, index in self.by_position.items():
+                if position < len(tup.values):
+                    bucket = index.get(tup[position])
+                    if bucket is not None:
+                        bucket.discard(tup)
+                        if not bucket:
+                            del index[tup[position]]
 
     def candidates(self, constraints: Sequence[TypingTuple[int, Any]]) -> Set[Tuple]:
         """Tuples matching every ``(position, value)`` constraint."""
@@ -117,7 +146,7 @@ class _AtomPlan:
 
     __slots__ = ("atom", "const_positions", "var_positions", "candidates", "index")
 
-    def __init__(self, atom: Atom, tuples: FrozenSet[Tuple]):
+    def __init__(self, atom: Atom, relation_index: _RelationIndex):
         self.atom = atom
         self.const_positions: List[TypingTuple[int, Any]] = []
         # variable -> first position it occupies (repeats checked at build time)
@@ -132,11 +161,18 @@ class _AtomPlan:
                     repeats.append((self.var_positions[term], pos))
                 else:
                     self.var_positions[term] = pos
-        self.candidates: Set[Tuple] = {
-            tup for tup in tuples
-            if all(tup[pos] == value for pos, value in self.const_positions)
-            and all(tup[a] == tup[b] for a, b in repeats)
-        }
+        # Constants are resolved through the relation's position indexes, so
+        # a heavily-bound atom (e.g. the residual query of an incremental
+        # refresh, where delta values appear as constants) costs O(matching
+        # tuples) instead of a scan over the whole relation.
+        if self.const_positions:
+            base = relation_index.candidates(self.const_positions)
+        else:
+            base = set(relation_index.tuples)
+        if repeats:
+            base = {tup for tup in base
+                    if all(tup[a] == tup[b] for a, b in repeats)}
+        self.candidates: Set[Tuple] = base
         self.index: Optional[_RelationIndex] = None
 
     def values_of(self, variable: Variable) -> Set[Any]:
@@ -203,13 +239,38 @@ class QueryEvaluator:
             self._indexes[key] = index
         return index
 
+    def apply_changes(self, changed: Iterable[Tuple]) -> None:
+        """Patch the cached relation indexes after an in-place database change.
+
+        ``changed`` is the invalidation set of a recorded delta (tuples whose
+        presence or partition changed); membership in every already-built
+        ``(relation, status)`` index is recomputed from the mutated database,
+        per tuple.  Keeping the evaluator (and its lazily built position
+        indexes) alive across deltas is what makes incremental refresh cost
+        proportional to the delta, not to the instance.
+        """
+        for tup in changed:
+            present = self.database.contains(tup)
+            endogenous = present and self.database.is_endogenous(tup)
+            for status in (None, True, False):
+                index = self._indexes.get((tup.relation, status))
+                if index is None:
+                    continue
+                if status is None:
+                    belongs = present
+                elif status:
+                    belongs = endogenous
+                else:
+                    belongs = present and not endogenous
+                index.update_membership(tup, belongs)
+
     def _build_plans(self, query: ConjunctiveQuery) -> Optional[List[_AtomPlan]]:
         """Per-atom candidate sets, reduced to a semi-join fixpoint.
 
         Returns ``None`` as soon as some atom has no candidates — the query
         then has no valuations (early termination).
         """
-        plans = [_AtomPlan(atom, self._index_for(atom).tuples)
+        plans = [_AtomPlan(atom, self._index_for(atom))
                  for atom in query.atoms]
         if any(not plan.candidates for plan in plans):
             return None

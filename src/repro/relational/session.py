@@ -84,12 +84,29 @@ class BackendSession:
         """
         return self.database
 
+    def create_lineage_index(self) -> Any:
+        """A lineage inverted index living where this backend's data lives.
+
+        The engines call this once per full pass and keep the index in
+        lockstep with their valuation groups (see
+        :mod:`repro.engine.lineage_index`): the memory backend gets plain
+        dict postings, the SQLite backend gets ``__lineage_index_<rel>``
+        tables inside the loaded snapshot so refresh probes run as indexed
+        SQL instead of shipping the instance to Python.
+        """
+        raise NotImplementedError
+
     def _apply_backend_delta(self, delta: DatabaseDelta) -> None:
         """Propagate an already-validated delta into the backend state."""
         raise NotImplementedError
 
-    def _after_apply(self) -> None:
-        """Hook run after the Python-side database has been mutated."""
+    def _after_apply(self, changed: FrozenSet[Tuple]) -> None:
+        """Hook run after the Python-side database has been mutated.
+
+        ``changed`` is the delta's invalidation set, so a subclass can patch
+        derived state (e.g. evaluator indexes) per tuple instead of
+        rebuilding it.
+        """
 
     # -- shared behaviour ------------------------------------------------ #
     def apply_delta(self, delta: DatabaseDelta) -> FrozenSet[Tuple]:
@@ -109,7 +126,7 @@ class BackendSession:
         changed = delta.changed_tuples(self.database)
         self._apply_backend_delta(delta)
         delta.apply_to(self.database)
-        self._after_apply()
+        self._after_apply(changed)
         return changed
 
     def close(self) -> None:
@@ -129,9 +146,11 @@ class BackendSession:
 class MemorySession(BackendSession):
     """The in-memory backend: the instance *is* the snapshot.
 
-    ``apply_delta`` mutates the :class:`Database` and discards the
-    evaluator's per-relation hash indexes (they are rebuilt lazily on the
-    next query, only for the relations actually touched again).
+    ``apply_delta`` mutates the :class:`Database` and patches the live
+    evaluator's per-relation hash indexes tuple by tuple
+    (:meth:`~repro.relational.evaluation.QueryEvaluator.apply_changes`),
+    so the cost of keeping the evaluator current is proportional to the
+    delta, never to the instance.
 
     Examples
     --------
@@ -158,14 +177,19 @@ class MemorySession(BackendSession):
     def snapshot(self) -> Database:
         return self.database
 
+    def create_lineage_index(self) -> Any:
+        from ..engine.lineage_index import LineageIndex
+
+        return LineageIndex()
+
     def _apply_backend_delta(self, delta: DatabaseDelta) -> None:
         """Nothing to pre-apply: the instance *is* the backend state."""
 
-    def _after_apply(self) -> None:
-        # The indexes cache tuple sets per (relation, status); dropping them
-        # wholesale keeps correctness simple and the rebuild lazy.
-        self._evaluator = QueryEvaluator(
-            self.database, respect_annotations=self.respect_annotations)
+    def _after_apply(self, changed: FrozenSet[Tuple]) -> None:
+        # The indexes cache tuple sets per (relation, status); membership is
+        # recomputed only for the changed tuples, keeping both the evaluator
+        # object and its lazily built position indexes alive.
+        self._evaluator.apply_changes(changed)
 
 
 class SQLiteSession(BackendSession):
@@ -212,6 +236,11 @@ class SQLiteSession(BackendSession):
 
     def snapshot(self) -> Any:
         return self.sqlite
+
+    def create_lineage_index(self) -> Any:
+        from .sqlite_backend import SQLiteLineageIndex
+
+        return SQLiteLineageIndex(self.sqlite)
 
     def _apply_backend_delta(self, delta: DatabaseDelta) -> None:
         self.sqlite.apply_delta(delta)

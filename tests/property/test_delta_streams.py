@@ -1,0 +1,200 @@
+"""Delta streams: ``refresh_all`` ≡ one-at-a-time ``refresh`` ≡ from-scratch.
+
+The lineage inverted index lets a whole stream of deltas land with one
+batched probe and one re-derivation pass; this suite pins that the shortcut
+is invisible.  For random instances and random 3-delta streams, on both
+backends and for both engines:
+
+* applying the stream via ``refresh_all`` yields bit-identical explanations
+  to applying its deltas one ``refresh`` at a time, and to an engine built
+  from scratch on the final database;
+* the maintained inverted index ends up *equal* (same postings) to the index
+  a from-scratch full pass builds — including after a parallel ``explain_all``
+  whose workers merged cache entries back into the parent;
+* the cache's per-tuple key index stays exactly in sync with the live
+  entries through refreshes, evictions and worker merges.
+
+Why-No is monotone about dropped targets (a target answered at *any*
+intermediate state is gone for good under sequential refresh, while the
+stream only consults the final state), so there the sequential survivors are
+a subset of the stream's and every survivor must match from-scratch.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import BatchExplainer, WhyNoBatchExplainer
+from repro.engine.cache import _key_tuples
+from repro.relational import evaluate
+
+from test_incremental import (
+    BACKENDS,
+    QUERY,
+    random_delta,
+    random_instance,
+    ranking,
+)
+
+
+def random_stream(rng, db, length=3):
+    """A stream of deltas, each valid against the state its predecessors left.
+
+    Generated against a probe copy so the caller's instance is untouched.
+    """
+    probe = db.copy()
+    deltas = []
+    for _ in range(length):
+        delta = random_delta(rng, probe)
+        delta.apply_to(probe)
+        deltas.append(delta)
+    return deltas
+
+
+def assert_cache_index_consistent(cache):
+    """The per-tuple key index is exactly the inverse of the live entries."""
+    live = set(cache._entries)
+    indexed = set()
+    for tup, keys in cache.tuple_index().items():
+        assert keys, f"empty posting for {tup!r} left behind"
+        for key in keys:
+            assert key in live, f"index points at evicted entry {key!r}"
+            assert tup in _key_tuples(key)
+            indexed.add(key)
+    for key in live:
+        for tup in _key_tuples(key):
+            assert key in cache.tuple_index()[tup]
+
+
+class TestWhySoStreams:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stream_equals_sequential_equals_scratch(self, seed, backend):
+        rng = random.Random(9000 + seed)
+        db = random_instance(rng)
+        db_seq = db.copy()
+        deltas = random_stream(rng, db)
+
+        stream = BatchExplainer(QUERY, db, backend=backend)
+        stream.explain_all()
+        report = stream.refresh_all(deltas)
+        expected_changed = set()
+        sequential = BatchExplainer(QUERY, db_seq, backend=backend)
+        sequential.explain_all()
+        for delta in deltas:
+            expected_changed |= sequential.refresh(delta).changed_tuples
+        assert report.changed_tuples == frozenset(expected_changed)
+
+        scratch = BatchExplainer(QUERY, db.copy(), backend=backend)
+        streamed = stream.explain_all()
+        stepped = sequential.explain_all()
+        rebuilt = scratch.explain_all()
+        assert set(streamed) == set(stepped) == set(rebuilt)
+        for answer in rebuilt:
+            assert ranking(streamed[answer]) == ranking(rebuilt[answer])
+            assert ranking(stepped[answer]) == ranking(rebuilt[answer])
+
+        # The incrementally maintained postings equal a from-scratch build.
+        assert stream.lineage_index.snapshot() == \
+            scratch.lineage_index.snapshot()
+        assert sequential.lineage_index.snapshot() == \
+            scratch.lineage_index.snapshot()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_stream_after_worker_merge(self, seed, backend, suite_workers):
+        """Parallel fan-out then a stream: the merged-back cache entries and
+        the parent's index both stay exact."""
+        rng = random.Random(9500 + seed)
+        db = random_instance(rng)
+        explainer = BatchExplainer(QUERY, db, backend=backend)
+        workers = max(2, suite_workers)
+        explainer.explain_all(workers=workers)  # workers merge cache entries
+        assert_cache_index_consistent(explainer.cache)
+        deltas = random_stream(rng, db)
+        explainer.refresh_all(deltas)
+        refreshed = explainer.explain_all(workers=workers)
+        scratch = BatchExplainer(QUERY, db.copy(), backend=backend)
+        rebuilt = scratch.explain_all()
+        assert list(refreshed) == list(rebuilt)
+        for answer in rebuilt:
+            assert ranking(refreshed[answer]) == ranking(rebuilt[answer])
+        assert explainer.lineage_index.snapshot() == \
+            scratch.lineage_index.snapshot()
+        assert_cache_index_consistent(explainer.cache)
+
+
+class TestWhyNoStreams:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stream_survivors_match_scratch(self, seed, backend):
+        rng = random.Random(9200 + seed)
+        db = random_instance(rng)
+        actual = evaluate(QUERY, db)
+        targets = [(f"a{i}",) for i in range(5) if (f"a{i}",) not in actual]
+        if not targets:
+            pytest.skip("random instance answers every candidate head")
+        domains = {"y": [f"b{j}" for j in range(4)]}
+        db_seq = db.copy()
+        deltas = random_stream(rng, db)
+
+        stream = WhyNoBatchExplainer(QUERY, db, non_answers=targets,
+                                     domains=domains, backend=backend)
+        stream.explain_all()
+        stream.refresh_all(deltas)
+        sequential = WhyNoBatchExplainer(QUERY, db_seq, non_answers=targets,
+                                         domains=domains, backend=backend)
+        sequential.explain_all()
+        for delta in deltas:
+            sequential.refresh(delta)
+
+        # Dropping is monotone under sequential application (see module doc).
+        assert set(sequential.non_answers) <= set(stream.non_answers)
+        final_answers = evaluate(QUERY, db)
+        for key in stream.non_answers:
+            assert key not in final_answers
+
+        streamed = stream.explain_all()
+        stepped = sequential.explain_all()
+        if stream.non_answers:
+            scratch = WhyNoBatchExplainer(
+                QUERY, db.copy(), non_answers=list(stream.non_answers),
+                domains=domains, backend=backend).explain_all()
+            for key in stream.non_answers:
+                assert ranking(streamed[key]) == ranking(scratch[key])
+            for key in sequential.non_answers:
+                assert ranking(stepped[key]) == ranking(scratch[key])
+
+
+class TestSessionStreams:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_session_refresh_all_drives_both_engines(self, backend):
+        from repro.core.api import ExplanationSession
+
+        rng = random.Random(97)
+        db = random_instance(rng)
+        session = ExplanationSession(QUERY, db, backend=backend)
+        session.explain_all()
+        deltas = random_stream(rng, db)
+        reports = session.refresh_all(deltas)
+        assert reports["why-so"] is not None
+        refreshed = session.explain_all()
+        rebuilt = BatchExplainer(QUERY, db.copy(),
+                                 backend=backend).explain_all()
+        assert list(refreshed) == list(rebuilt)
+        for answer in rebuilt:
+            assert ranking(refreshed[answer]) == ranking(rebuilt[answer])
+
+    def test_session_applies_stream_once_with_no_engines(self):
+        from repro.core.api import ExplanationSession
+
+        rng = random.Random(98)
+        db = random_instance(rng)
+        expected = db.copy()
+        deltas = random_stream(rng, db)
+        for delta in deltas:
+            delta.apply_to(expected)
+        session = ExplanationSession(QUERY, db)
+        reports = session.refresh_all(deltas)
+        assert reports == {"why-so": None, "why-no": None}
+        assert set(db.all_tuples()) == set(expected.all_tuples())

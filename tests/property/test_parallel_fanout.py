@@ -223,9 +223,13 @@ class TestReporting:
         assert result.requested_workers == 7
         assert result.effective_workers == 2  # one worker per chunk, visibly
 
-    def test_chunking_shrinkage_is_reported(self):
-        """Ceil-division chunking can run fewer workers than min(w, n)."""
-        assert effective_pool_size(5, 4) == 3
+    def test_balanced_chunking_uses_every_requested_worker(self):
+        """Regression: ceil-division chunking ran only 3 workers for (5, 4).
+
+        Balanced chunks (floor + remainder split) mean a request is never
+        shrunk while targets outnumber workers.
+        """
+        assert effective_pool_size(5, 4) == 4
         db = Database()
         for x in ["a1", "a2", "a3", "a4", "a5"]:
             db.add_fact("R", x, "b")
@@ -234,7 +238,7 @@ class TestReporting:
         result = BatchExplainer(query, db).explain_all(workers=4)
         assert len(result) == 5
         assert result.requested_workers == 4
-        assert result.effective_workers == 3  # chunks of 2, not 4 workers
+        assert result.effective_workers == 4  # chunks of 2,1,1,1
 
     def test_memoized_targets_are_served_from_the_parent(self):
         """A second explain_all ships nothing: every memo is still valid.
