@@ -24,7 +24,12 @@ driven without writing Python:
   relation format), or a JSON *list* of such changes applied in order as
   one stream, through the delta-aware engines and re-explain *only* the
   answers whose lineage the stream touches (both modes);
-* ``repro demo`` — run the built-in Fig. 2 IMDB scenario.
+* ``repro demo`` — run the built-in Fig. 2 IMDB scenario;
+* ``repro lint [paths...]`` — run the repo's AST-based invariant checker
+  (determinism, backend seam, fan-out pickle safety, SQL quoting,
+  exception discipline, typed defs) and exit non-zero on findings
+  (``--format json`` for the machine report, ``--rule ID`` to select
+  rules, ``--list-rules`` to enumerate them).
 
 The JSON data format is ``{"relations": {"R": [[...], ...]},
 "endogenous_relations": ["R", ...]}``; when ``endogenous_relations`` is
@@ -221,6 +226,25 @@ def _run_whyno_batch(args: argparse.Namespace, query, database: Database) -> int
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import all_rules, run_lint
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.scope) if rule.scope else "everywhere"
+            print(f"{rule.id:22s} [{scope}]")
+            print(f"    {rule.summary}")
+        return 0
+    paths = args.paths or ["src/repro"]
+    try:
+        code, report = run_lint(paths, select=args.rule,
+                                output_format=args.format)
+    except (FileNotFoundError, ValueError) as error:
+        raise CausalityError(str(error)) from error
+    print(report)
+    return code
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     scenario = generate_imdb(padding_directors=args.padding)
     explanation = explain(scenario.query, scenario.database, answer=("Musical",))
@@ -310,6 +334,23 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument("--cache-stats", action="store_true",
                               help="print lineage-cache hit/miss statistics")
     batch_parser.set_defaults(func=_cmd_explain_batch)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="statically check the architecture invariants "
+             "(determinism, backend seam, pickle safety, SQL quoting, ...)")
+    lint_parser.add_argument("paths", nargs="*", default=None,
+                             help="files or directories to lint "
+                                  "(default: src/repro)")
+    lint_parser.add_argument("--format", default="text",
+                             choices=("text", "json"),
+                             help="report format (default: text)")
+    lint_parser.add_argument("--rule", action="append", default=None,
+                             metavar="RULE-ID",
+                             help="run only this rule (repeatable)")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="list the registered rules and exit")
+    lint_parser.set_defaults(func=_cmd_lint)
 
     demo_parser = subparsers.add_parser(
         "demo", help="run the built-in Fig. 2 IMDB scenario")

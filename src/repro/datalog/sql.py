@@ -47,11 +47,13 @@ def partition_view_sql(relation: str, arity: int) -> str:
     ``is_endogenous`` recording the tuple-level partition.
     """
     columns = ", ".join(default_column(i) for i in range(arity))
+    # Double-quoted so relation names that are SQL keywords ("Order",
+    # "Group") stay usable; quoting is a no-op for plain identifiers.
     return (
-        f"CREATE VIEW {relation}__endo AS\n"
-        f"  SELECT {columns} FROM {relation} WHERE is_endogenous;\n"
-        f"CREATE VIEW {relation}__exo AS\n"
-        f"  SELECT {columns} FROM {relation} WHERE NOT is_endogenous;"
+        f'CREATE VIEW "{relation}__endo" AS\n'
+        f'  SELECT {columns} FROM "{relation}" WHERE is_endogenous;\n'
+        f'CREATE VIEW "{relation}__exo" AS\n'
+        f'  SELECT {columns} FROM "{relation}" WHERE NOT is_endogenous;'
     )
 
 

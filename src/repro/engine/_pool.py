@@ -78,6 +78,7 @@ import pickle
 import traceback
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import Tuple as TypingTuple
 
 from ..exceptions import FanOutError, FanOutWorkerError
 
@@ -112,7 +113,7 @@ class FanOutSpec:
 
     def __init__(self, compute: Callable[[Any, Any], Any],
                  setup: Optional[Callable[[Any], Any]] = None,
-                 finalize: Optional[Callable[[Any], Any]] = None):
+                 finalize: Optional[Callable[[Any], Any]] = None) -> None:
         self.compute = compute
         self.setup = setup
         self.finalize = finalize
@@ -143,7 +144,7 @@ class FanOutResult(Dict[Any, Any]):
 
     def __init__(self, results: Dict[Any, Any], transport: str,
                  requested_workers: int, effective_workers: int,
-                 extras: Optional[List[Any]] = None):
+                 extras: Optional[List[Any]] = None) -> None:
         super().__init__(results)
         self.transport = transport
         self.requested_workers = requested_workers
@@ -286,7 +287,7 @@ def _fork_chunk(chunk: List[Any]) -> Dict[str, Any]:
 _SHM_CACHE: Dict[str, Any] = {}
 
 
-def _attach_segment(name: str):
+def _attach_segment(name: str) -> Any:
     from multiprocessing import shared_memory
 
     try:
@@ -301,7 +302,7 @@ def _attach_segment(name: str):
 
         original = resource_tracker.register
 
-        def _skip_shared_memory(res_name, rtype):
+        def _skip_shared_memory(res_name: str, rtype: str) -> None:
             if rtype != "shared_memory":
                 original(res_name, rtype)
 
@@ -312,7 +313,7 @@ def _attach_segment(name: str):
             resource_tracker.register = original
 
 
-def _shm_chunk(payload) -> Dict[str, Any]:
+def _shm_chunk(payload: TypingTuple[str, int, List[Any]]) -> Dict[str, Any]:
     name, size, chunk = payload
     shared = _SHM_CACHE.get(name)
     if shared is None:
@@ -327,7 +328,10 @@ def _shm_chunk(payload) -> Dict[str, Any]:
     return _run_chunk(spec, state, chunk)
 
 
-def _collect(futures_to_chunks, transport: str):
+def _collect(
+    futures_to_chunks: Sequence[TypingTuple[Any, List[Any]]],
+    transport: str,
+) -> List[Dict[str, Any]]:
     """Gather chunk outcomes; raise typed errors, merge nothing on failure.
 
     Every future is drained before deciding what to raise: a dead worker
@@ -364,7 +368,7 @@ def _collect(futures_to_chunks, transport: str):
     return outcomes
 
 
-def _describe_targets(targets) -> str:
+def _describe_targets(targets: Sequence[Any]) -> str:
     listed = ", ".join(repr(t) for t in list(targets)[:5])
     if len(targets) > 5:
         listed += f", ... ({len(targets)} targets)"
@@ -403,7 +407,8 @@ def fan_out(targets: Sequence[Key], shared_state: Any, spec: FanOutSpec,
     return _merge(targets, outcomes, concrete, requested, len(chunks))
 
 
-def _collect_serial(targets, shared_state, spec) -> List[Dict[str, Any]]:
+def _collect_serial(targets: Sequence[Any], shared_state: Any,
+                    spec: FanOutSpec) -> List[Dict[str, Any]]:
     outcome = _run_chunk(spec, shared_state, list(targets))
     if "failed" in outcome:
         raise FanOutWorkerError(
@@ -415,7 +420,8 @@ def _collect_serial(targets, shared_state, spec) -> List[Dict[str, Any]]:
     return [outcome]
 
 
-def _fan_out_fork(chunks, shared_state, spec) -> List[Dict[str, Any]]:
+def _fan_out_fork(chunks: List[List[Any]], shared_state: Any,
+                  spec: FanOutSpec) -> List[Dict[str, Any]]:
     global _FORK_SHARED
     context = multiprocessing.get_context("fork")
     _FORK_SHARED = (spec, shared_state)
@@ -431,7 +437,8 @@ def _fan_out_fork(chunks, shared_state, spec) -> List[Dict[str, Any]]:
         _FORK_SHARED = None
 
 
-def _fan_out_shared_memory(chunks, shared_state, spec) -> List[Dict[str, Any]]:
+def _fan_out_shared_memory(chunks: List[List[Any]], shared_state: Any,
+                           spec: FanOutSpec) -> List[Dict[str, Any]]:
     from multiprocessing import shared_memory
 
     blob = pickle.dumps((spec, shared_state),
@@ -451,7 +458,8 @@ def _fan_out_shared_memory(chunks, shared_state, spec) -> List[Dict[str, Any]]:
         segment.unlink()
 
 
-def _merge(targets, outcomes, transport: str, requested: int,
+def _merge(targets: Sequence[Any], outcomes: List[Dict[str, Any]],
+           transport: str, requested: int,
            effective: int) -> FanOutResult:
     results: Dict[Any, Any] = {}
     extras: List[Any] = []

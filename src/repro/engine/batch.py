@@ -48,9 +48,11 @@ from __future__ import annotations
 
 from typing import (
     Any,
+    Callable,
     Dict,
     FrozenSet,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -64,6 +66,7 @@ from ..exceptions import CausalityError, NotLinearError
 from ..lineage.boolean_expr import PositiveDNF
 from ..relational.database import Database
 from ..relational.delta import DatabaseDelta
+from ..relational.evaluation import Valuation
 from ..relational.query import ConjunctiveQuery, Constant, Variable, match_atom
 from ..relational.session import BackendSession, open_session
 from ..relational.tuples import Tuple, value_sort_key
@@ -108,7 +111,7 @@ class RefreshReport:
                  stale: FrozenSet[Answer] = frozenset(),
                  new_answers: FrozenSet[Answer] = frozenset(),
                  removed_answers: FrozenSet[Answer] = frozenset(),
-                 full_reset: bool = False):
+                 full_reset: bool = False) -> None:
         self.changed_tuples = changed_tuples
         self.stale = stale
         self.new_answers = new_answers
@@ -168,7 +171,7 @@ class BatchExplainer:
     def __init__(self, query: ConjunctiveQuery, database: Database,
                  method: str = "auto", cache: Optional[LineageCache] = None,
                  backend: str = "memory",
-                 session: Optional[BackendSession] = None):
+                 session: Optional[BackendSession] = None) -> None:
         if method not in ("auto", "exact", "flow"):
             raise CausalityError(f"unknown method {method!r}")
         if session is not None:
@@ -211,7 +214,7 @@ class BatchExplainer:
     # ------------------------------------------------------------------ #
     # shared evaluation
     # ------------------------------------------------------------------ #
-    def _head_values(self, valuation) -> Answer:
+    def _head_values(self, valuation: Valuation) -> Answer:
         row = []
         for term in self.query.head:
             if isinstance(term, Variable):
@@ -285,7 +288,10 @@ class BatchExplainer:
             raise engine
         return engine
 
-    def _responsibility(self, bound: ConjunctiveQuery, get_phi_n, tuple_: Tuple):
+    def _responsibility(
+            self, bound: ConjunctiveQuery,
+            get_phi_n: Callable[[], PositiveDNF], tuple_: Tuple,
+    ) -> TypingTuple[Any, Optional[FrozenSet[Tuple]]]:
         if self.method in ("auto", "flow"):
             try:
                 result = self._flow_engine(bound).responsibility(tuple_)
@@ -440,7 +446,9 @@ class BatchExplainer:
     # ------------------------------------------------------------------ #
     # incremental re-explanation
     # ------------------------------------------------------------------ #
-    def _delta_valuations(self, through: Iterable[Tuple]):
+    def _delta_valuations(
+            self, through: Iterable[Tuple],
+    ) -> Iterator[TypingTuple[Answer, FrozenSet[Tuple]]]:
         """Every valuation of the open query using a tuple of ``through``.
 
         This is the semi-join of the delta against the query: for each
@@ -680,7 +688,7 @@ class _WhySoFanOutState:
 
     def __init__(self, query: ConjunctiveQuery, database: Database,
                  method: str, conjuncts: Dict[Answer, List[FrozenSet[Tuple]]],
-                 exogenous: FrozenSet[Tuple]):
+                 exogenous: FrozenSet[Tuple]) -> None:
         self.query = query
         self.database = database
         self.method = method
@@ -709,7 +717,7 @@ def _whyso_worker_explain(explainer: BatchExplainer,
     return explainer.explain(answer)
 
 
-def _whyso_worker_export_cache(explainer: BatchExplainer):
+def _whyso_worker_export_cache(explainer: BatchExplainer) -> Any:
     """Ship the worker's lineage-cache entries back for the parent merge."""
     return explainer.cache.export_entries()
 

@@ -107,7 +107,7 @@ class LineageCache:
     1
     """
 
-    def __init__(self, maxsize: Optional[int] = None):
+    def __init__(self, maxsize: Optional[int] = None) -> None:
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be positive (or None for unbounded)")
         self.maxsize = maxsize

@@ -75,9 +75,9 @@ from ..lineage.boolean_expr import PositiveDNF
 from ..lineage.whyno import batch_candidate_missing_tuples, build_whyno_instance
 from ..relational.database import Database
 from ..relational.delta import DatabaseDelta
-from ..relational.evaluation import QueryEvaluator, evaluate, evaluate_boolean
+from ..relational.evaluation import evaluate, evaluate_boolean
 from ..relational.query import ConjunctiveQuery, Variable, match_atom
-from ..relational.session import MemorySession, SQLiteSession
+from ..relational.session import open_session
 from ..relational.tuples import Tuple, value_sort_key
 from ._pool import FanOutResult, FanOutSpec, fan_out, resolve_transport
 from .batch import BatchExplainer, RefreshReport
@@ -168,9 +168,7 @@ class WhyNoBatchExplainer:
                  candidates: Optional[Iterable[Tuple]] = None,
                  max_candidates: Optional[int] = None,
                  backend: str = "memory",
-                 _actual_answers: Optional[FrozenSet[Answer]] = None):
-        if backend not in ("memory", "sqlite"):
-            raise CausalityError(f"unknown backend {backend!r}")
+                 _actual_answers: Optional[FrozenSet[Answer]] = None) -> None:
         if candidates is not None and domains is not None:
             raise CausalityError(
                 "pass either explicit candidates or generation domains, not both"
@@ -183,25 +181,15 @@ class WhyNoBatchExplainer:
         self._explicit_candidates = None if candidates is None \
             else frozenset(candidates)
 
-        # One backend load for the whole construction: the same SQLite
-        # snapshot of the real database serves the actual-answer check and
-        # the candidate generation, then is mutated in place (flip all real
-        # tuples exogenous, insert the candidates) into the combined
-        # instance for the shared valuation pass — where two separate loads
-        # used to happen.
-        if backend == "sqlite":
-            from ..relational.sqlite_backend import (
-                SQLiteDatabase,
-                SQLiteEvaluator,
-            )
-
-            snapshot: Any = SQLiteDatabase(database)
-            real_evaluator: Any = SQLiteEvaluator(
-                database, respect_annotations=True, backend=snapshot)
-        else:
-            snapshot = None
-            real_evaluator = QueryEvaluator(database,
-                                            respect_annotations=True)
+        # One session — hence one backend load — for the whole construction:
+        # the same loaded snapshot of the real database serves the
+        # actual-answer check and the candidate generation, then is turned
+        # in place into the combined-instance session for the shared
+        # valuation pass (``into_whyno_combined``).  Which backend does the
+        # work stays behind the seam; ``open_session`` also rejects unknown
+        # backend names.
+        real_session = open_session(database, backend=backend)
+        real_evaluator = real_session.evaluator
 
         if query.is_boolean:
             targets = [()] if non_answers is None \
@@ -239,30 +227,15 @@ class WhyNoBatchExplainer:
 
         if self._explicit_candidates is not None:
             per_answer = {t: self._explicit_candidates for t in targets}
-        elif backend == "sqlite":
-            from ..relational.sqlite_backend import (
-                sql_batch_candidate_missing_tuples,
-            )
-
-            per_answer = sql_batch_candidate_missing_tuples(
-                query, database, targets, domains=domains,
-                max_candidates=max_candidates, backend=snapshot)
         else:
-            per_answer = batch_candidate_missing_tuples(
-                query, database, targets, domains=domains,
+            per_answer = real_session.batch_whyno_candidates(
+                query, targets, domains=domains,
                 max_candidates=max_candidates)
         self._per_answer_candidates: Dict[Answer, FrozenSet[Tuple]] = per_answer
         union: FrozenSet[Tuple] = frozenset().union(*per_answer.values()) \
             if per_answer else frozenset()
         self.combined = build_whyno_instance(database, union)
-        if backend == "sqlite":
-            snapshot.set_all_exogenous()
-            snapshot.apply_delta(DatabaseDelta(
-                inserts=[(tup, True) for tup in sorted(union)
-                         if not database.contains(tup)]))
-            session = SQLiteSession(self.combined, backend=snapshot)
-        else:
-            session = MemorySession(self.combined)
+        session = real_session.into_whyno_combined(self.combined, union)
         # The sibling Why-So engine supplies the shared machinery: pluggable
         # evaluator over the combined instance, one open-query pass grouped
         # by head tuple, and the lazy bound-query path for single targets.
@@ -614,10 +587,13 @@ class WhyNoBatchExplainer:
             # first, so a tuple switching sides (real delete that becomes a
             # candidate, or candidate that became real) is listed on both
             # and the insert wins.
+            # Both lists are built in sorted order: ``changed`` and the
+            # endogenous sets are salted-hash sets, and the delta they feed
+            # must not vary per process.
             combined_inserts: List[TypingTuple[Tuple, bool]] = [
                 (tup, True) for tup in sorted(new_dn - old_dn)]
-            combined_deletes: List[Tuple] = list(old_dn - new_dn)
-            for tup in changed:
+            combined_deletes: List[Tuple] = sorted(old_dn - new_dn)
+            for tup in sorted(changed):
                 if self.database.contains(tup):
                     if self.combined.is_endogenous(tup) or \
                             not self.combined.contains(tup):
@@ -757,7 +733,8 @@ class _WhyNoFanOutState:
     def __init__(self, query: ConjunctiveQuery,
                  conjuncts: Dict[Answer, List[FrozenSet[Tuple]]],
                  exogenous: FrozenSet[Tuple],
-                 per_answer_candidates: Dict[Answer, FrozenSet[Tuple]]):
+                 per_answer_candidates: Dict[Answer, FrozenSet[Tuple]]
+                 ) -> None:
         self.query = query
         self.conjuncts = conjuncts
         self.exogenous = exogenous

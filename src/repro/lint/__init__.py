@@ -1,0 +1,54 @@
+"""``repro.lint``: AST-based enforcement of the repo's architecture invariants.
+
+The rules (see :mod:`repro.lint.rules`) encode the guarantees ROADMAP.md
+calls load-bearing — determinism of result paths, the ``BackendSession``
+seam, pickle safety across the fan-out boundary, centralized SQL identifier
+quoting, exception discipline, and full signatures in the strict-typing
+tier.  ``repro lint`` on the CLI and the ``tests/lint`` suite both route
+through :func:`run_lint`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+from typing import Tuple as TypingTuple
+
+from .framework import (Finding, ModuleContext, Rule, SYNTAX_RULE,
+                        lint_file, lint_paths)
+from .reporting import format_json, format_text
+from .rules import RULE_CLASSES, all_rules, rules_by_id
+
+
+def run_lint(paths: Sequence[str], select: Optional[Sequence[str]] = None,
+             output_format: str = "text") -> TypingTuple[int, str]:
+    """Lint ``paths`` and return ``(exit_code, report)``.
+
+    ``select`` restricts to the named rule ids (unknown ids raise
+    :class:`ValueError`); ``output_format`` is ``"text"`` or ``"json"``.
+    Exit code 0 means no findings.
+    """
+    rules: List[Rule]
+    if select:
+        registry = rules_by_id()
+        unknown = [rule_id for rule_id in select if rule_id not in registry]
+        if unknown:
+            known = ", ".join(sorted(registry))
+            raise ValueError(
+                f"unknown rule id(s) {', '.join(sorted(unknown))}; "
+                f"known rules: {known}")
+        rules = [registry[rule_id] for rule_id in select]
+    else:
+        rules = all_rules()
+    findings = lint_paths(paths, rules=rules)
+    if output_format == "json":
+        report = format_json(findings)
+    else:
+        report = format_text(findings)
+    return (1 if findings else 0), report
+
+
+__all__ = [
+    "Finding", "ModuleContext", "Rule", "RULE_CLASSES", "SYNTAX_RULE",
+    "all_rules", "format_json", "format_text", "lint_file", "lint_paths",
+    "rules_by_id", "run_lint",
+]

@@ -1,0 +1,272 @@
+"""The ``repro lint`` framework: findings, rules, suppressions, file walking.
+
+The engine's load-bearing guarantees — parallel results bit-identical to
+serial, one backend seam, picklable state across the fan-out boundary — are
+dynamic properties, but most regressions against them have a *syntactic*
+shadow: an unordered iteration in a result path, an ``import sqlite3``
+outside the backend module, a lambda handed to :class:`FanOutSpec`.  This
+module is the infrastructure that checks those shadows on every commit:
+
+* :class:`Finding` — one violation, carrying ``path:line:col``, the rule id
+  and a message (the shape both reporters and the corpus tests consume);
+* :class:`Rule` — a named, scoped AST check; concrete rules live in
+  :mod:`repro.lint.rules` and register themselves there;
+* :class:`ModuleContext` — one parsed file handed to every applicable rule;
+* inline suppressions — ``# repro-lint: ignore[rule-id]`` on the finding's
+  physical line silences that rule there (``ignore[a,b]`` for several,
+  a bare ``ignore`` for all rules on the line);
+* :func:`lint_paths` — walk files/directories, parse once, run every
+  applicable rule, and return the suppression-filtered findings in a
+  deterministic order.
+
+Scoping works on the path *relative to the* ``repro`` *package root* (the
+innermost enclosing directory named ``repro`` that holds an ``__init__.py``),
+so ``repro lint src``, ``repro lint src/repro`` and ``repro lint
+src/repro/engine`` all agree on which rules apply to which file.  When no
+package root encloses a file (the test corpus trees), paths are taken
+relative to the scanned argument instead — a corpus case mimics the package
+layout (``engine/...``, ``relational/...``) under its own root.
+
+Examples
+--------
+>>> import tempfile, os
+>>> root = tempfile.mkdtemp()
+>>> os.mkdir(os.path.join(root, "engine"))
+>>> path = os.path.join(root, "engine", "mod.py")
+>>> with open(path, "w") as handle:
+...     _ = handle.write("for x in set():\\n    pass\\n")
+>>> [(f.relpath, f.line, f.rule) for f in lint_paths([root])]
+[('engine/mod.py', 1, 'determinism')]
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Tuple as TypingTuple
+
+#: Matches an inline suppression comment.  The bracket list names the rules
+#: to silence; omitting it silences every rule on that line.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([^\]]+)\])?")
+
+#: Sentinel rule id meaning "every rule" in a suppression set.
+_ALL_RULES = "*"
+
+#: Rule id attached to files the parser rejects (not suppressible).
+SYNTAX_RULE = "syntax"
+
+
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the display path (as walked, for humans and editors);
+    ``relpath`` is the package-root-relative path rules were scoped on (what
+    the corpus tests assert against).
+    """
+
+    __slots__ = ("path", "relpath", "line", "col", "rule", "message")
+
+    def __init__(self, path: str, relpath: str, line: int, col: int,
+                 rule: str, message: str):
+        self.path = path
+        self.relpath = relpath
+        self.line = line
+        self.col = col
+        self.rule = rule
+        self.message = message
+
+    def sort_key(self) -> TypingTuple[str, int, int, str]:
+        return (self.relpath, self.line, self.col, self.rule)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "relpath": self.relpath,
+                "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}
+
+    def render(self) -> str:
+        """The ``path:line:col: rule-id message`` text line."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Finding):
+            return NotImplemented
+        return (self.relpath, self.line, self.col, self.rule,
+                self.message) == (other.relpath, other.line, other.col,
+                                  other.rule, other.message)
+
+    def __hash__(self) -> int:
+        return hash((self.relpath, self.line, self.col, self.rule))
+
+    def __repr__(self) -> str:
+        return (f"Finding({self.relpath}:{self.line}:{self.col} "
+                f"{self.rule})")
+
+
+class ModuleContext:
+    """One parsed source file, handed to every applicable rule."""
+
+    __slots__ = ("path", "relpath", "source", "tree")
+
+    def __init__(self, path: str, relpath: str, source: str,
+                 tree: ast.Module):
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.tree = tree
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node``'s source position."""
+        return Finding(self.path, self.relpath,
+                       getattr(node, "lineno", 1),
+                       getattr(node, "col_offset", 0) + 1,
+                       rule, message)
+
+
+class Rule:
+    """Base class: a named, scoped AST check.
+
+    Subclasses set :attr:`id` (the kebab-case rule id used in findings and
+    suppressions), :attr:`summary` (one line for ``--list-rules`` and the
+    docs) and :attr:`scope` (path prefixes relative to the package root; an
+    empty scope applies everywhere), and implement :meth:`check`.
+    """
+
+    id: str = ""
+    summary: str = ""
+    scope: TypingTuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if not self.scope:
+            return True
+        return any(relpath.startswith(prefix) for prefix in self.scope)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.id}>"
+
+
+def package_relpath(path: str, root: str) -> str:
+    """The path rules are scoped on: relative to the ``repro`` package root.
+
+    The innermost enclosing directory named ``repro`` that contains an
+    ``__init__.py`` wins; without one (corpus trees), the scanned ``root``
+    argument is the base.  Always ``/``-separated.
+    """
+    absolute = os.path.abspath(path)
+    parts = absolute.split(os.sep)
+    for index in range(len(parts) - 2, 0, -1):
+        if parts[index] != "repro":
+            continue
+        package = os.sep.join(parts[:index + 1])
+        if os.path.isfile(os.path.join(package, "__init__.py")):
+            return "/".join(parts[index + 1:])
+    base = os.path.abspath(root)
+    if os.path.isfile(base):
+        base = os.path.dirname(base)
+    return os.path.relpath(absolute, base).replace(os.sep, "/")
+
+
+def suppressed_rules(source: str) -> Dict[int, Set[str]]:
+    """``{line: {rule ids}}`` of the inline suppressions in ``source``.
+
+    >>> sorted(suppressed_rules("x = 1  # repro-lint: ignore[determinism]")[1])
+    ['determinism']
+    >>> suppressed_rules("y = 2  # repro-lint: ignore")[1] == {"*"}
+    True
+    """
+    table: Dict[int, Set[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        listed = match.group(1)
+        if listed is None:
+            table[number] = {_ALL_RULES}
+        else:
+            table.setdefault(number, set()).update(
+                rule.strip() for rule in listed.split(",") if rule.strip())
+    return table
+
+
+def _is_suppressed(finding: Finding, table: Dict[int, Set[str]]) -> bool:
+    if finding.rule == SYNTAX_RULE:
+        return False
+    rules = table.get(finding.line)
+    if rules is None:
+        return False
+    return _ALL_RULES in rules or finding.rule in rules
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[TypingTuple[str, str]]:
+    """Yield ``(file, scanned_root)`` for every ``.py`` under ``paths``.
+
+    Directories are walked in sorted order, skipping hidden directories and
+    ``__pycache__``; missing paths raise :class:`FileNotFoundError` (a lint
+    run over a typo must not silently pass).
+    """
+    for arg in paths:
+        if os.path.isfile(arg):
+            yield arg, arg
+            continue
+        if not os.path.isdir(arg):
+            raise FileNotFoundError(f"no such file or directory: {arg!r}")
+        for directory, subdirs, files in os.walk(arg):
+            subdirs[:] = sorted(
+                d for d in subdirs
+                if d != "__pycache__" and not d.startswith("."))
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(directory, name), arg
+
+
+def lint_file(path: str, root: str,
+              rules: Sequence[Rule]) -> List[Finding]:
+    """Run every applicable rule over one file; suppression-filtered."""
+    display = os.path.relpath(path) if os.path.isabs(path) else path
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    relpath = package_relpath(path, root)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding(display, relpath, error.lineno or 1,
+                        (error.offset or 0) or 1, SYNTAX_RULE,
+                        f"cannot parse: {error.msg}")]
+    ctx = ModuleContext(display, relpath, source, tree)
+    table = suppressed_rules(source)
+    findings = []
+    for rule in rules:
+        if not rule.applies_to(relpath):
+            continue
+        for finding in rule.check(ctx):
+            if not _is_suppressed(finding, table):
+                findings.append(finding)
+    return findings
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+    """Lint every Python file under ``paths`` with ``rules`` (default: all).
+
+    Findings come back sorted by ``(relpath, line, col, rule)`` — one
+    deterministic order regardless of argument order or filesystem walk.
+    """
+    if rules is None:
+        from .rules import all_rules
+
+        rules = all_rules()
+    chosen = list(rules)
+    findings: List[Finding] = []
+    seen: Set[str] = set()
+    for path, root in iter_python_files(paths):
+        absolute = os.path.abspath(path)
+        if absolute in seen:
+            continue
+        seen.add(absolute)
+        findings.extend(lint_file(path, root, chosen))
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,37 @@
+"""Reporters for ``repro lint``: editor-friendly text and machine JSON.
+
+Text is one ``path:line:col: rule-id message`` line per finding plus a
+summary line; JSON is a single object with the finding list and a count
+(what CI uploads as an artifact on failure).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from .framework import Finding
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """The human/text report, summary line included.
+
+    >>> print(format_text([]))
+    repro lint: clean (0 findings)
+    """
+    lines: List[str] = [finding.render() for finding in findings]
+    if findings:
+        noun = "finding" if len(findings) == 1 else "findings"
+        lines.append(f"repro lint: {len(findings)} {noun}")
+    else:
+        lines.append("repro lint: clean (0 findings)")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    """The machine report: ``{"count": N, "findings": [...]}``."""
+    payload = {
+        "count": len(findings),
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

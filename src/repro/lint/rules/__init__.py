@@ -1,0 +1,41 @@
+"""Rule registry for ``repro lint``.
+
+Each rule lives in its own module; :func:`all_rules` instantiates them in a
+fixed order (the order findings tie-break on when several rules hit the
+same line).  New rules register here and nowhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..framework import Rule
+from .backend_seam import BackendSeamRule
+from .determinism import DeterminismRule
+from .exception_discipline import ExceptionDisciplineRule
+from .pickle_safety import PickleSafetyRule
+from .sql_quoting import SqlQuotingRule
+from .typed_defs import TypedDefsRule
+
+#: Every rule class, in registry order.
+RULE_CLASSES = (
+    DeterminismRule,
+    BackendSeamRule,
+    PickleSafetyRule,
+    SqlQuotingRule,
+    ExceptionDisciplineRule,
+    TypedDefsRule,
+)
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in registry order."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    """``{rule id: instance}`` for ``--rule`` selection on the CLI."""
+    return {rule.id: rule for rule in all_rules()}
+
+
+__all__ = ["RULE_CLASSES", "all_rules", "rules_by_id"]

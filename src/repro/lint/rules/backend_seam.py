@@ -1,0 +1,83 @@
+"""Rule ``backend-seam``: sqlite3 and concrete backends stay behind the seam.
+
+The whole point of :class:`repro.relational.session.BackendSession` is that
+``engine/`` code is backend-agnostic: it receives a session and never names
+``sqlite3`` or a concrete backend class.  That is what lets a postgres
+backend slot in without touching the explanation path.  Two checks:
+
+* ``import sqlite3`` (or ``from sqlite3 import ...``) is allowed only in
+  ``relational/sqlite_backend.py`` and its lineage-index twin
+  ``relational/sqlite_lineage_index.py``;
+* no module under ``engine/`` may import ``relational.sqlite_backend`` (by
+  any spelling) or pull a concrete session/backend class
+  (``SQLiteDatabase``, ``SQLiteEvaluator``, ``SQLiteLineageIndex``,
+  ``SQLiteSession``, ``MemorySession``) — only the abstract
+  ``BackendSession`` and the ``open_session`` factory cross the seam.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import ModuleContext, Finding, Rule
+
+#: The only modules allowed to talk to sqlite3 directly.
+_SQLITE3_HOMES = ("relational/sqlite_backend.py",
+                  "relational/sqlite_lineage_index.py")
+
+#: Concrete classes engine/ modules must not import — they are reachable
+#: only through the ``BackendSession`` seam (``open_session`` dispatch).
+_CONCRETE_BACKEND_NAMES = frozenset({
+    "SQLiteDatabase", "SQLiteEvaluator", "SQLiteLineageIndex",
+    "SQLiteSession", "MemorySession",
+})
+
+
+class BackendSeamRule(Rule):
+    id = "backend-seam"
+    summary = ("sqlite3 only inside the backend modules; engine/ imports "
+               "only the BackendSession seam, never a concrete backend")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        sqlite3_ok = ctx.relpath in _SQLITE3_HOMES
+        in_engine = ctx.relpath.startswith("engine/")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top == "sqlite3" and not sqlite3_ok:
+                        yield ctx.finding(
+                            node, self.id,
+                            "import sqlite3 outside the backend modules; "
+                            "go through relational.sqlite_backend")
+                    elif (in_engine
+                            and alias.name.split(".")[-1]
+                            == "sqlite_backend"):
+                        yield ctx.finding(
+                            node, self.id,
+                            f"engine/ imports the concrete backend module "
+                            f"{alias.name!r}; use the BackendSession seam")
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.split(".")[0] == "sqlite3" and not sqlite3_ok:
+                    yield ctx.finding(
+                        node, self.id,
+                        "import from sqlite3 outside the backend modules; "
+                        "go through relational.sqlite_backend")
+                    continue
+                if not in_engine:
+                    continue
+                if module.split(".")[-1] == "sqlite_backend":
+                    yield ctx.finding(
+                        node, self.id,
+                        "engine/ imports from the concrete backend module "
+                        "'sqlite_backend'; use the BackendSession seam")
+                    continue
+                for alias in node.names:
+                    if alias.name in _CONCRETE_BACKEND_NAMES:
+                        yield ctx.finding(
+                            node, self.id,
+                            f"engine/ imports concrete backend class "
+                            f"{alias.name!r}; depend on BackendSession / "
+                            f"open_session instead")

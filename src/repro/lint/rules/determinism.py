@@ -1,0 +1,136 @@
+"""Rule ``determinism``: no unordered iteration or unseeded randomness.
+
+Parallel fan-out results must stay bit-identical to serial runs (see
+ROADMAP.md), and ``Tuple`` hashes are salted per process — so iterating a
+``set`` or a ``dict.keys()`` view in a result-producing path yields a
+different order in every worker.  This rule flags the syntactic shapes that
+leak that order:
+
+* a ``for`` loop, comprehension, ``list()``/``tuple()`` materialisation or
+  ``str.join()`` whose iterable is syntactically a set literal, a set
+  comprehension, a ``set()``/``frozenset()`` call, or a ``.keys()`` view
+  (wrapping the iterable in ``sorted(...)`` passes);
+* module-level ``random.*`` calls (``random.Random(seed)`` and
+  ``random.SystemRandom`` construction pass — workload generators must own
+  an explicitly seeded instance);
+* ``id()``-based ordering: ``key=id`` or a key lambda calling ``id()`` in
+  ``sorted``/``min``/``max``/``.sort`` (``id()`` differs across processes).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..framework import ModuleContext, Finding, Rule
+
+#: ``random`` module attributes that are fine to touch: constructing an
+#: explicitly seeded generator is the *required* idiom, not a violation.
+_SEEDED_FACTORIES = frozenset({"Random", "SystemRandom"})
+
+#: Callables taking a ``key=`` whose ordering flows into results.
+_ORDERING_CALLS = frozenset({"sorted", "min", "max"})
+
+
+def _unordered_kind(expr: ast.expr) -> Optional[str]:
+    """A human label when ``expr`` is syntactically unordered, else None."""
+    if isinstance(expr, ast.Set):
+        return "a set literal"
+    if isinstance(expr, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"a {func.id}() call"
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            return "a .keys() view"
+    return None
+
+
+def _unwrap_enumerate(expr: ast.expr) -> ast.expr:
+    if (isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name)
+            and expr.func.id == "enumerate" and expr.args):
+        return expr.args[0]
+    return expr
+
+
+def _iteration_sites(tree: ast.Module) -> Iterator[ast.expr]:
+    """Every expression whose iteration order can reach a result."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For):
+            yield _unwrap_enumerate(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                yield _unwrap_enumerate(generator.iter)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Name) and func.id in ("list", "tuple")
+                    and node.args):
+                yield node.args[0]
+            elif (isinstance(func, ast.Attribute) and func.attr == "join"
+                    and node.args):
+                yield node.args[0]
+
+
+def _key_uses_id(keyword: ast.keyword) -> bool:
+    value = keyword.value
+    if isinstance(value, ast.Name) and value.id == "id":
+        return True
+    if isinstance(value, ast.Lambda):
+        for inner in ast.walk(value.body):
+            if (isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Name)
+                    and inner.func.id == "id"):
+                return True
+    return False
+
+
+class DeterminismRule(Rule):
+    id = "determinism"
+    summary = ("no unordered set/.keys() iteration, unseeded random.*, or "
+               "id()-based ordering in result paths")
+    scope = ("engine/", "core/", "relational/", "workloads/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for site in _iteration_sites(ctx.tree):
+            kind = _unordered_kind(site)
+            if kind is not None:
+                yield ctx.finding(
+                    site, self.id,
+                    f"iteration over {kind} is order-unstable across "
+                    f"processes; iterate a sorted(...) copy or an ordered "
+                    f"container")
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "random"
+                    and node.attr not in _SEEDED_FACTORIES):
+                yield ctx.finding(
+                    node, self.id,
+                    f"module-level random.{node.attr} is unseeded; use an "
+                    f"explicitly seeded random.Random(seed) instance")
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _SEEDED_FACTORIES:
+                        yield ctx.finding(
+                            node, self.id,
+                            f"'from random import {alias.name}' pulls in "
+                            f"unseeded module-level state; import Random "
+                            f"and seed it explicitly")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                is_ordering = (
+                    (isinstance(func, ast.Name)
+                     and func.id in _ORDERING_CALLS)
+                    or (isinstance(func, ast.Attribute)
+                        and func.attr == "sort"))
+                if not is_ordering:
+                    continue
+                for keyword in node.keywords:
+                    if keyword.arg == "key" and _key_uses_id(keyword):
+                        yield ctx.finding(
+                            keyword.value, self.id,
+                            "ordering by id() differs across processes; "
+                            "sort on value-derived keys (e.g. "
+                            "Tuple.sort_key)")

@@ -1,0 +1,37 @@
+"""Rule ``exception-discipline``: no bare ``except:``/silent ``pass``.
+
+A bare ``except:`` in ``engine/`` or ``relational/`` catches
+``KeyboardInterrupt``/``SystemExit`` and can mask a poisoned snapshot as a
+clean result; a handler whose whole body is ``pass`` swallows the evidence.
+Handlers must name the exception type, and either act on it or re-raise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import ModuleContext, Finding, Rule
+
+
+class ExceptionDisciplineRule(Rule):
+    id = "exception-discipline"
+    summary = ("no bare except: and no pass-only handlers in engine/ and "
+               "relational/")
+    scope = ("engine/", "relational/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    node, self.id,
+                    "bare except: also catches KeyboardInterrupt/"
+                    "SystemExit; name the exception type")
+            if node.body and all(isinstance(stmt, ast.Pass)
+                                 for stmt in node.body):
+                yield ctx.finding(
+                    node, self.id,
+                    "exception silently swallowed (pass-only handler); "
+                    "handle it or re-raise")

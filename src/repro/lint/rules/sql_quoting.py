@@ -1,0 +1,83 @@
+"""Rule ``sql-quoting``: SQL f-strings quote identifiers through one helper.
+
+``relational/sqlite_backend.py`` builds its DDL/DML with f-strings.  Every
+interpolated *identifier* (relation, index, temp-table name) must pass
+through :func:`repro.relational.sqlite_backend.quote_identifier`, which
+validates against the reserved-name rules and double-quotes the result —
+one choke point instead of ~15 ad-hoc ``{relation}`` holes.
+
+The check is positional: inside an f-string whose literal text contains a
+SQL keyword, any ``{...}`` slot whose immediately preceding literal text
+ends with an identifier-introducing keyword (``FROM``, ``INTO``, ``TABLE``,
+``INDEX``, ``VIEW``, ``JOIN``, ``EXISTS``, ``UPDATE``, ``ON``) must be a
+``quote_identifier(...)`` call.  Running text resets after each slot, so
+composed names like ``{relation}__ix{i}`` only hold the first slot to the
+rule — compose the full name first, then quote it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..framework import ModuleContext, Finding, Rule
+
+#: An f-string is "SQL" when its literal text contains one of these.
+_SQL_KEYWORD_RE = re.compile(
+    r"(?i)\b(select|insert|delete|update|create|drop|alter)\b")
+
+#: A slot is identifier-position when the literal text right before it ends
+#: with one of these keywords (plus whitespace).
+_IDENTIFIER_POSITION_RE = re.compile(
+    r"(?i)\b(from|into|table|index|view|join|exists|update|on)\s+$")
+
+#: The single sanctioned quoting helper.
+_QUOTING_HELPER = "quote_identifier"
+
+
+def _is_quoting_call(expr: ast.expr) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    if isinstance(func, ast.Name):
+        return func.id == _QUOTING_HELPER
+    if isinstance(func, ast.Attribute):
+        return func.attr == _QUOTING_HELPER
+    return False
+
+
+class SqlQuotingRule(Rule):
+    id = "sql-quoting"
+    summary = ("identifier slots in SQL f-strings must go through "
+               "quote_identifier()")
+    scope = ("relational/",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.JoinedStr):
+                continue
+            literal = "".join(
+                part.value for part in node.values
+                if isinstance(part, ast.Constant)
+                and isinstance(part.value, str))
+            if not _SQL_KEYWORD_RE.search(literal):
+                continue
+            preceding = ""
+            for part in node.values:
+                if (isinstance(part, ast.Constant)
+                        and isinstance(part.value, str)):
+                    preceding += part.value
+                    continue
+                if not isinstance(part, ast.FormattedValue):
+                    continue
+                if (_IDENTIFIER_POSITION_RE.search(preceding)
+                        and not _is_quoting_call(part.value)):
+                    yield ctx.finding(
+                        part.value, self.id,
+                        "identifier interpolated into SQL without "
+                        "quote_identifier(); route it through the "
+                        "validated helper")
+                # The slot's runtime value is opaque: reset the running
+                # literal so composed names only bind their first slot.
+                preceding = ""

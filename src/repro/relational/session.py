@@ -25,13 +25,26 @@ Both backends implement the same interface, so the delta-aware engines
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Optional
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+)
+from typing import Tuple as TypingTuple
 
 from ..exceptions import CausalityError
 from .database import Database
 from .delta import DatabaseDelta
 from .evaluation import QueryEvaluator
+from .query import ConjunctiveQuery
 from .tuples import Tuple
+
+#: A (non-)answer head tuple, as the batch engines key their maps.
+Answer = TypingTuple[Any, ...]
 
 
 class BackendSession:
@@ -46,7 +59,8 @@ class BackendSession:
 
     backend_name: str = "abstract"
 
-    def __init__(self, database: Database, respect_annotations: bool = True):
+    def __init__(self, database: Database,
+                 respect_annotations: bool = True) -> None:
         self.database = database
         self.respect_annotations = respect_annotations
 
@@ -96,6 +110,34 @@ class BackendSession:
         """
         raise NotImplementedError
 
+    def batch_whyno_candidates(
+            self, query: ConjunctiveQuery,
+            non_answers: Sequence[Answer],
+            domains: Optional[Mapping[str, Iterable[Any]]] = None,
+            max_candidates: Optional[int] = None,
+    ) -> Dict[Answer, FrozenSet[Tuple]]:
+        """Per-non-answer candidate insertions, generated where the data lives.
+
+        This is the Why-No half of the seam: the engine asks the session for
+        ``{non_answer: candidate tuples}`` and never learns whether the
+        generation ran as Python products over the instance or as SQL over
+        the loaded snapshot.
+        """
+        raise NotImplementedError
+
+    def into_whyno_combined(self, combined: Database,
+                            candidates: FrozenSet[Tuple]) -> "BackendSession":
+        """Turn this real-database session into one over the combined instance.
+
+        ``combined`` is the Why-No instance (every real tuple exogenous, the
+        ``candidates`` inserted endogenous) already built on the Python side;
+        the returned session serves the shared valuation pass over it.  The
+        SQLite backend mutates its one load in place (flip the real tuples
+        exogenous, insert the candidates) instead of loading twice; this
+        session must not be used for the real database afterwards.
+        """
+        raise NotImplementedError
+
     def _apply_backend_delta(self, delta: DatabaseDelta) -> None:
         """Propagate an already-validated delta into the backend state."""
         raise NotImplementedError
@@ -135,7 +177,7 @@ class BackendSession:
     def __enter__(self) -> "BackendSession":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
     def __repr__(self) -> str:
@@ -165,7 +207,8 @@ class MemorySession(BackendSession):
 
     backend_name = "memory"
 
-    def __init__(self, database: Database, respect_annotations: bool = True):
+    def __init__(self, database: Database,
+                 respect_annotations: bool = True) -> None:
         super().__init__(database, respect_annotations)
         self._evaluator = QueryEvaluator(
             database, respect_annotations=respect_annotations)
@@ -181,6 +224,22 @@ class MemorySession(BackendSession):
         from ..engine.lineage_index import LineageIndex
 
         return LineageIndex()
+
+    def batch_whyno_candidates(
+            self, query: ConjunctiveQuery,
+            non_answers: Sequence[Answer],
+            domains: Optional[Mapping[str, Iterable[Any]]] = None,
+            max_candidates: Optional[int] = None,
+    ) -> Dict[Answer, FrozenSet[Tuple]]:
+        from ..lineage.whyno import batch_candidate_missing_tuples
+
+        return batch_candidate_missing_tuples(
+            query, self.database, non_answers, domains=domains,
+            max_candidates=max_candidates)
+
+    def into_whyno_combined(self, combined: Database,
+                            candidates: FrozenSet[Tuple]) -> "BackendSession":
+        return MemorySession(combined)
 
     def _apply_backend_delta(self, delta: DatabaseDelta) -> None:
         """Nothing to pre-apply: the instance *is* the backend state."""
@@ -220,7 +279,8 @@ class SQLiteSession(BackendSession):
     backend_name = "sqlite"
 
     def __init__(self, database: Database, respect_annotations: bool = True,
-                 path: str = ":memory:", backend: Optional[Any] = None):
+                 path: str = ":memory:",
+                 backend: Optional[Any] = None) -> None:
         from .sqlite_backend import SQLiteDatabase, SQLiteEvaluator
 
         super().__init__(database, respect_annotations)
@@ -241,6 +301,29 @@ class SQLiteSession(BackendSession):
         from .sqlite_backend import SQLiteLineageIndex
 
         return SQLiteLineageIndex(self.sqlite)
+
+    def batch_whyno_candidates(
+            self, query: ConjunctiveQuery,
+            non_answers: Sequence[Answer],
+            domains: Optional[Mapping[str, Iterable[Any]]] = None,
+            max_candidates: Optional[int] = None,
+    ) -> Dict[Answer, FrozenSet[Tuple]]:
+        from .sqlite_backend import sql_batch_candidate_missing_tuples
+
+        return sql_batch_candidate_missing_tuples(
+            query, self.database, non_answers, domains=domains,
+            max_candidates=max_candidates, backend=self.sqlite)
+
+    def into_whyno_combined(self, combined: Database,
+                            candidates: FrozenSet[Tuple]) -> "BackendSession":
+        # One load serves the whole Why-No construction: the real-database
+        # snapshot is mutated in place into the combined instance instead of
+        # a second from-scratch load.
+        self.sqlite.set_all_exogenous()
+        self.sqlite.apply_delta(DatabaseDelta(
+            inserts=[(tup, True) for tup in sorted(candidates)
+                     if not self.database.contains(tup)]))
+        return SQLiteSession(combined, backend=self.sqlite)
 
     def _apply_backend_delta(self, delta: DatabaseDelta) -> None:
         self.sqlite.apply_delta(delta)

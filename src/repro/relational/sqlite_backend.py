@@ -95,6 +95,61 @@ def _check_relation_name(relation: str) -> None:
             f"relation name {relation!r} collides with the per-column "
             "indexes (tables and indexes share SQLite's namespace)"
         )
+    if relation.startswith("__dom_") or relation == "__whyno_heads":
+        # The temp schema shadows main for unqualified names, so a user
+        # relation with a Why-No scratch-table name would silently be read
+        # as candidate data during sql_batch_candidate_missing_tuples.
+        raise BackendError(
+            f"relation name {relation!r} collides with the Why-No "
+            "temporary tables"
+        )
+
+
+#: Internal scratch tables of the Why-No candidate pass — reserved above,
+#: and accepted verbatim by :func:`quote_identifier`.
+_WHYNO_TEMP_RE = re.compile(r"^(__dom_\d+|__whyno_heads)$")
+
+#: Suffixes the backend derives from a relation name (partition views,
+#: per-column indexes, lineage-index covering/answer-id indexes).
+_DERIVED_SUFFIX_RE = re.compile(r"(__endo|__exo|__cover|__aid|__ix\d+)$")
+
+_LINEAGE_INDEX_PREFIX = "__lineage_index_"
+
+
+def quote_identifier(name: str) -> str:
+    """Validate ``name`` and return it double-quoted for use in SQL text.
+
+    This is the single choke point every interpolated identifier (relation,
+    view, index, temp table) must pass through — the ``sql-quoting`` lint
+    rule enforces exactly that.  Validation reduces derived names (partition
+    views, per-column and lineage indexes) to their base relation and holds
+    that base to :func:`_check_relation_name`'s reserved-name rules; the
+    backend's own scratch names (``__dom_N``, ``__whyno_heads``,
+    ``__lineage_index_*``) are accepted as themselves.  Quoting is otherwise
+    semantics-preserving for plain identifiers, and lets relation names that
+    are SQL keywords (``Order``, ``Group``) work instead of erroring.
+
+    Examples
+    --------
+    >>> quote_identifier("R")
+    '"R"'
+    >>> quote_identifier("R__ix0")
+    '"R__ix0"'
+    >>> quote_identifier("R; DROP TABLE R")
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.BackendError: SQL identifier 'R; DROP TABLE R' is not a plain identifier
+    """
+    if not _IDENTIFIER_RE.match(name):
+        raise BackendError(
+            f"SQL identifier {name!r} is not a plain identifier")
+    if _WHYNO_TEMP_RE.match(name) is None:
+        base = name
+        if base.startswith(_LINEAGE_INDEX_PREFIX):
+            base = base[len(_LINEAGE_INDEX_PREFIX):]
+        base = _DERIVED_SUFFIX_RE.sub("", base)
+        _check_relation_name(base)
+    return f'"{name}"'
 
 
 _INT64_MIN, _INT64_MAX = -2 ** 63, 2 ** 63 - 1
@@ -148,7 +203,7 @@ class _ValuationSQL:
         for index, atom in enumerate(query.atoms):
             alias = f"t{index}"
             name = table_name(atom) if respect_annotations else atom.relation
-            tables.append(f"{name} AS {alias}")
+            tables.append(f"{quote_identifier(name)} AS {alias}")
             self.atom_offsets.append(offset)
             for position, term in enumerate(atom.terms):
                 column = f"{alias}.{default_column(position)}"
@@ -172,11 +227,16 @@ class _ValuationSQL:
         }
         select = ", ".join(select_items) if select_items else "1"
         where = " AND ".join(conditions) if conditions else "1"
-        sql = (f"SELECT {select}\n  FROM {', '.join(tables)}\n"
+        # The FROM lists join pre-quoted "identifier AS alias" parts built
+        # above, so the composite slots are safe as a whole.
+        sql = (f"SELECT {select}\n"
+               f"  FROM {', '.join(tables)}\n"  # repro-lint: ignore[sql-quoting]
                f"  WHERE {where}")
         # Existence checks must not pay for a sort of the full join.
-        self.exists_sql = (f"SELECT 1\n  FROM {', '.join(tables)}\n"
-                           f"  WHERE {where}\n  LIMIT 1")
+        self.exists_sql = (
+            f"SELECT 1\n"
+            f"  FROM {', '.join(tables)}\n"  # repro-lint: ignore[sql-quoting]
+            f"  WHERE {where}\n  LIMIT 1")
         all_ordinals = [str(i + 1) for i in range(len(select_items))]
         if select_items:
             # Deterministic enumeration order (by ordinal, names repeat).
@@ -187,8 +247,10 @@ class _ValuationSQL:
         # no per-answer dictionary (SQLite does the grouping work).
         head_ordinals = [str(self.var_positions[term] + 1)
                          for term in query.head if isinstance(term, Variable)]
-        grouped = (f"SELECT {select}\n  FROM {', '.join(tables)}\n"
-                   f"  WHERE {where}")
+        grouped = (
+            f"SELECT {select}\n"
+            f"  FROM {', '.join(tables)}\n"  # repro-lint: ignore[sql-quoting]
+            f"  WHERE {where}")
         if select_items:
             grouped += "\n  ORDER BY " + ", ".join(
                 head_ordinals + all_ordinals)
@@ -200,7 +262,8 @@ class _ValuationSQL:
         if head_columns:
             self.answers_sql: Optional[str] = (
                 f"SELECT {', '.join(head_columns)}\n"
-                f"  FROM {', '.join(tables)}\n  WHERE {where}\n"
+                f"  FROM {', '.join(tables)}\n"  # repro-lint: ignore[sql-quoting]
+                f"  WHERE {where}\n"
                 f"  GROUP BY {', '.join(head_columns)}")
         else:
             # Boolean or all-constant head: the answer set is decided by
@@ -236,7 +299,7 @@ def valuation_sql(query: ConjunctiveQuery, respect_annotations: bool = True
     >>> from repro.relational import parse_query
     >>> print(valuation_sql(parse_query("q(x) :- R(x, y), S(y)")))
     SELECT t0.c0, t0.c1, t1.c0
-      FROM R AS t0, S AS t1
+      FROM "R" AS t0, "S" AS t1
       WHERE t1.c0 = t0.c1
       ORDER BY 1, 2, 3
     """
@@ -292,9 +355,11 @@ class SQLiteDatabase:
         _check_relation_name(relation)
         columns = ", ".join(default_column(i) for i in range(arity))
         prefix = f"{columns}, " if columns else ""
+        endo_view = f"{relation}__endo"
+        exo_view = f"{relation}__exo"
         try:
             self._connection.execute(
-                f"CREATE TABLE {relation} "
+                f"CREATE TABLE {quote_identifier(relation)} "
                 f"({prefix}is_endogenous INTEGER NOT NULL)")
             if arity:
                 self._connection.executescript(
@@ -303,20 +368,23 @@ class SQLiteDatabase:
                 # partition_view_sql has no column list to project for arity
                 # 0; a constant column keeps the views well-formed.
                 self._connection.executescript(
-                    f"CREATE VIEW {relation}__endo AS\n"
-                    f"  SELECT 1 AS c0 FROM {relation} WHERE is_endogenous;\n"
-                    f"CREATE VIEW {relation}__exo AS\n"
-                    f"  SELECT 1 AS c0 FROM {relation} "
+                    f"CREATE VIEW {quote_identifier(endo_view)} AS\n"
+                    f"  SELECT 1 AS c0 FROM {quote_identifier(relation)} "
+                    "WHERE is_endogenous;\n"
+                    f"CREATE VIEW {quote_identifier(exo_view)} AS\n"
+                    f"  SELECT 1 AS c0 FROM {quote_identifier(relation)} "
                     "WHERE NOT is_endogenous;")
             # One index per positional column: valuation SELECTs and delta
             # DELETEs constrain single positions with (NULL-safe) equality,
             # so probes stay O(matching rows) as the instance grows.
             for i in range(arity):
+                index_name = f"{relation}__ix{i}"
                 self._connection.execute(
-                    f"CREATE INDEX {relation}__ix{i} "
-                    f"ON {relation} ({default_column(i)})")
+                    f"CREATE INDEX {quote_identifier(index_name)} "
+                    f"ON {quote_identifier(relation)} ({default_column(i)})")
         except sqlite3.Error as error:
-            # e.g. relation names that are SQL keywords ("Order", "Group").
+            # Quoting makes keyword-named relations work; anything sqlite
+            # still rejects surfaces as a typed error, not a raw sqlite3 one.
             raise BackendError(
                 f"cannot create relation {relation!r} in SQLite: {error}"
             ) from error
@@ -341,7 +409,8 @@ class SQLiteDatabase:
                             + (1 if database.is_endogenous(tup) else 0,))
             placeholders = ", ".join("?" for _ in range(arity + 1))
             self._connection.executemany(
-                f"INSERT INTO {relation} VALUES ({placeholders})", rows)
+                f"INSERT INTO {quote_identifier(relation)} "
+                f"VALUES ({placeholders})", rows)
         self._connection.commit()
 
     def ensure_relation(self, relation: str, arity: int) -> None:
@@ -407,14 +476,17 @@ class SQLiteDatabase:
                 continue  # nothing to delete in this layout
             where, params = self._match_clause(tup)
             self._connection.execute(
-                f"DELETE FROM {tup.relation} WHERE {where}", params)
+                f"DELETE FROM {quote_identifier(tup.relation)} "
+                f"WHERE {where}", params)
         for tup, endogenous in delta.insert_items():
             where, params = self._match_clause(tup)
             self._connection.execute(
-                f"DELETE FROM {tup.relation} WHERE {where}", params)
+                f"DELETE FROM {quote_identifier(tup.relation)} "
+                f"WHERE {where}", params)
             placeholders = ", ".join("?" for _ in range(tup.arity + 1))
             self._connection.execute(
-                f"INSERT INTO {tup.relation} VALUES ({placeholders})",
+                f"INSERT INTO {quote_identifier(tup.relation)} "
+                f"VALUES ({placeholders})",
                 tuple(tup.values) + (1 if endogenous else 0,))
         self._connection.commit()
 
@@ -427,7 +499,7 @@ class SQLiteDatabase:
         """
         for relation in sorted(self._arities):
             self._connection.execute(
-                f"UPDATE {relation} SET is_endogenous = 0 "
+                f"UPDATE {quote_identifier(relation)} SET is_endogenous = 0 "
                 "WHERE is_endogenous")
         self._connection.commit()
 
@@ -555,14 +627,19 @@ class SQLiteLineageIndex:
         _check_relation_name(relation)
         columns = [default_column(i) for i in range(arity)]
         prefix = f"{', '.join(columns)}, " if columns else ""
+        cover_index = f"{name}__cover"
+        aid_index = f"{name}__aid"
         try:
             self._connection.execute(
-                f"CREATE TABLE {name} ({prefix}answer_id INTEGER NOT NULL)")
+                f"CREATE TABLE {quote_identifier(name)} "
+                f"({prefix}answer_id INTEGER NOT NULL)")
             covering = ", ".join(columns + ["answer_id"])
             self._connection.execute(
-                f"CREATE INDEX {name}__cover ON {name} ({covering})")
+                f"CREATE INDEX {quote_identifier(cover_index)} "
+                f"ON {quote_identifier(name)} ({covering})")
             self._connection.execute(
-                f"CREATE INDEX {name}__aid ON {name} (answer_id)")
+                f"CREATE INDEX {quote_identifier(aid_index)} "
+                f"ON {quote_identifier(name)} (answer_id)")
         except sqlite3.Error as error:
             raise BackendError(
                 f"cannot create lineage index table for {relation!r}: "
@@ -585,7 +662,8 @@ class SQLiteLineageIndex:
     def rebuild(self, groups: Mapping[Any, Iterable[FrozenSet[Tuple]]]) -> None:
         """Replace the whole index with the postings of ``groups``."""
         for relation in self._arities:
-            self._connection.execute(f"DELETE FROM {self._table(relation)}")
+            self._connection.execute(
+                f"DELETE FROM {quote_identifier(self._table(relation))}")
         self._ids.clear()
         self._answers.clear()
         self._answer_relations.clear()
@@ -602,8 +680,8 @@ class SQLiteLineageIndex:
         aid = self._answer_id(answer)
         for relation in self._answer_relations.get(aid, ()):
             self._connection.execute(
-                f"DELETE FROM {self._table(relation)} WHERE answer_id = ?",
-                (aid,))
+                f"DELETE FROM {quote_identifier(self._table(relation))} "
+                f"WHERE answer_id = ?", (aid,))
         rows_by_relation: Dict[str, List[TypingTuple[Any, ...]]] = {}
         for tup in tuples:
             for value in tup.values:
@@ -615,7 +693,8 @@ class SQLiteLineageIndex:
             name = self._ensure_table(relation, arity)
             placeholders = ", ".join("?" for _ in range(arity + 1))
             self._connection.executemany(
-                f"INSERT INTO {name} VALUES ({placeholders})", rows)
+                f"INSERT INTO {quote_identifier(name)} "
+                f"VALUES ({placeholders})", rows)
         if rows_by_relation:
             self._answer_relations[aid] = set(rows_by_relation)
         else:
@@ -645,7 +724,8 @@ class SQLiteLineageIndex:
                           for i in range(tup.arity)]
             where = " AND ".join(conditions) if conditions else "1"
             cursor = self._connection.execute(
-                f"SELECT DISTINCT answer_id FROM {self._table(tup.relation)} "
+                f"SELECT DISTINCT answer_id "
+                f"FROM {quote_identifier(self._table(tup.relation))} "
                 f"WHERE {where}", tuple(tup.values))
             for (aid,) in cursor:
                 dirty.add(self._answers[aid])
@@ -660,7 +740,7 @@ class SQLiteLineageIndex:
         for relation in self._answer_relations.get(aid, ()):
             arity = self._arities[relation]
             for row in self._connection.execute(
-                    f"SELECT * FROM {self._table(relation)} "
+                    f"SELECT * FROM {quote_identifier(self._table(relation))} "
                     "WHERE answer_id = ?", (aid,)):
                 found.add(Tuple(relation, tuple(row[:arity])))
         return frozenset(found)
@@ -673,7 +753,8 @@ class SQLiteLineageIndex:
         postings: Dict[Tuple, Set[Any]] = {}
         for relation, arity in self._arities.items():
             for row in self._connection.execute(
-                    f"SELECT * FROM {self._table(relation)}"):
+                    f"SELECT * "
+                    f"FROM {quote_identifier(self._table(relation))}"):
                 tup = Tuple(relation, tuple(row[:arity]))
                 postings.setdefault(tup, set()).add(self._answers[row[arity]])
         return {tup: frozenset(answers) for tup, answers in postings.items()}
@@ -1005,9 +1086,10 @@ def sql_batch_candidate_missing_tuples(
             # Register before CREATE so cleanup covers partial failures.
             temp_tables.append(name)
             domain_tables[variable] = name
-            connection.execute(f"CREATE TEMP TABLE {name} (v)")
+            connection.execute(
+                f"CREATE TEMP TABLE {quote_identifier(name)} (v)")
             connection.executemany(
-                f"INSERT INTO {name} VALUES (?)",
+                f"INSERT INTO {quote_identifier(name)} VALUES (?)",
                 [(value,) for value in variable_domains[variable]])
         if head_variables:
             temp_tables.append("__whyno_heads")
@@ -1057,15 +1139,20 @@ def sql_batch_candidate_missing_tuples(
                     select_items.append(f"? AS {target_col}")
                     params.append(term.value)
             projection_positions = [position_of[v] for v in atom_head]
-            from_parts = (["__whyno_heads AS h"] if atom_head else []) + [
-                f"{domain_tables[var]} AS {aliases[var]}" for var in atom_open]
-            sql = (f"SELECT DISTINCT {', '.join(select_items)}"
-                   f" FROM {', '.join(from_parts)}")
+            # Each FROM part is quoted here, so the composite join is safe.
+            heads_part = f"{quote_identifier('__whyno_heads')} AS h"
+            from_parts = ([heads_part] if atom_head else []) + [
+                f"{quote_identifier(domain_tables[var])} AS {aliases[var]}"
+                for var in atom_open]
+            sql = (
+                f"SELECT DISTINCT {', '.join(select_items)}"
+                f" FROM {', '.join(from_parts)}")  # repro-lint: ignore[sql-quoting]
             if (atom.relation in db.relations()
                     and db.arity_of(atom.relation) == atom.arity):
                 columns = ", ".join(
                     default_column(p) for p in range(atom.arity))
-                sql += f" EXCEPT SELECT {columns} FROM {atom.relation}"
+                sql += (f" EXCEPT SELECT {columns} "
+                        f"FROM {quote_identifier(atom.relation)}")
             for row in connection.execute(sql, params):
                 tup = Tuple(atom.relation, tuple(row))
                 projection = tuple(row[p] for p in projection_positions)
@@ -1073,5 +1160,6 @@ def sql_batch_candidate_missing_tuples(
                     note(key, tup)
     finally:
         for name in temp_tables:
-            connection.execute(f"DROP TABLE IF EXISTS {name}")
+            connection.execute(
+                f"DROP TABLE IF EXISTS {quote_identifier(name)}")
     return {key: frozenset(values) for key, values in per_answer.items()}

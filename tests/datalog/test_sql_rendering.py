@@ -72,7 +72,8 @@ class TestProgramRendering:
 
     def test_partition_views(self):
         sql = partition_view_sql("R", 2)
-        assert "CREATE VIEW R__endo" in sql and "CREATE VIEW R__exo" in sql
+        assert 'CREATE VIEW "R__endo"' in sql
+        assert 'CREATE VIEW "R__exo"' in sql
 
     def test_cause_program_sql_covers_every_relation(self):
         query = parse_query("q :- R(x, y), S(y)")

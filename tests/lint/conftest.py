@@ -1,0 +1,8 @@
+"""Keep pytest away from the lint corpus.
+
+The files under ``corpus/`` are deliberately broken (unseeded randomness,
+seam violations, unannotated defs) — they exist to be *linted*, never
+imported or collected as doctest modules.
+"""
+
+collect_ignore = ["corpus"]

@@ -1,0 +1,12 @@
+"""Known-bad: engine code reaching through the backend seam."""
+
+import sqlite3  # expect: backend-seam
+from repro.relational.sqlite_backend import SQLiteDatabase  # expect: backend-seam
+from repro.relational.session import MemorySession  # expect: backend-seam
+
+
+def open_raw(path: str) -> object:
+    connection = sqlite3.connect(path)
+    database = SQLiteDatabase
+    session = MemorySession
+    return (connection, database, session)

@@ -1,0 +1,7 @@
+"""Known-good: the engine sees only the BackendSession seam."""
+
+from repro.relational.session import BackendSession, open_session
+
+
+def load(database: object) -> BackendSession:
+    return open_session(database, backend="memory")

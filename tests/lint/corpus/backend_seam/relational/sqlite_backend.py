@@ -1,0 +1,7 @@
+"""Known-good: the backend module itself may (must) import sqlite3."""
+
+import sqlite3
+
+
+def connect(path: str) -> object:
+    return sqlite3.connect(path)

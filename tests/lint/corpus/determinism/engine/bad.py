@@ -1,0 +1,18 @@
+"""Known-bad: every syntactic shape the determinism rule flags."""
+
+import random
+from random import shuffle  # expect: determinism
+
+TABLE = {"a": 1, "b": 2}
+
+
+def leak_orders() -> list:
+    out = []
+    for item in {1, 2, 3}:  # expect: determinism
+        out.append(item)
+    listed = list(TABLE.keys())  # expect: determinism
+    joined = ",".join(set("abc"))  # expect: determinism
+    drawn = random.choice(listed)  # expect: determinism
+    out.sort(key=id)  # expect: determinism
+    shuffle(out)
+    return out + [joined, drawn]

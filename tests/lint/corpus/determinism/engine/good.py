@@ -1,0 +1,17 @@
+"""Known-good: sorted iteration and explicitly seeded randomness."""
+
+import random
+
+TABLE = {"a": 1, "b": 2}
+
+
+def stable_orders(seed: int) -> list:
+    rng = random.Random(seed)
+    out = []
+    for item in sorted({1, 2, 3}):
+        out.append(item)
+    listed = list(sorted(TABLE.keys()))
+    joined = ",".join(sorted(set("abc")))
+    rng.shuffle(out)
+    out.sort(key=str)
+    return out + listed + [joined]

@@ -1,0 +1,15 @@
+"""Known-bad: handlers that swallow failures."""
+
+
+def swallow(risky: object) -> int:
+    try:
+        return int(str(risky))
+    except:  # expect: exception-discipline
+        return 0
+
+
+def ignore_errors(risky: object) -> None:
+    try:
+        int(str(risky))
+    except ValueError:  # expect: exception-discipline
+        pass

@@ -1,0 +1,8 @@
+"""Known-good: handlers that name the type and act on it."""
+
+
+def surface(risky: object) -> int:
+    try:
+        return int(str(risky))
+    except ValueError as error:
+        raise RuntimeError("value did not parse") from error

@@ -1,0 +1,21 @@
+"""Known-bad: unpicklable callables handed to FanOutSpec."""
+
+from repro.engine._pool import FanOutSpec
+
+
+class Worker:
+    def run(self, chunk: list, state: object) -> dict:
+        return {"chunk": chunk, "state": state}
+
+
+def build_specs() -> list:
+    def local_compute(chunk: list, state: object) -> dict:
+        return {"chunk": chunk, "state": state}
+
+    worker = Worker()
+    return [
+        FanOutSpec(compute=lambda chunk, state: {}),  # expect: pickle-safety
+        FanOutSpec(compute=local_compute),  # expect: pickle-safety
+        FanOutSpec(compute=worker.run),  # expect: pickle-safety
+        FanOutSpec(compute=build_specs()),  # expect: pickle-safety
+    ]

@@ -1,0 +1,13 @@
+"""Known-bad: raw identifier interpolation into SQL f-strings."""
+
+
+def render(relation: str) -> str:
+    return f"SELECT * FROM {relation}"  # expect: sql-quoting
+
+
+def create(table_name: str) -> str:
+    return f"CREATE TABLE {table_name} (c0 TEXT)"  # expect: sql-quoting
+
+
+def remove(relation: str, key: object) -> str:
+    return f"DELETE FROM {relation} WHERE c0 = {key!r}"  # expect: sql-quoting

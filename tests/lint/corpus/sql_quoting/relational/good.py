@@ -1,0 +1,20 @@
+"""Known-good: identifiers routed through the validated quoting helper."""
+
+from repro.relational.sqlite_backend import quote_identifier
+
+
+def render(relation: str) -> str:
+    return f"SELECT * FROM {quote_identifier(relation)}"
+
+
+def remove(relation: str) -> str:
+    return f"DELETE FROM {quote_identifier(relation)} WHERE c0 = ?"
+
+
+def composed(from_parts: str) -> str:
+    # A pre-quoted composite fragment carries an explicit suppression.
+    return f"SELECT 1 FROM {from_parts}"  # repro-lint: ignore[sql-quoting]
+
+
+def not_sql(name: str) -> str:
+    return f"loaded relation {name}"

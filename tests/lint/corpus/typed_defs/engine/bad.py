@@ -1,0 +1,14 @@
+"""Known-bad: unannotated signatures in the strict-typing tier."""
+
+
+def missing_return(count: int):  # expect: typed-defs
+    return count
+
+
+def missing_params(count, *rest) -> int:  # expect: typed-defs
+    return count + len(rest)
+
+
+class Holder:
+    def __init__(self, value):  # expect: typed-defs, typed-defs
+        self.value = value

@@ -1,0 +1,11 @@
+"""Known-good: fully annotated signatures."""
+
+
+def annotated(count: int, *rest: int, scale: float = 1.0,
+              **extra: object) -> int:
+    return count + len(rest) + int(scale) + len(extra)
+
+
+class Holder:
+    def __init__(self, value: object) -> None:
+        self.value = value

@@ -1,0 +1,107 @@
+"""Framework behaviour: suppressions, scoping, syntax errors, selection."""
+
+import json
+
+import pytest
+
+from repro.lint import SYNTAX_RULE, lint_paths, run_lint
+from repro.lint.framework import package_relpath
+
+
+def write(tmp_path, relative, source):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+class TestSuppressions:
+    def test_named_suppression_silences_only_that_rule(self, tmp_path):
+        write(tmp_path, "engine/mod.py",
+              "for x in {1, 2}:  # repro-lint: ignore[determinism]\n"
+              "    pass\n")
+        assert lint_paths([str(tmp_path)]) == []
+
+    def test_bare_ignore_silences_every_rule_on_the_line(self, tmp_path):
+        write(tmp_path, "engine/mod.py",
+              "for x in {1, 2}:  # repro-lint: ignore\n"
+              "    pass\n")
+        assert lint_paths([str(tmp_path)]) == []
+
+    def test_suppression_for_another_rule_does_not_apply(self, tmp_path):
+        write(tmp_path, "engine/mod.py",
+              "for x in {1, 2}:  # repro-lint: ignore[sql-quoting]\n"
+              "    pass\n")
+        findings = lint_paths([str(tmp_path)])
+        assert [finding.rule for finding in findings] == ["determinism"]
+
+    def test_suppression_on_a_different_line_does_not_apply(self, tmp_path):
+        write(tmp_path, "engine/mod.py",
+              "# repro-lint: ignore[determinism]\n"
+              "for x in {1, 2}:\n"
+              "    pass\n")
+        findings = lint_paths([str(tmp_path)])
+        assert [finding.rule for finding in findings] == ["determinism"]
+
+
+class TestSyntaxErrors:
+    def test_unparseable_file_yields_a_syntax_finding(self, tmp_path):
+        write(tmp_path, "engine/broken.py", "def broken(:\n")
+        findings = lint_paths([str(tmp_path)])
+        assert [finding.rule for finding in findings] == [SYNTAX_RULE]
+        assert findings[0].relpath == "engine/broken.py"
+
+    def test_syntax_findings_are_not_suppressible(self, tmp_path):
+        write(tmp_path, "engine/broken.py",
+              "def broken(:  # repro-lint: ignore\n")
+        findings = lint_paths([str(tmp_path)])
+        assert [finding.rule for finding in findings] == [SYNTAX_RULE]
+
+
+class TestScoping:
+    def test_relpath_is_relative_to_the_repro_package_root(self, tmp_path):
+        write(tmp_path, "src/repro/__init__.py", "")
+        module = write(tmp_path, "src/repro/engine/mod.py", "")
+        assert package_relpath(str(module), str(tmp_path)) == "engine/mod.py"
+
+    def test_scoped_rule_does_not_fire_outside_its_scope(self, tmp_path):
+        # The same unordered iteration outside engine/core/relational/
+        # workloads is not the determinism rule's business.
+        write(tmp_path, "scripts/mod.py", "for x in {1, 2}:\n    pass\n")
+        assert lint_paths([str(tmp_path)]) == []
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["/no/such/lint/target"])
+
+
+class TestRunLint:
+    def test_unknown_rule_id_raises_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown rule"):
+            run_lint([str(tmp_path)], select=["no-such-rule"])
+
+    def test_rule_selection_restricts_findings(self, tmp_path):
+        write(tmp_path, "engine/mod.py",
+              "def f(x):\n"
+              "    for item in {1, 2}:\n"
+              "        pass\n")
+        code, report = run_lint([str(tmp_path)], select=["typed-defs"])
+        assert code == 1
+        assert "typed-defs" in report and "determinism" not in report
+
+    def test_json_report_shape(self, tmp_path):
+        write(tmp_path, "engine/mod.py", "for x in {1, 2}:\n    pass\n")
+        code, report = run_lint([str(tmp_path)], output_format="json")
+        assert code == 1
+        payload = json.loads(report)
+        assert payload["count"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "determinism"
+        assert finding["relpath"] == "engine/mod.py"
+        assert finding["line"] == 1
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        write(tmp_path, "engine/mod.py", "VALUE = 1\n")
+        code, report = run_lint([str(tmp_path)])
+        assert code == 0
+        assert "clean" in report

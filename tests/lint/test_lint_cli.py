@@ -1,0 +1,69 @@
+"""The ``repro lint`` subcommand: exit codes, formats, rule listing."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+CORPUS = Path(__file__).resolve().parent / "corpus"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_lint_clean_tree_exits_zero(capsys):
+    code = main(["lint", str(REPO_ROOT / "src" / "repro")])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "clean" in out
+
+
+def test_lint_bad_corpus_exits_nonzero_with_locations(capsys):
+    target = CORPUS / "determinism"
+    code = main(["lint", str(target)])
+    out = capsys.readouterr().out
+    assert code == 1
+    # path:line:col: rule-id message
+    assert "bad.py:" in out
+    assert "determinism" in out
+
+
+def test_lint_json_format(capsys):
+    target = CORPUS / "backend_seam"
+    code = main(["lint", "--format", "json", str(target)])
+    out = capsys.readouterr().out
+    assert code == 1
+    payload = json.loads(out)
+    assert payload["count"] == len(payload["findings"]) > 0
+    assert all(f["rule"] == "backend-seam" for f in payload["findings"])
+
+
+def test_lint_rule_selection(capsys):
+    target = CORPUS / "typed_defs"
+    code = main(["lint", "--rule", "determinism", str(target)])
+    out = capsys.readouterr().out
+    assert code == 0, out
+
+
+def test_lint_unknown_rule_is_a_clean_error():
+    from repro.exceptions import CausalityError
+
+    with pytest.raises(CausalityError, match="unknown rule"):
+        main(["lint", "--rule", "no-such-rule"])
+
+
+def test_lint_missing_path_is_a_clean_error():
+    from repro.exceptions import CausalityError
+
+    with pytest.raises(CausalityError, match="no such file"):
+        main(["lint", "/no/such/lint/target"])
+
+
+def test_list_rules_names_every_rule(capsys):
+    from repro.lint import all_rules
+
+    code = main(["lint", "--list-rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for rule in all_rules():
+        assert rule.id in out

@@ -1,0 +1,69 @@
+"""The lint rule corpus: every rule fires exactly where expected.
+
+Each directory under ``corpus/`` mimics the package layout (``engine/...``,
+``relational/...``) so scoping resolves exactly as it does over
+``src/repro``.  Known-bad lines carry a ``# expect: rule-id`` marker
+(comma-separated when one line yields several findings); known-good files
+carry none.  The test asserts the linter's findings equal the markers —
+no missed violations, no false positives — which pins both the rules and
+the suppression/scoping machinery.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+CORPUS = Path(__file__).resolve().parent / "corpus"
+
+_MARKER_RE = re.compile(r"#\s*expect:\s*([a-z\-, ]+?)\s*$")
+
+
+def expected_findings(case_dir):
+    expected = []
+    for path in sorted(case_dir.rglob("*.py")):
+        relpath = path.relative_to(case_dir).as_posix()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for number, line in enumerate(lines, start=1):
+            match = _MARKER_RE.search(line)
+            if match is None:
+                continue
+            for rule in match.group(1).split(","):
+                expected.append((relpath, number, rule.strip()))
+    return sorted(expected)
+
+
+def case_names():
+    return sorted(entry.name for entry in CORPUS.iterdir() if entry.is_dir())
+
+
+def test_corpus_is_present():
+    assert case_names(), "tests/lint/corpus has no case directories"
+
+
+@pytest.mark.parametrize("case", case_names())
+def test_rule_fires_exactly_where_expected(case):
+    case_dir = CORPUS / case
+    actual = sorted((finding.relpath, finding.line, finding.rule)
+                    for finding in lint_paths([str(case_dir)]))
+    assert actual == expected_findings(case_dir)
+
+
+@pytest.mark.parametrize("case", case_names())
+def test_every_bad_example_fails_and_every_case_has_coverage(case):
+    """Each case must contain at least one marked violation (bad example)."""
+    case_dir = CORPUS / case
+    expected = expected_findings(case_dir)
+    assert expected, f"corpus case {case!r} has no # expect markers"
+    assert lint_paths([str(case_dir)]), (
+        f"corpus case {case!r} produced no findings at all")
+
+
+def test_source_tree_is_clean():
+    """The self-check: ``repro lint src/repro`` stays at zero findings."""
+    repo_root = Path(__file__).resolve().parents[2]
+    findings = lint_paths([str(repo_root / "src" / "repro")])
+    rendered = "\n".join(finding.render() for finding in findings)
+    assert not findings, f"src/repro has lint findings:\n{rendered}"

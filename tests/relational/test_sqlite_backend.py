@@ -120,13 +120,15 @@ class TestLoading:
         with pytest.raises(BackendError):
             SQLiteDatabase(db)
 
-    def test_sql_keyword_relation_name_raises_backend_error(self):
-        # "Order" passes the identifier check but is a SQL keyword; the
-        # failure must surface as BackendError, not a raw sqlite3 error.
+    def test_sql_keyword_relation_name_loads(self):
+        # "Order" is a SQL keyword; every generated identifier is routed
+        # through quote_identifier(), so keyword-named relations now load
+        # (they used to surface a BackendError).
         db = Database()
         db.add_fact("Order", 1)
-        with pytest.raises(BackendError):
-            SQLiteDatabase(db)
+        backend = SQLiteDatabase(db)
+        assert set(backend.connection.execute('SELECT c0 FROM "Order"')) \
+            == {(1,)}
 
     def test_bad_relation_names_rejected(self):
         hostile = Database()
