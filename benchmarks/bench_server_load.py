@@ -1,0 +1,168 @@
+"""The explanation service under load vs. sequential one-shot sessions.
+
+The service's claim is economic: load the database and run the open-query
+pass **once**, then serve every subsequent explanation from the resident,
+cache-warm session.  The baseline it replaces is the one-shot CLI shape —
+parse the query, materialize the database, run the pass, explain one
+answer, throw everything away — once per request.
+
+This bench drives a real server (real sockets, admission control on)
+with 8 concurrent clients and compares against that sequential one-shot
+loop on the same request sequence:
+
+* **throughput** (req/s) — warm-cache concurrent serving must be at least
+  **3× the one-shot baseline** (≥ 1× in ``REPRO_BENCH_SMOKE=1`` mode,
+  which also shrinks the instance);
+* **p99 latency** per request, measured client-side across all clients;
+* **cache hit rate** — after the warm-up batch every request should be a
+  memo hit, so the reported warm hit rate must stay above 90%.
+
+Run with ``pytest benchmarks/bench_server_load.py -q -s`` to see the table.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+
+from repro.core.api import ExplanationSession
+from repro.relational import database_from_dict, parse_query
+from repro.server import AdmissionPolicy, SessionConfig, running_server
+
+QUERY_TEXT = "q(x) :- R(x, y), S(y)"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+MIN_SPEEDUP = 1.0 if SMOKE else 3.0
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 3 if SMOKE else 10
+TOTAL = CLIENTS * REQUESTS_PER_CLIENT
+
+N_R = 150 if SMOKE else 800
+N_S = 60 if SMOKE else 300
+Y_DOMAIN = 80 if SMOKE else 400
+
+
+def instance_payload(seed: int = 11) -> dict:
+    """A sparse two-table ranking instance, in the server's JSON shape."""
+    rng = random.Random(seed)
+    r_rows = sorted({(f"x{rng.randrange(N_R)}", f"y{rng.randrange(Y_DOMAIN)}")
+                     for _ in range(N_R)})
+    s_rows = sorted({(f"y{rng.randrange(Y_DOMAIN)}",) for _ in range(N_S)})
+    return {"relations": {"R": [list(r) for r in r_rows],
+                          "S": [list(s) for s in s_rows]}}
+
+
+def one_shot(payload: dict, answer) -> None:
+    """The baseline unit: fresh database, fresh session, one explanation."""
+    database = database_from_dict(
+        {name: [tuple(row) for row in rows]
+         for name, rows in payload["relations"].items()})
+    session = ExplanationSession(parse_query(QUERY_TEXT), database)
+    try:
+        session.explain(tuple(answer))
+    finally:
+        session.close()
+
+
+def percentile(latencies, fraction: float) -> float:
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, max(0, round(fraction * len(ordered)) - 1))
+    return ordered[index]
+
+
+def test_concurrent_serving_beats_one_shot(table_printer):
+    payload = instance_payload()
+    configs = [SessionConfig("bench", QUERY_TEXT, payload,
+                             policy=AdmissionPolicy(max_pending=64))]
+    with running_server(configs) as harness:
+        with harness.client() as client:
+            answers = client.answers("bench")["answers"]
+            assert len(answers) >= CLIENTS, "instance too small to rank"
+            # Warm the resident session: one batch memoizes every answer.
+            client.explain_batch("bench")
+            warmed = client.stats()["bench"]["engines"]
+        targets = [answers[i % len(answers)] for i in range(TOTAL)]
+
+        # -- warm server, 8 concurrent clients -------------------------- #
+        latencies: list = []
+        failures: list = []
+        collect = threading.Lock()
+
+        def drive(chunk) -> None:
+            try:
+                local = []
+                with harness.client() as client:
+                    for answer in chunk:
+                        started = time.perf_counter()
+                        frame = client.explain("bench", answer)
+                        local.append(time.perf_counter() - started)
+                        assert frame["explanation"]["answer"] == answer
+                with collect:
+                    latencies.extend(local)
+            except BaseException as error:  # noqa: BLE001 - collected
+                failures.append(error)
+
+        threads = [
+            threading.Thread(target=drive,
+                             args=(targets[i::CLIENTS],))
+            for i in range(CLIENTS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        concurrent_s = time.perf_counter() - started
+        assert not failures, failures
+        assert len(latencies) == TOTAL
+
+        # -- warm server, one sequential client (context row) ------------ #
+        started = time.perf_counter()
+        with harness.client() as client:
+            for answer in targets:
+                client.explain("bench", answer)
+        sequential_server_s = time.perf_counter() - started
+
+        with harness.client() as client:
+            engines = client.stats()["bench"]["engines"]
+
+    # -- sequential one-shot baseline: load + pass + explain per request - #
+    started = time.perf_counter()
+    for answer in targets:
+        one_shot(payload, answer)
+    one_shot_s = time.perf_counter() - started
+
+    server_rps = TOTAL / concurrent_s
+    one_shot_rps = TOTAL / one_shot_s
+    speedup = server_rps / one_shot_rps
+    # Hit rate over the measured window only (the warm-up batch necessarily
+    # pays one memo miss per answer; the service then never pays it again).
+    memo_hits = engines["whyso_memo_hits"] - warmed["whyso_memo_hits"]
+    memo_total = memo_hits + (engines["whyso_memo_misses"]
+                              - warmed["whyso_memo_misses"])
+    hit_rate = memo_hits / memo_total if memo_total else 0.0
+
+    table_printer(
+        f"explanation service load ({TOTAL} requests, warm cache)",
+        ["mode", "wall s", "req/s", "p50 ms", "p99 ms"],
+        [
+            ["one-shot sequential", f"{one_shot_s:.3f}",
+             f"{one_shot_rps:.0f}", "-", "-"],
+            ["server x1 client", f"{sequential_server_s:.3f}",
+             f"{TOTAL / sequential_server_s:.0f}", "-", "-"],
+            ["server x8 clients", f"{concurrent_s:.3f}",
+             f"{server_rps:.0f}",
+             f"{percentile(latencies, 0.50) * 1000:.2f}",
+             f"{percentile(latencies, 0.99) * 1000:.2f}"],
+        ])
+    print(f"warm-cache speedup over one-shot: {speedup:.1f}x "
+          f"(wanted >= {MIN_SPEEDUP}x); memo hit rate {hit_rate:.0%} "
+          f"({memo_hits}/{memo_total})")
+
+    # Every measured request after the warm-up batch is a memo hit.
+    assert hit_rate >= 0.9, f"warm cache should serve memo hits: {engines}"
+    assert speedup >= MIN_SPEEDUP, (
+        f"resident serving at {server_rps:.0f} req/s vs one-shot "
+        f"{one_shot_rps:.0f} req/s = {speedup:.1f}x "
+        f"(wanted >= {MIN_SPEEDUP}x)")

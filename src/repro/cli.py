@@ -24,6 +24,14 @@ driven without writing Python:
   relation format), or a JSON *list* of such changes applied in order as
   one stream, through the delta-aware engines and re-explain *only* the
   answers whose lineage the stream touches (both modes);
+* ``repro serve --data db.json --query "q(x) :- R(x,y), S(y)"`` — start the
+  long-lived explanation service: the database is loaded once into a
+  resident session and concurrent ``explain`` / ``explain-batch`` /
+  ``whyno`` / ``delta`` requests are served over newline-delimited JSON on
+  a local socket (``--port 0`` binds an ephemeral port and prints it;
+  ``--config FILE`` starts several named sessions; ``--max-pending`` /
+  ``--max-candidates-cap`` / ``--request-timeout`` set the admission
+  knobs);
 * ``repro demo`` — run the built-in Fig. 2 IMDB scenario;
 * ``repro lint [paths...]`` — run the repo's AST-based invariant checker
   (determinism, backend seam, fan-out pickle safety, SQL quoting,
@@ -245,6 +253,74 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return code
 
 
+def _serve_configs(args: argparse.Namespace) -> list:
+    """The session configs of a ``repro serve`` invocation.
+
+    Either one session from ``--data``/``--query``/``--name``, or several
+    from a ``--config`` JSON file of the shape
+    ``{"sessions": [{"name": ..., "data": ..., "query": ..., ...}, ...]}``
+    (per-session keys ``backend``, ``method``, ``workers``, ``transport``
+    override the command-line defaults).
+    """
+    from .server import AdmissionPolicy, SessionConfig
+
+    policy = AdmissionPolicy(
+        max_pending=args.max_pending,
+        max_candidates_cap=args.max_candidates_cap,
+        request_timeout=args.request_timeout)
+    if args.config is not None:
+        with open(args.config, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        entries = payload.get("sessions", [])
+        if not entries:
+            raise CausalityError(
+                f"{args.config}: no sessions configured "
+                "(expected {\"sessions\": [...]})")
+        return [
+            SessionConfig(
+                entry["name"], entry["query"], _load_database(entry["data"]),
+                backend=entry.get("backend", args.backend),
+                method=entry.get("method", "auto"),
+                workers=entry.get("workers", args.workers),
+                transport=entry.get("transport", args.transport),
+                policy=policy)
+            for entry in entries
+        ]
+    if args.data is None or args.query is None:
+        raise CausalityError(
+            "repro serve needs --data and --query (or --config FILE)")
+    return [SessionConfig(
+        args.name, args.query, _load_database(args.data),
+        backend=args.backend, workers=args.workers,
+        transport=args.transport, policy=policy)]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .server import ExplanationServer, SessionRegistry
+
+    configs = _serve_configs(args)
+
+    async def main() -> int:
+        registry = SessionRegistry(configs)
+        server = ExplanationServer(registry, host=args.host, port=args.port)
+        async with server:
+            print(f"repro serve: listening on {args.host}:{server.port}",
+                  flush=True)
+            for config in configs:
+                print(f"  session {config.name!r}: {config.query_text} "
+                      f"[backend={config.backend}]", flush=True)
+            await server.serve_forever()
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+        return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     scenario = generate_imdb(padding_directors=args.padding)
     explanation = explain(scenario.query, scenario.database, answer=("Musical",))
@@ -351,6 +427,50 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--list-rules", action="store_true",
                              help="list the registered rules and exit")
     lint_parser.set_defaults(func=_cmd_lint)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="start the long-lived explanation service "
+             "(NDJSON over a local socket; resident warm sessions)")
+    serve_parser.add_argument("--data", default=None,
+                              help="path to the JSON database of the (single) "
+                                   "resident session")
+    serve_parser.add_argument("--query", default=None, help="query text")
+    serve_parser.add_argument("--name", default="default",
+                              help="session name (default: 'default')")
+    serve_parser.add_argument("--config", default=None, metavar="FILE",
+                              help="JSON file with several sessions: "
+                                   "{\"sessions\": [{\"name\": ..., "
+                                   "\"data\": ..., \"query\": ...}, ...]}")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="TCP port (default: 0 = ephemeral; the "
+                                   "bound port is printed on startup)")
+    serve_parser.add_argument("--backend", default="memory",
+                              choices=("memory", "sqlite"),
+                              help="execution backend for the resident "
+                                   "sessions (default: memory)")
+    serve_parser.add_argument("--workers", type=int, default=None,
+                              help="fan batch requests out over N worker "
+                                   "processes per session")
+    serve_parser.add_argument("--transport", default="auto",
+                              choices=("auto", "serial", "fork",
+                                       "shared-memory"),
+                              help="fan-out transport (default: auto)")
+    serve_parser.add_argument("--max-pending", type=int, default=8,
+                              help="per-session admission queue depth "
+                                   "(default: 8; beyond it requests get the "
+                                   "typed 'queue-full' rejection)")
+    serve_parser.add_argument("--max-candidates-cap", type=int, default=None,
+                              help="cap on a why-no request's "
+                                   "max_candidates (requests above it, or "
+                                   "unbounded ones, get 'cost-cap')")
+    serve_parser.add_argument("--request-timeout", type=float, default=None,
+                              help="per-request wall-clock budget in "
+                                   "seconds (reads only; exceeding it gets "
+                                   "the typed 'timeout' rejection)")
+    serve_parser.set_defaults(func=_cmd_serve)
 
     demo_parser = subparsers.add_parser(
         "demo", help="run the built-in Fig. 2 IMDB scenario")

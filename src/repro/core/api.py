@@ -19,7 +19,16 @@ table of Fig. 2b.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 from ..exceptions import CausalityError
 from ..lineage.whyno import whyno_instance_for_answer
@@ -184,34 +193,45 @@ class ExplanationSession:
 
     def explain_all(self, answers: Optional[Iterable[Sequence[Any]]] = None,
                     workers: Optional[int] = None,
-                    transport: str = "auto") -> Dict[Any, Explanation]:
+                    transport: str = "auto",
+                    on_chunk: Optional[Callable[
+                        [List[Any], Dict[Any, Explanation]], None]] = None
+                    ) -> Dict[Any, Explanation]:
         """Why-So explanations for every answer, via the shared engine.
 
         ``workers``/``transport`` select the parallel fan-out of
         :meth:`repro.engine.BatchExplainer.explain_all`; the workers inherit
         the session engine's completed open-query pass, and their cache
-        entries merge back into it.
+        entries merge back into it.  ``on_chunk`` streams ranked
+        explanations back incrementally as chunks finish (see there) — this
+        is what the explanation service's streaming responses ride on.
         """
         return self._whyso_engine().explain_all(answers, workers=workers,
-                                                transport=transport)
+                                                transport=transport,
+                                                on_chunk=on_chunk)
 
     def for_missing_answers(
         self, domains: Optional[Mapping[str, Iterable[Any]]] = None,
         max_candidates: Optional[int] = None,
         workers: Optional[int] = None,
         transport: str = "auto",
+        on_chunk: Optional[Callable[
+            [List[Any], Dict[Any, Explanation]], None]] = None,
     ) -> Dict[Any, Explanation]:
         """Why-No explanations for every missing answer the domains allow.
 
         The constructed batch becomes the session's live Why-No engine, so a
         later :meth:`refresh` re-evaluates only the touched non-answers.
+        ``on_chunk`` streams results incrementally, as in
+        :meth:`explain_all`.
         """
         from ..engine.whyno_batch import WhyNoBatchExplainer
 
         self._whyno = WhyNoBatchExplainer.for_missing_answers(
             self.query, self.database, domains=domains,
             max_candidates=max_candidates, backend=self.backend)
-        return self._whyno.explain_all(workers=workers, transport=transport)
+        return self._whyno.explain_all(workers=workers, transport=transport,
+                                       on_chunk=on_chunk)
 
     # -- incremental re-explanation --------------------------------------- #
     def refresh(self, delta) -> Dict[str, Any]:
@@ -249,6 +269,67 @@ class ExplanationSession:
             for delta in deltas:
                 delta.apply_to(self.database)
         return reports
+
+    # -- lifecycle --------------------------------------------------------- #
+    def close(self) -> None:
+        """Release backend resources held by the live engines.
+
+        A long-lived service keeps many sessions resident; closing one must
+        release its backend loads (the SQLite connection in particular)
+        without tearing down the process.  Safe to call on a session whose
+        engines were never built, and idempotent.
+        """
+        for engine in (self._whyso, self._whyno):
+            if engine is not None:
+                engine.close()
+        self._whyso = None
+        self._whyno = None
+
+    # -- introspection ----------------------------------------------------- #
+    def describe(self) -> Dict[str, Any]:
+        """A small status payload: query, backend, and instance size.
+
+        Delegates the size counters to the live Why-So engine's
+        :meth:`~repro.relational.session.BackendSession.describe` when one
+        exists (so a future backend reports through the seam), and counts the
+        plain instance otherwise.
+        """
+        if self._whyso is not None:
+            payload = self._whyso.session.describe()
+        else:
+            payload = {
+                "backend": self.backend,
+                "relations": len(self.database.relations()),
+                "tuples": len(self.database),
+                "endogenous": len(self.database.endogenous_tuples()),
+            }
+        payload["query"] = repr(self.query)
+        return payload
+
+    def engine_stats(self) -> Dict[str, Any]:
+        """Counters for the live engines, for monitoring and benchmarks.
+
+        Returns a dict with per-engine memoization hit/miss counts
+        (``whyso_memo_hits`` etc.) and, when the Why-So engine exists, its
+        :class:`~repro.engine.cache.LineageCache` hit/miss/entry counts.
+        Engines that have not been built yet report zeros.
+        """
+        stats: Dict[str, Any] = {
+            "whyso_memo_hits": 0, "whyso_memo_misses": 0,
+            "whyno_memo_hits": 0, "whyno_memo_misses": 0,
+            "cache_hits": 0, "cache_misses": 0, "cache_entries": 0,
+        }
+        if self._whyso is not None:
+            stats["whyso_memo_hits"] = self._whyso.memo_hits
+            stats["whyso_memo_misses"] = self._whyso.memo_misses
+            cache = self._whyso.cache
+            stats["cache_hits"] = cache.hits
+            stats["cache_misses"] = cache.misses
+            stats["cache_entries"] = len(cache)
+        if self._whyno is not None:
+            stats["whyno_memo_hits"] = self._whyno.memo_hits
+            stats["whyno_memo_misses"] = self._whyno.memo_misses
+        return stats
 
     def __repr__(self) -> str:
         live = [name for name, engine in

@@ -47,6 +47,18 @@ chunk starts at once — there is no queue to cancel), so the wait is bounded
 by the slowest chunk.  On any failure no result (and no ``finalize`` extra)
 is handed to the caller, so the parent's caches stay exactly as they were.
 
+**Streaming**: ``fan_out(..., on_chunk=...)`` reports each *successful*
+chunk the moment its worker finishes — ``on_chunk(chunk_targets,
+chunk_results)`` runs in the parent, in completion order — instead of
+making the consumer wait for the full merged dict.  The failure contract
+extends to the stream: a failed chunk is **never** delivered through
+``on_chunk`` (no partial chunks, no silently shorter stream) and the run
+still raises its typed :class:`~repro.exceptions.FanOutWorkerError`, so a
+streaming consumer can mark the delivered prefix as partial — every target
+is accounted for as either delivered, named by the error, or undelivered
+(= requested minus the other two).  Successful sibling chunks completing
+after a failure are still delivered before the raise.
+
 Examples
 --------
 The serial transport runs in-process, so it also serves as the reference
@@ -83,6 +95,11 @@ from typing import Tuple as TypingTuple
 from ..exceptions import FanOutError, FanOutWorkerError
 
 Key = TypeVar("Key")
+
+#: Parent-side streaming callback: ``on_chunk(chunk_targets, chunk_results)``
+#: per successfully completed chunk, in completion order.  Never pickled and
+#: never shipped to a worker, so any callable works on every transport.
+OnChunk = Callable[[List[Any], Dict[Any, Any]], None]
 
 #: The transports a caller may request (``auto`` resolves to a concrete one).
 TRANSPORTS = ("auto", "serial", "fork", "shared-memory")
@@ -331,6 +348,7 @@ def _shm_chunk(payload: TypingTuple[str, int, List[Any]]) -> Dict[str, Any]:
 def _collect(
     futures_to_chunks: Sequence[TypingTuple[Any, List[Any]]],
     transport: str,
+    on_chunk: Optional[OnChunk] = None,
 ) -> List[Dict[str, Any]]:
     """Gather chunk outcomes; raise typed errors, merge nothing on failure.
 
@@ -340,16 +358,32 @@ def _collect(
     wins over the broken-pool signal, and the broken-pool error names the
     union of the chunks that never completed — the dead worker's chunk is
     always among them.
+
+    With ``on_chunk``, futures are consumed in *completion* order and each
+    successful chunk is reported the moment it lands; failed chunks are
+    never reported, and the outcomes list (hence ``extras``) stays in chunk
+    submission order either way.
     """
-    outcomes: List[Dict[str, Any]] = []
-    broken: List[Any] = []
+    pending = {future: (index, chunk) for index, (future, chunk)
+               in enumerate(futures_to_chunks)}
+    slots: List[Optional[Dict[str, Any]]] = [None] * len(pending)
+    broken_chunks: List[TypingTuple[int, List[Any]]] = []
     broken_error: Optional[BaseException] = None
-    for future, chunk in futures_to_chunks:
+    for future in concurrent.futures.as_completed(pending):
+        index, chunk = pending[future]
         try:
-            outcomes.append(future.result())
+            outcome = future.result()
         except BrokenProcessPool as error:
-            broken.extend(chunk)
+            broken_chunks.append((index, chunk))
             broken_error = error
+            continue
+        slots[index] = outcome
+        if on_chunk is not None and "failed" not in outcome:
+            on_chunk(list(chunk), dict(outcome["results"]))
+    outcomes = [outcome for outcome in slots if outcome is not None]
+    # Submission order, so the error message is worker-timing-independent.
+    broken = [target for _, chunk in sorted(broken_chunks)
+              for target in chunk]
     for outcome in outcomes:
         if "failed" in outcome:
             failed = outcome["failed"]
@@ -377,7 +411,8 @@ def _describe_targets(targets: Sequence[Any]) -> str:
 
 def fan_out(targets: Sequence[Key], shared_state: Any, spec: FanOutSpec,
             workers: Optional[int] = None,
-            transport: str = "auto") -> FanOutResult:
+            transport: str = "auto",
+            on_chunk: Optional[OnChunk] = None) -> FanOutResult:
     """Run ``spec`` over ``targets`` with workers sharing ``shared_state``.
 
     The targets are split into contiguous chunks, one per worker; each
@@ -386,29 +421,39 @@ def fan_out(targets: Sequence[Key], shared_state: Any, spec: FanOutSpec,
     per chunk) plus only its chunk of target keys.  Results come back as a
     :class:`FanOutResult` keyed in the serial target order.
 
+    ``on_chunk`` streams each successful chunk to the parent the moment its
+    worker finishes (completion order); the serial transport reports its
+    single chunk once it completes.  The callback runs in the parent and is
+    never shipped to a worker; an exception it raises propagates to the
+    caller.
+
     Raises :class:`~repro.exceptions.FanOutWorkerError` when a worker raises
     or dies; in that case nothing is merged, so the caller's state is
     untouched (sibling chunks still run to completion — all chunks start
-    concurrently, so the wait is bounded by the slowest one).
+    concurrently, so the wait is bounded by the slowest one — and the
+    successful ones are still streamed before the raise).
     """
     requested = 1 if workers is None else workers
     concrete = resolve_transport(transport, workers, len(targets))
     if concrete == "serial":
-        outcomes = _collect_serial(targets, shared_state, spec)
+        outcomes = _collect_serial(targets, shared_state, spec, on_chunk)
         return _merge(targets, outcomes, "serial", requested, 1)
 
     pool_size = min(requested, len(targets))
     chunks = _chunked(targets, pool_size)
     if concrete == "fork":
-        outcomes = _fan_out_fork(chunks, shared_state, spec)
+        outcomes = _fan_out_fork(chunks, shared_state, spec, on_chunk)
     else:
-        outcomes = _fan_out_shared_memory(chunks, shared_state, spec)
+        outcomes = _fan_out_shared_memory(chunks, shared_state, spec,
+                                          on_chunk)
     # One worker per chunk actually runs; report that, not the request.
     return _merge(targets, outcomes, concrete, requested, len(chunks))
 
 
 def _collect_serial(targets: Sequence[Any], shared_state: Any,
-                    spec: FanOutSpec) -> List[Dict[str, Any]]:
+                    spec: FanOutSpec,
+                    on_chunk: Optional[OnChunk] = None
+                    ) -> List[Dict[str, Any]]:
     outcome = _run_chunk(spec, shared_state, list(targets))
     if "failed" in outcome:
         raise FanOutWorkerError(
@@ -417,11 +462,14 @@ def _collect_serial(targets: Sequence[Any], shared_state: Any,
             f"{outcome['detail'].splitlines()[0]}",
             targets=outcome["failed"], transport="serial",
             detail=outcome["detail"])
+    if on_chunk is not None:
+        on_chunk(list(targets), dict(outcome["results"]))
     return [outcome]
 
 
 def _fan_out_fork(chunks: List[List[Any]], shared_state: Any,
-                  spec: FanOutSpec) -> List[Dict[str, Any]]:
+                  spec: FanOutSpec,
+                  on_chunk: Optional[OnChunk] = None) -> List[Dict[str, Any]]:
     global _FORK_SHARED
     context = multiprocessing.get_context("fork")
     _FORK_SHARED = (spec, shared_state)
@@ -432,13 +480,15 @@ def _fan_out_fork(chunks: List[List[Any]], shared_state: Any,
                 max_workers=len(chunks), mp_context=context) as pool:
             pairs = [(pool.submit(_fork_chunk, chunk), chunk)
                      for chunk in chunks]
-            return _collect(pairs, "fork")
+            return _collect(pairs, "fork", on_chunk)
     finally:
         _FORK_SHARED = None
 
 
 def _fan_out_shared_memory(chunks: List[List[Any]], shared_state: Any,
-                           spec: FanOutSpec) -> List[Dict[str, Any]]:
+                           spec: FanOutSpec,
+                           on_chunk: Optional[OnChunk] = None
+                           ) -> List[Dict[str, Any]]:
     from multiprocessing import shared_memory
 
     blob = pickle.dumps((spec, shared_state),
@@ -452,7 +502,7 @@ def _fan_out_shared_memory(chunks: List[List[Any]], shared_state: Any,
             pairs = [(pool.submit(_shm_chunk,
                                   (segment.name, len(blob), chunk)), chunk)
                      for chunk in chunks]
-            return _collect(pairs, "shared-memory")
+            return _collect(pairs, "shared-memory", on_chunk)
     finally:
         segment.close()
         segment.unlink()

@@ -62,7 +62,7 @@ from typing import (
 from ..core.api import Explanation
 from ..core.definitions import CausalityMode, Cause, responsibility_value
 from ..core.flow_responsibility import FlowEngine
-from ..exceptions import CausalityError, NotLinearError
+from ..exceptions import CausalityError, FanOutWorkerError, NotLinearError
 from ..lineage.boolean_expr import PositiveDNF
 from ..relational.database import Database
 from ..relational.delta import DatabaseDelta
@@ -70,7 +70,8 @@ from ..relational.evaluation import Valuation
 from ..relational.query import ConjunctiveQuery, Constant, Variable, match_atom
 from ..relational.session import BackendSession, open_session
 from ..relational.tuples import Tuple, value_sort_key
-from ._pool import FanOutResult, FanOutSpec, fan_out, resolve_transport
+from ._pool import FanOutResult, FanOutSpec, OnChunk, fan_out, \
+    resolve_transport
 from .cache import LineageCache
 
 Answer = TypingTuple[Any, ...]
@@ -205,6 +206,10 @@ class BatchExplainer:
         self._flow_engines: Dict[ConjunctiveQuery, Any] = {}
         # answer -> Explanation, so a refresh() can keep the untouched ones.
         self._explanations: Dict[Answer, Explanation] = {}
+        # Served-from-memo vs computed counts (the serving layer's cache
+        # hit rate; the LineageCache keeps its own per-lineage stats).
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     @property
     def _evaluator(self) -> Any:
@@ -324,7 +329,9 @@ class BatchExplainer:
             key = tuple(answer)
         memo = self._explanations.get(key)
         if memo is not None:
+            self.memo_hits += 1
             return memo
+        self.memo_misses += 1
         explanation = self._explain_uncached(key, answer)
         self._explanations[key] = explanation
         return explanation
@@ -368,7 +375,8 @@ class BatchExplainer:
 
     def explain_all(self, answers: Optional[Iterable[Sequence[Any]]] = None,
                     workers: Optional[int] = None,
-                    transport: str = "auto") -> FanOutResult:
+                    transport: str = "auto",
+                    on_chunk: Optional[OnChunk] = None) -> FanOutResult:
         """Explanations for every answer (or the given subset), keyed by answer.
 
         ``workers`` > 1 fans the answers out over worker processes in
@@ -382,6 +390,16 @@ class BatchExplainer:
         into this explainer, leaving its state exactly as a serial run would
         — bit-identical results, keyed in the serial answer order regardless
         of the worker count.
+
+        ``on_chunk`` streams ranked explanations back incrementally instead
+        of one dict at the end: the serial path reports each answer as it is
+        explained, the parallel paths report each worker chunk as it
+        completes (already-memoized answers are streamed first, as one
+        chunk, without touching a worker).  On a worker failure the
+        delivered chunks stand, the typed
+        :class:`~repro.exceptions.FanOutWorkerError` still raises and
+        nothing merges — a streaming consumer marks the result partial from
+        the error, never silently serves the shorter ranking.
 
         The returned :class:`~repro.engine._pool.FanOutResult` is a plain
         dict that additionally reports the transport and the requested vs.
@@ -425,17 +443,35 @@ class BatchExplainer:
             pending = [t for t in targets if t not in self._explanations]
             concrete = resolve_transport(transport, workers, len(pending))
         if concrete == "serial":
-            results = {answer: self.explain(answer) for answer in targets}
+            results = {}
+            for answer in targets:
+                results[answer] = self.explain(answer)
+                if on_chunk is not None:
+                    on_chunk([answer], {answer: results[answer]})
             return FanOutResult(results, "serial", requested, 1)
 
+        served = [t for t in targets if t not in pending]
+        if served:
+            self.memo_hits += len(served)
+            if on_chunk is not None:
+                # Stream the parent-served memos first, as one chunk, so
+                # the consumer sees every requested target exactly once.
+                on_chunk(served, {t: self._explanations[t] for t in served})
         state = _WhySoFanOutState(self.query, self.session.fanout_snapshot(),
                                   self.method, self._conjuncts,
                                   self._exogenous)
-        result = fan_out(pending, state, _WHYSO_SPEC, workers=workers,
-                         transport=concrete)
+        try:
+            result = fan_out(pending, state, _WHYSO_SPEC, workers=workers,
+                             transport=concrete, on_chunk=on_chunk)
+        except FanOutWorkerError as error:
+            # Name the whole batch on the error, so a streaming consumer can
+            # mark exactly which targets were requested but never delivered.
+            error.requested = tuple(targets)
+            raise
         # Success: adopt the workers' results so this explainer ends up in
         # the same state as after a serial run (a failed fan-out raises
         # above and merges nothing).
+        self.memo_misses += len(pending)
         self._explanations.update(result)
         for entries in result.extras:
             self.cache.merge_entries(entries)
@@ -668,6 +704,10 @@ class BatchExplainer:
         phi = PositiveDNF(self._conjuncts_for(key))
         phi_n = phi.set_true(self._exogenous)
         return phi_n.remove_redundant() if simplify else phi_n
+
+    def close(self) -> None:
+        """Release the backend session's resources (e.g. the SQLite load)."""
+        self.session.close()
 
     def __repr__(self) -> str:
         state = "evaluated" if self._full_pass_done else "lazy"

@@ -70,7 +70,7 @@ from typing import (
 from ..core.api import Explanation
 from ..core.definitions import CausalityMode
 from ..core.whyno import whyno_causes_from_n_lineage
-from ..exceptions import CausalityError
+from ..exceptions import CausalityError, FanOutWorkerError
 from ..lineage.boolean_expr import PositiveDNF
 from ..lineage.whyno import batch_candidate_missing_tuples, build_whyno_instance
 from ..relational.database import Database
@@ -79,7 +79,8 @@ from ..relational.evaluation import evaluate, evaluate_boolean
 from ..relational.query import ConjunctiveQuery, Variable, match_atom
 from ..relational.session import open_session
 from ..relational.tuples import Tuple, value_sort_key
-from ._pool import FanOutResult, FanOutSpec, fan_out, resolve_transport
+from ._pool import FanOutResult, FanOutSpec, OnChunk, fan_out, \
+    resolve_transport
 from .batch import BatchExplainer, RefreshReport
 
 Answer = TypingTuple[Any, ...]
@@ -243,6 +244,9 @@ class WhyNoBatchExplainer:
                                      session=session)
         # non-answer -> Explanation, kept across refreshes when untouched.
         self._explanations: Dict[Answer, Explanation] = {}
+        # Served-from-memo vs computed counts, as on BatchExplainer.
+        self.memo_hits = 0
+        self.memo_misses = 0
         # Set when a refresh failed after the delta already landed on the
         # real database: the engine then refuses to serve (stale) answers.
         self._poisoned: Optional[str] = None
@@ -420,7 +424,9 @@ class WhyNoBatchExplainer:
         key = self._key(non_answer)
         memo = self._explanations.get(key)
         if memo is not None:
+            self.memo_hits += 1
             return memo
+        self.memo_misses += 1
         phi_n = self._n_lineage(key, simplify=True)
         causes = whyno_causes_from_n_lineage(phi_n)
         explanation = Explanation(self.query,
@@ -647,8 +653,15 @@ class WhyNoBatchExplainer:
 
     def explain_all(self, non_answers: Optional[Iterable[Sequence[Any]]] = None,
                     workers: Optional[int] = None,
-                    transport: str = "auto") -> FanOutResult:
+                    transport: str = "auto",
+                    on_chunk: Optional[OnChunk] = None) -> FanOutResult:
         """Explanations for every non-answer (or the given subset).
+
+        ``on_chunk`` streams results incrementally exactly as in
+        :meth:`repro.engine.BatchExplainer.explain_all`: per non-answer on
+        the serial path, per completed worker chunk on the parallel ones
+        (memoized targets first), with failed chunks never delivered and
+        the typed error still raised.
 
         ``workers`` > 1 fans the non-answers out over worker processes in
         contiguous chunks.  The parent finishes the one shared valuation
@@ -696,22 +709,42 @@ class WhyNoBatchExplainer:
                 # Force the single shared valuation pass; single targets keep
                 # the cheaper lazy bound-query evaluation instead.
                 self._inner.answers()
-            results = {answer: self.explain(answer) for answer in targets}
+            results = {}
+            for answer in targets:
+                results[answer] = self.explain(answer)
+                if on_chunk is not None:
+                    on_chunk([answer], {answer: results[answer]})
             return FanOutResult(results, "serial", requested, 1)
 
         # Parallel: finish the shared pass here, so the workers inherit it.
         self._inner.answers()
+        served = [t for t in targets if t not in pending]
+        if served:
+            self.memo_hits += len(served)
+            if on_chunk is not None:
+                on_chunk(served, {t: self._explanations[t] for t in served})
         state = _WhyNoFanOutState(self.query, self._inner._conjuncts,
                                   self._inner._exogenous,
                                   self._per_answer_candidates)
-        result = fan_out(pending, state, _WHYNO_SPEC, workers=workers,
-                         transport=concrete)
+        try:
+            result = fan_out(pending, state, _WHYNO_SPEC, workers=workers,
+                             transport=concrete, on_chunk=on_chunk)
+        except FanOutWorkerError as error:
+            # Name the whole batch on the error, so a streaming consumer can
+            # mark exactly which targets were requested but never delivered.
+            error.requested = tuple(targets)
+            raise
         # Success: memoize like the serial loop (a failed fan-out raises
         # above and merges nothing).
+        self.memo_misses += len(pending)
         self._explanations.update(result)
         return FanOutResult({t: self._explanations[t] for t in targets},
                             result.transport, requested,
                             result.effective_workers, result.extras)
+
+    def close(self) -> None:
+        """Release the backend session's resources (e.g. the SQLite load)."""
+        self._inner.close()
 
     def __repr__(self) -> str:
         return (f"WhyNoBatchExplainer({self.query!r}, {len(self.non_answers)} "

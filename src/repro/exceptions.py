@@ -64,6 +64,11 @@ class FanOutWorkerError(FanOutError):
         The transport that ran the worker.
     detail:
         Human-readable failure detail (exception repr or worker traceback).
+    requested:
+        The full target list of the batch the failure aborted, when the
+        batch layer knows it (``explain_all`` sets it on the way out).
+        Streaming consumers use it to mark results partial: requested minus
+        delivered minus failed is exactly the never-delivered set.
     """
 
     def __init__(self, message: str, targets=(), transport: str = "unknown",
@@ -72,6 +77,7 @@ class FanOutWorkerError(FanOutError):
         self.targets = tuple(targets)
         self.transport = transport
         self.detail = detail
+        self.requested: tuple = ()
 
     @property
     def target(self):
@@ -81,3 +87,44 @@ class FanOutWorkerError(FanOutError):
 
 class ReductionError(ReproError):
     """A hardness-reduction helper received an invalid instance."""
+
+
+class ServerError(ReproError):
+    """Base for errors of the explanation service (``repro serve``).
+
+    Every server error carries a short machine-readable :attr:`code` that the
+    wire protocol echoes in its typed ``error`` frames, so clients can react
+    without parsing human-readable messages.
+    """
+
+    code: str = "server-error"
+
+    def __init__(self, message: str, code: str = ""):
+        super().__init__(message)
+        if code:
+            self.code = code
+
+
+class ProtocolError(ServerError):
+    """A request frame is malformed (bad JSON, unknown op, missing field)."""
+
+    code = "bad-request"
+
+
+class AdmissionError(ServerError):
+    """A request was rejected by admission control, not by a failure.
+
+    The 429 of the explanation service: the per-session queue is full
+    (``queue-full``), the request exceeds the configured cost cap
+    (``cost-cap``), or the frame is larger than the server accepts
+    (``oversized-request``).  The work was never started, so the client may
+    retry later or with a cheaper request.
+    """
+
+    code = "rejected"
+
+
+class RequestTimeout(ServerError):
+    """A request exceeded the per-request time budget and was abandoned."""
+
+    code = "timeout"

@@ -171,6 +171,27 @@ class BackendSession:
         self._after_apply(changed)
         return changed
 
+    def describe(self) -> Dict[str, Any]:
+        """A small status payload for monitoring: backend plus instance size.
+
+        The explanation service reports this per resident session; keeping it
+        on the seam means a new backend gets monitoring for free.
+
+        Examples
+        --------
+        >>> db = Database()
+        >>> _ = db.add_fact("R", "a", "b")
+        >>> payload = MemorySession(db).describe()
+        >>> payload["backend"], payload["tuples"], payload["endogenous"]
+        ('memory', 1, 1)
+        """
+        return {
+            "backend": self.backend_name,
+            "relations": len(self.database.relations()),
+            "tuples": len(self.database),
+            "endogenous": len(self.database.endogenous_tuples()),
+        }
+
     def close(self) -> None:
         """Release backend resources (no-op for the in-memory backend)."""
 

@@ -1,0 +1,151 @@
+"""A small blocking client for the explanation service.
+
+One :class:`ServeClient` owns one connection and speaks the NDJSON protocol
+synchronously: send a request frame, read frames until the terminal one.
+It is deliberately sequential per connection — concurrency is achieved by
+opening several clients (each costs one socket), which is exactly what the
+test harness and the load benchmark do.
+
+Typed ``error`` frames are raised as the matching
+:mod:`repro.exceptions` classes (:class:`~repro.exceptions.AdmissionError`
+for ``queue-full``/``cost-cap``/``oversized-request``,
+:class:`~repro.exceptions.RequestTimeout` for ``timeout``,
+:class:`~repro.exceptions.ProtocolError` for ``bad-request``-family codes,
+:class:`~repro.exceptions.ServerError` otherwise), with the raw frame on
+``error.frame`` so callers can inspect partial-result markers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Dict, List, Optional
+from typing import Tuple as TypingTuple
+
+from ..exceptions import (
+    AdmissionError,
+    ProtocolError,
+    RequestTimeout,
+    ServerError,
+)
+from .protocol import decode_frame, encode_frame
+
+_ADMISSION_CODES = frozenset({"queue-full", "cost-cap", "oversized-request"})
+_PROTOCOL_CODES = frozenset({"bad-request", "unknown-op", "unknown-session"})
+
+
+def error_from_frame(frame: Dict[str, Any]) -> ServerError:
+    """The typed exception for a received ``error`` frame (not raised here)."""
+    code = frame.get("code", "server-error")
+    message = frame.get("message", "server error")
+    if code in _ADMISSION_CODES:
+        error: ServerError = AdmissionError(message, code=code)
+    elif code == "timeout":
+        error = RequestTimeout(message)
+    elif code in _PROTOCOL_CODES:
+        error = ProtocolError(message, code=code)
+    else:
+        error = ServerError(message, code=code)
+    error.frame = frame  # type: ignore[attr-defined]
+    return error
+
+
+class ServeClient:
+    """Blocking NDJSON client; use as a context manager."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    # -- plumbing ---------------------------------------------------------- #
+    def close(self) -> None:
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def send_raw(self, frame: Dict[str, Any]) -> Any:
+        """Send one frame as-is; returns the id it carried (if any)."""
+        self._file.write(encode_frame(frame))
+        self._file.flush()
+        return frame.get("id")
+
+    def recv(self) -> Dict[str, Any]:
+        """Read one frame; raises ServerError on EOF."""
+        line = self._file.readline()
+        if not line:
+            raise ServerError("server closed the connection",
+                              code="connection-closed")
+        return decode_frame(line)
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """One non-streaming round trip; raises on an ``error`` frame."""
+        request_id = next(self._ids)
+        self.send_raw({"id": request_id, "op": op, **fields})
+        frame = self.recv()
+        if frame.get("id") != request_id:
+            raise ProtocolError(
+                f"response id {frame.get('id')!r} does not match request "
+                f"{request_id!r} (pipelining on a blocking client?)")
+        if frame.get("type") == "error":
+            raise error_from_frame(frame)
+        return frame
+
+    def stream(self, op: str, **fields: Any
+               ) -> TypingTuple[List[Dict[str, Any]], Dict[str, Any]]:
+        """One streaming request: returns ``(chunk_frames, terminal_frame)``.
+
+        The terminal frame is ``end`` on success and ``error`` on failure
+        (including the partial-result marker); no exception is raised for
+        the error frame so callers can assert on it directly.
+        """
+        request_id = next(self._ids)
+        self.send_raw({"id": request_id, "op": op, "stream": True, **fields})
+        chunks: List[Dict[str, Any]] = []
+        while True:
+            frame = self.recv()
+            if frame.get("id") != request_id:
+                raise ProtocolError(
+                    f"response id {frame.get('id')!r} does not match "
+                    f"request {request_id!r}")
+            if frame.get("type") == "chunk":
+                chunks.append(frame)
+                continue
+            return chunks, frame
+
+    # -- convenience ops ---------------------------------------------------- #
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def sessions(self) -> List[str]:
+        return list(self.request("sessions")["sessions"])
+
+    def stats(self, session: Optional[str] = None) -> Dict[str, Any]:
+        fields = {} if session is None else {"session": session}
+        return dict(self.request("stats", **fields)["stats"])
+
+    def answers(self, session: str) -> Dict[str, Any]:
+        return self.request("answers", session=session)
+
+    def explain(self, session: str, answer: Optional[List[Any]] = None,
+                mode: str = "why-so") -> Dict[str, Any]:
+        return self.request("explain", session=session, answer=answer,
+                            mode=mode)
+
+    def explain_batch(self, session: str,
+                      answers: Optional[List[List[Any]]] = None,
+                      **fields: Any) -> Dict[str, Any]:
+        if answers is not None:
+            fields["answers"] = answers
+        return self.request("explain-batch", session=session, **fields)
+
+    def whyno(self, session: str, **fields: Any) -> Dict[str, Any]:
+        return self.request("whyno", session=session, **fields)
+
+    def delta(self, session: str, changes: Any) -> Dict[str, Any]:
+        return self.request("delta", session=session, changes=changes)

@@ -1,0 +1,108 @@
+"""A fair, writer-preferring asyncio read/write lock.
+
+Each resident session serializes its deltas (writes) against in-flight
+explanations (reads): any number of reads may hold the lock together, a
+write holds it alone, and a *waiting* write blocks new reads from entering
+(writer preference), so a steady stream of explanations cannot starve a
+delta.  Waiters park on one :class:`asyncio.Condition`, which wakes them in
+FIFO order — that is the per-session "read queue" of the admission design.
+
+The lock orders *lock holders* only; the session's single worker thread is
+what ultimately serializes CPU work (see
+:mod:`repro.server.registry`).  Cancellation while waiting is safe: a
+waiter that never acquired leaves no state behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import AsyncIterator
+
+
+class ReadWriteLock:
+    """Shared/exclusive asyncio lock with writer preference.
+
+    Use the :meth:`read_locked` / :meth:`write_locked` context managers;
+    the bare acquire/release pairs exist for tests.
+    """
+
+    def __init__(self) -> None:
+        self._cond = asyncio.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- introspection (loop-thread only) --------------------------------- #
+    @property
+    def readers(self) -> int:
+        """Number of read holders right now."""
+        return self._readers
+
+    @property
+    def writer_active(self) -> bool:
+        """True while a write holder owns the lock."""
+        return self._writer_active
+
+    @property
+    def writers_waiting(self) -> int:
+        """Writers parked on the queue (these block new readers)."""
+        return self._writers_waiting
+
+    # -- read side --------------------------------------------------------- #
+    async def acquire_read(self) -> None:
+        async with self._cond:
+            await self._cond.wait_for(
+                lambda: not self._writer_active
+                and self._writers_waiting == 0)
+            self._readers += 1
+
+    async def release_read(self) -> None:
+        async with self._cond:
+            self._readers -= 1
+            self._cond.notify_all()
+
+    # -- write side -------------------------------------------------------- #
+    async def acquire_write(self) -> None:
+        async with self._cond:
+            self._writers_waiting += 1
+            try:
+                await self._cond.wait_for(
+                    lambda: not self._writer_active and self._readers == 0)
+            except BaseException:
+                # Cancelled while queued: step out of the way and wake the
+                # readers our presence was holding back.
+                self._writers_waiting -= 1
+                self._cond.notify_all()
+                raise
+            self._writers_waiting -= 1
+            self._writer_active = True
+
+    async def release_write(self) -> None:
+        async with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # -- context managers --------------------------------------------------- #
+    @contextlib.asynccontextmanager
+    async def read_locked(self) -> AsyncIterator[None]:
+        """Hold the lock shared for the duration of the block."""
+        await self.acquire_read()
+        try:
+            yield
+        finally:
+            await self.release_read()
+
+    @contextlib.asynccontextmanager
+    async def write_locked(self) -> AsyncIterator[None]:
+        """Hold the lock exclusively for the duration of the block."""
+        await self.acquire_write()
+        try:
+            yield
+        finally:
+            await self.release_write()
+
+    def __repr__(self) -> str:
+        return (f"ReadWriteLock(readers={self._readers}, "
+                f"writer_active={self._writer_active}, "
+                f"writers_waiting={self._writers_waiting})")

@@ -1,0 +1,150 @@
+"""Wire protocol of the explanation service: NDJSON frames over a socket.
+
+One request or response per line, each line one JSON object ("frame").  The
+format is deliberately boring — newline-delimited JSON over a local TCP
+socket — so any language (or ``nc``) can drive the server without client
+libraries, and the test harness can speak it with a dozen lines of code.
+
+Request frames carry ``{"id": ..., "op": ..., "session": ..., ...}``; every
+response frame echoes the request ``id`` and carries a ``type``:
+
+``result``
+    The complete answer of a non-streaming request.
+``chunk``
+    One increment of a streaming request: the ranked explanations of the
+    answers a fan-out worker (or the serial path) just finished.
+``end``
+    Terminal frame of a successful stream: ``count`` explanations were
+    delivered and ``epoch`` names the session state they were computed on.
+``error``
+    Typed failure, terminal for its request.  ``code`` is machine-readable
+    (``queue-full``, ``cost-cap``, ``oversized-request``, ``timeout``,
+    ``bad-request``, ``worker-failed``, ...).  A mid-stream worker failure
+    additionally sets ``partial: true`` with ``delivered`` / ``failed`` /
+    ``missing`` answer lists, so a shortened ranking is always marked, never
+    silent.
+
+Responsibilities are serialized as exact fraction *strings* (``"1/2"``),
+never floats, so a client replaying a linearizability check compares
+bit-identical values.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.api import Explanation
+from ..exceptions import ProtocolError
+
+#: Default per-frame size limit (bytes) — also the reader's line limit.
+MAX_FRAME_BYTES = 1 << 20
+
+
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """One frame as one NDJSON line (sorted keys: byte-stable output).
+
+    Examples
+    --------
+    >>> encode_frame({"op": "ping", "id": 1})
+    b'{"id":1,"op":"ping"}\\n'
+    """
+    return (json.dumps(frame, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a frame dict.
+
+    Raises :class:`~repro.exceptions.ProtocolError` (code ``bad-request``)
+    on anything that is not a single JSON object.
+
+    Examples
+    --------
+    >>> decode_frame(b'{"id": 1, "op": "ping"}\\n')["op"]
+    'ping'
+    >>> decode_frame(b'[1, 2]')
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.ProtocolError: frame is not a JSON object
+    """
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame is not a JSON object")
+    return payload
+
+
+def responsibility_to_wire(value: Optional[Fraction]) -> Optional[str]:
+    """An exact fraction string (or ``None`` when not computed).
+
+    Examples
+    --------
+    >>> responsibility_to_wire(Fraction(1, 3))
+    '1/3'
+    >>> responsibility_to_wire(None) is None
+    True
+    """
+    return None if value is None else str(value)
+
+
+def responsibility_from_wire(value: Optional[str]) -> Optional[Fraction]:
+    """Inverse of :func:`responsibility_to_wire` — exact, never a float.
+
+    Examples
+    --------
+    >>> responsibility_from_wire("1/3") == Fraction(1, 3)
+    True
+    >>> responsibility_from_wire(None) is None
+    True
+    """
+    return None if value is None else Fraction(value)
+
+
+def explanation_to_wire(answer: Any,
+                        explanation: Explanation) -> Dict[str, Any]:
+    """One ranked explanation as a JSON-safe dict.
+
+    The causes appear in ranked order (responsibility descending with the
+    engine's deterministic tie-break), so clients need not re-sort.
+    """
+    return {
+        "answer": None if answer is None else list(answer),
+        "mode": explanation.mode.value,
+        "causes": [
+            {
+                "relation": cause.tuple.relation,
+                "values": list(cause.tuple.values),
+                "responsibility":
+                    responsibility_to_wire(cause.responsibility),
+            }
+            for cause in explanation.ranked()
+        ],
+    }
+
+
+def explanations_to_wire(results: Dict[Any, Explanation],
+                         order: Optional[Sequence[Any]] = None
+                         ) -> List[Dict[str, Any]]:
+    """A batch of explanations, in ``order`` (default: mapping order)."""
+    keys = list(results) if order is None else list(order)
+    return [explanation_to_wire(key, results[key]) for key in keys]
+
+
+def error_frame(request_id: Any, code: str, message: str,
+                **extra: Any) -> Dict[str, Any]:
+    """A typed terminal error frame for ``request_id``.
+
+    Examples
+    --------
+    >>> frame = error_frame(7, "queue-full", "8 requests pending")
+    >>> frame["type"], frame["code"], frame["id"]
+    ('error', 'queue-full', 7)
+    """
+    frame = {"id": request_id, "type": "error", "code": code,
+             "message": message}
+    frame.update(extra)
+    return frame

@@ -115,6 +115,117 @@ class TestPoolFailures:
         assert dict(result) == {"t1": "s-t1", "t3": "s-t3", "t4": "s-t4"}
 
 
+class TestStreamingChunks:
+    """The ``on_chunk`` streaming seam: complete, ordered, never silent.
+
+    The invariant mirrors the failure contract of the pool: every requested
+    target is delivered in exactly one chunk on success, a failed chunk is
+    *never* delivered, and after a failure the typed error plus its
+    ``requested`` list account for every target — delivered, failed or
+    missing — so a consumer can always mark a shortened ranking as partial.
+    """
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_pool_streams_each_successful_chunk_once(self, transport):
+        spec = FanOutSpec(compute=_compute_or_raise)
+        chunks = []
+        result = fan_out(["t1", "t3", "t4", "t5"], "s-", spec, workers=2,
+                         transport=transport,
+                         on_chunk=lambda t, r: chunks.append((t, r)))
+        delivered = [t for targets, _ in chunks for t in targets]
+        assert sorted(delivered) == ["t1", "t3", "t4", "t5"]
+        merged = {}
+        for _, results in chunks:
+            merged.update(results)
+        assert merged == dict(result)
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_pool_never_streams_a_failed_chunk(self, transport):
+        spec = FanOutSpec(compute=_compute_or_raise)
+        chunks = []
+        with pytest.raises(FanOutWorkerError):
+            fan_out(["t1", "t2", "t3", "t4"], "s-", spec, workers=2,
+                    transport=transport,
+                    on_chunk=lambda t, r: chunks.append(list(t)))
+        delivered = [t for targets in chunks for t in targets]
+        assert POISON not in delivered
+        # The poisoned chunk as a whole is withheld, not just the target.
+        if transport != "serial":
+            assert "t1" not in delivered
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork transport is POSIX-only")
+    def test_pool_streams_survivor_chunks_when_a_worker_dies(self):
+        spec = FanOutSpec(compute=_compute_or_die)
+        chunks = []
+        with pytest.raises(FanOutWorkerError):
+            fan_out(["t1", "t2", "t3", "t4"], "s-", spec, workers=2,
+                    transport="fork",
+                    on_chunk=lambda t, r: chunks.append(list(t)))
+        delivered = [t for targets in chunks for t in targets]
+        assert POISON not in delivered
+        assert set(delivered) <= {"t3", "t4"}
+
+    @pytest.mark.parametrize("workers,transport",
+                             [(None, "serial"), (2, "shared-memory")]
+                             + ([(2, "fork")] if HAS_FORK else []))
+    def test_engine_streams_every_answer_exactly_once(self, workers,
+                                                      transport):
+        explainer = BatchExplainer(QUERY, example_db(), method="exact")
+        chunks = []
+        result = explainer.explain_all(
+            workers=workers, transport=transport,
+            on_chunk=lambda t, r: chunks.append((list(t), dict(r))))
+        delivered = [t for targets, _ in chunks for t in targets]
+        assert sorted(delivered) == sorted(result)
+        assert len(delivered) == len(set(delivered))
+        merged = {}
+        for _, results in chunks:
+            merged.update(results)
+        assert {k: [(c.tuple, c.responsibility) for c in v.ranked()]
+                for k, v in merged.items()} == \
+               {k: [(c.tuple, c.responsibility) for c in v.ranked()]
+                for k, v in result.items()}
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork transport is POSIX-only")
+    def test_engine_streams_memoized_answers_first(self):
+        explainer = BatchExplainer(QUERY, example_db(), method="exact")
+        warm = ("a2",)
+        explainer.explain(warm)
+        chunks = []
+        explainer.explain_all(workers=2, transport="fork",
+                              on_chunk=lambda t, r: chunks.append(list(t)))
+        assert warm in chunks[0]
+        delivered = [t for targets in chunks for t in targets]
+        assert len(delivered) == len(set(delivered))
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork transport is POSIX-only")
+    @pytest.mark.parametrize("compute", [_explode_on_marked_answer,
+                                         _exit_on_marked_answer])
+    def test_engine_failure_accounts_for_every_target(self, compute,
+                                                      monkeypatch):
+        """delivered + failed + missing == requested; no silent shrink."""
+        explainer = BatchExplainer(QUERY, example_db(), method="exact")
+        monkeypatch.setattr(
+            batch_module, "_WHYSO_SPEC",
+            FanOutSpec(compute=compute,
+                       setup=batch_module._whyso_worker_setup,
+                       finalize=batch_module._whyso_worker_export_cache))
+        chunks = []
+        with pytest.raises(FanOutWorkerError) as excinfo:
+            explainer.explain_all(workers=2, transport="fork",
+                                  on_chunk=lambda t, r: chunks.append(list(t)))
+        error = excinfo.value
+        delivered = [t for targets in chunks for t in targets]
+        assert ("a4",) in error.targets
+        assert ("a4",) not in delivered
+        # The error names the full batch; everything is accounted for.
+        assert sorted(error.requested) == sorted(explainer.answers())
+        accounted = set(delivered) | set(error.targets)
+        missing = set(error.requested) - accounted
+        assert accounted | missing == set(error.requested)
+        assert len(delivered) == len(set(delivered))
+
+
 class TestEngineFailures:
     @pytest.mark.parametrize("workers", [None, 2])
     def test_non_answer_target_rejected_identically(self, workers):

@@ -1,0 +1,14 @@
+"""Known-bad: the wire layer reaching past the service's public surface."""
+
+import sqlite3  # expect: backend-seam
+import repro.engine  # expect: backend-seam
+from repro.engine.batch import BatchExplainer  # expect: backend-seam
+from ..engine._pool import fan_out  # expect: backend-seam
+from ..relational.sqlite_backend import SQLiteDatabase  # expect: backend-seam
+from ..lineage.whyno import whyno_instance_for_answer  # expect: backend-seam
+
+
+def poke(path: str) -> object:
+    connection = sqlite3.connect(path)
+    return (connection, BatchExplainer, fan_out, SQLiteDatabase,
+            whyno_instance_for_answer)

@@ -1,0 +1,17 @@
+"""Known-good: server code talks only to core.api and the relational seam."""
+
+import asyncio
+import json
+
+from repro.core.api import ExplanationSession
+from repro.exceptions import ServerError
+from ..core.definitions import CausalityMode
+from ..relational import database_from_dict
+from ..relational.delta import DatabaseDelta
+from .protocol import encode_frame
+from . import admission
+
+
+def build(payload: dict) -> object:
+    return (asyncio, json, ExplanationSession, ServerError, CausalityMode,
+            database_from_dict, DatabaseDelta, encode_frame, admission)

@@ -1,0 +1,45 @@
+"""Shared fixtures: a real in-process server over the example database."""
+
+import pytest
+
+from repro.relational import Database
+from repro.server import AdmissionPolicy, SessionConfig, ServerHarness
+
+QUERY_TEXT = "q(x) :- R(x, y), S(y)"
+
+
+def example_db() -> Database:
+    db = Database()
+    for x, y in [("a1", "a5"), ("a2", "a1"), ("a3", "a3"), ("a4", "a3"),
+                 ("a4", "a2")]:
+        db.add_fact("R", x, y)
+    for y in ["a1", "a2", "a3", "a4", "a6"]:
+        db.add_fact("S", y)
+    return db
+
+
+def example_payload() -> dict:
+    """The same instance in JSON-payload form (loaded on the worker thread)."""
+    db = example_db()
+    return {"relations": {name: [list(t.values) for t in
+                                 sorted(db.tuples_of(name))]
+                          for name in db.relations()}}
+
+
+@pytest.fixture(scope="module")
+def harness():
+    """One live server with a memory and a sqlite session over the same data.
+
+    Module-scoped: sessions are resident (that is the point of the server);
+    tests that mutate state must restore it or use their own harness.
+    """
+    configs = [
+        SessionConfig("mem", QUERY_TEXT, example_payload(),
+                      backend="memory", workers=2,
+                      policy=AdmissionPolicy(max_pending=16)),
+        SessionConfig("lite", QUERY_TEXT, example_payload(),
+                      backend="sqlite", workers=2,
+                      policy=AdmissionPolicy(max_pending=16)),
+    ]
+    with ServerHarness(configs) as live:
+        yield live

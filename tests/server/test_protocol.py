@@ -1,0 +1,85 @@
+"""The NDJSON frame layer: encoding, decoding, explanation serialization."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.api import explain
+from repro.exceptions import ProtocolError
+from repro.relational import parse_query
+from repro.server import (
+    decode_frame,
+    encode_frame,
+    error_frame,
+    explanation_to_wire,
+    explanations_to_wire,
+    responsibility_from_wire,
+    responsibility_to_wire,
+)
+
+from .conftest import QUERY_TEXT, example_db
+
+
+class TestFrames:
+    def test_round_trip(self):
+        frame = {"id": 7, "op": "explain", "answer": ["a4", 3], "nested":
+                 {"domains": {"y": ["b1"]}}}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_encoding_is_one_line_and_byte_stable(self):
+        data = encode_frame({"b": 1, "a": [2, "x"]})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert data == encode_frame({"a": [2, "x"], "b": 1})
+
+    @pytest.mark.parametrize("line", [b"", b"not json", b"[1, 2]\n",
+                                      b'"a string"', b"\xff\xfe"])
+    def test_bad_frames_are_typed_protocol_errors(self, line):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(line)
+        assert excinfo.value.code == "bad-request"
+
+    def test_error_frame_shape(self):
+        frame = error_frame(3, "queue-full", "busy", partial=True)
+        assert frame == {"id": 3, "type": "error", "code": "queue-full",
+                         "message": "busy", "partial": True}
+
+
+class TestResponsibilityWire:
+    @pytest.mark.parametrize("value", [Fraction(1), Fraction(1, 2),
+                                       Fraction(2, 3), Fraction(1, 7), None])
+    def test_round_trip_is_exact(self, value):
+        assert responsibility_from_wire(responsibility_to_wire(value)) == value
+
+    def test_never_a_float(self):
+        wire = responsibility_to_wire(Fraction(1, 3))
+        assert wire == "1/3"
+        assert responsibility_from_wire(wire) * 3 == 1  # no 0.333... drift
+
+
+class TestExplanationWire:
+    def test_causes_are_ranked_and_exact(self):
+        query = parse_query(QUERY_TEXT)
+        explanation = explain(query, example_db(), answer=("a4",))
+        wire = explanation_to_wire(("a4",), explanation)
+        assert wire["answer"] == ["a4"]
+        assert wire["mode"] == "why-so"
+        expected = [
+            ({"relation": c.tuple.relation, "values": list(c.tuple.values)},
+             responsibility_to_wire(c.responsibility))
+            for c in explanation.ranked()
+        ]
+        actual = [({"relation": c["relation"], "values": c["values"]},
+                   c["responsibility"]) for c in wire["causes"]]
+        assert actual == expected
+        rhos = [responsibility_from_wire(c["responsibility"]) or Fraction(0)
+                for c in wire["causes"]]
+        assert rhos == sorted(rhos, reverse=True)
+
+    def test_batch_wire_respects_order(self):
+        query = parse_query(QUERY_TEXT)
+        db = example_db()
+        results = {("a4",): explain(query, db, answer=("a4",)),
+                   ("a2",): explain(query, db, answer=("a2",))}
+        wire = explanations_to_wire(results, order=[("a2",), ("a4",)])
+        assert [w["answer"] for w in wire] == [["a2"], ["a4"]]
