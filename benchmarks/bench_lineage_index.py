@@ -34,6 +34,7 @@ import pytest
 
 from repro.engine import BatchExplainer
 from repro.engine.cache import _key_mentions
+from repro.relational.columnar import materialize_conjuncts
 from repro.relational import DatabaseDelta, evaluate, parse_query
 from repro.relational.tuples import Tuple
 from repro.workloads import random_two_table_instance
@@ -106,7 +107,7 @@ def legacy_refresh(explainer, delta):
         explainer._evaluator._indexes = {}
     stale = set()
     for answer in list(explainer._conjuncts):
-        group = explainer._conjuncts[answer]
+        group = materialize_conjuncts(explainer._conjuncts[answer])
         kept = [c for c in group if not (c & changed)]
         if len(kept) != len(group):
             stale.add(answer)

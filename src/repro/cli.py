@@ -197,7 +197,31 @@ def _cmd_explain_batch(args: argparse.Namespace) -> int:
                   f"the fan-out merge ({explainer.cache.stats} locally)")
         else:
             print(f"\nlineage cache: {explainer.cache.stats}")
+        _print_pass_stats(explainer)
     return 0
+
+
+def _print_pass_stats(explainer) -> None:
+    """Valuation-pass counters, when the backend's evaluator keeps them.
+
+    The memory evaluator's columnar pass counts its phases
+    (:class:`~repro.relational.columnar.PassStats`); the SQLite evaluator
+    groups in SQL and keeps no Python-side counters, so nothing prints.
+    """
+    stats = getattr(explainer.session.evaluator, "stats", None)
+    if stats is None:
+        return
+    payload = stats.as_dict()
+    print("valuation pass: "
+          f"{payload['plans_built']} plan(s), "
+          f"{payload['semijoin_rounds']} semi-join round(s), "
+          f"{payload['rows_pruned']} row(s) pruned, "
+          f"{payload['columnar_passes']} columnar pass(es), "
+          f"{payload['blocks_produced']} block(s) / "
+          f"{payload['block_rows']} row(s), "
+          f"{payload['numpy_joins']} numpy + "
+          f"{payload['python_joins']} python join(s), "
+          f"{payload['adapter_valuations']} adapter valuation(s)")
 
 
 def _run_whyno_batch(args: argparse.Namespace, query, database: Database) -> int:
@@ -231,6 +255,9 @@ def _run_whyno_batch(args: argparse.Namespace, query, database: Database) -> int
     if args.cache_stats:
         print("\nlineage cache: not used by the Why-No engine "
               "(responsibilities are read off witness sizes)")
+        # The Why-No engine shares the columnar pass through its inner
+        # Why-So explainer over the combined instance.
+        _print_pass_stats(explainer._inner)
     return 0
 
 

@@ -313,6 +313,12 @@ class ExplanationSession:
         (``whyso_memo_hits`` etc.) and, when the Why-So engine exists, its
         :class:`~repro.engine.cache.LineageCache` hit/miss/entry counts.
         Engines that have not been built yet report zeros.
+
+        When the session's evaluator runs the columnar valuation pass, its
+        per-phase counters are included under ``pass_*`` keys (plans built,
+        semi-join fixpoint rounds, rows pruned, blocks produced, join-path
+        splits, adapter materialisations) — see
+        :class:`~repro.relational.columnar.PassStats`.
         """
         stats: Dict[str, Any] = {
             "whyso_memo_hits": 0, "whyso_memo_misses": 0,
@@ -329,6 +335,16 @@ class ExplanationSession:
         if self._whyno is not None:
             stats["whyno_memo_hits"] = self._whyno.memo_hits
             stats["whyno_memo_misses"] = self._whyno.memo_misses
+        for engine in (self._whyso,
+                       self._whyno._inner if self._whyno is not None
+                       else None):
+            if engine is None:
+                continue
+            pass_stats = getattr(engine.session.evaluator, "stats", None)
+            if pass_stats is not None:
+                for name, value in pass_stats.as_dict().items():
+                    key = f"pass_{name}"
+                    stats[key] = stats.get(key, 0) + value
         return stats
 
     def __repr__(self) -> str:

@@ -157,16 +157,25 @@ class FanOutResult(Dict[Any, Any]):
     extras:
         The per-worker ``finalize`` returns, in chunk order (empty when the
         spec has no ``finalize``).
+    state_bytes:
+        Size of the pickled shared state actually shipped to workers —
+        the one shared-memory segment's payload.  ``None`` for the serial
+        and fork transports, which ship no pickle (fork inherits the state
+        copy-on-write).  Lets callers observe what a state representation
+        change (e.g. columnar blocks instead of conjunct frozensets) saves
+        on the wire without instrumenting the pool.
     """
 
     def __init__(self, results: Dict[Any, Any], transport: str,
                  requested_workers: int, effective_workers: int,
-                 extras: Optional[List[Any]] = None) -> None:
+                 extras: Optional[List[Any]] = None,
+                 state_bytes: Optional[int] = None) -> None:
         super().__init__(results)
         self.transport = transport
         self.requested_workers = requested_workers
         self.effective_workers = effective_workers
         self.extras: List[Any] = [] if extras is None else extras
+        self.state_bytes = state_bytes
 
     def __repr__(self) -> str:
         return (f"FanOutResult({len(self)} target(s), "
@@ -441,13 +450,15 @@ def fan_out(targets: Sequence[Key], shared_state: Any, spec: FanOutSpec,
 
     pool_size = min(requested, len(targets))
     chunks = _chunked(targets, pool_size)
+    state_bytes: Optional[int] = None
     if concrete == "fork":
         outcomes = _fan_out_fork(chunks, shared_state, spec, on_chunk)
     else:
-        outcomes = _fan_out_shared_memory(chunks, shared_state, spec,
-                                          on_chunk)
+        outcomes, state_bytes = _fan_out_shared_memory(
+            chunks, shared_state, spec, on_chunk)
     # One worker per chunk actually runs; report that, not the request.
-    return _merge(targets, outcomes, concrete, requested, len(chunks))
+    return _merge(targets, outcomes, concrete, requested, len(chunks),
+                  state_bytes)
 
 
 def _collect_serial(targets: Sequence[Any], shared_state: Any,
@@ -488,7 +499,7 @@ def _fan_out_fork(chunks: List[List[Any]], shared_state: Any,
 def _fan_out_shared_memory(chunks: List[List[Any]], shared_state: Any,
                            spec: FanOutSpec,
                            on_chunk: Optional[OnChunk] = None
-                           ) -> List[Dict[str, Any]]:
+                           ) -> TypingTuple[List[Dict[str, Any]], int]:
     from multiprocessing import shared_memory
 
     blob = pickle.dumps((spec, shared_state),
@@ -502,15 +513,15 @@ def _fan_out_shared_memory(chunks: List[List[Any]], shared_state: Any,
             pairs = [(pool.submit(_shm_chunk,
                                   (segment.name, len(blob), chunk)), chunk)
                      for chunk in chunks]
-            return _collect(pairs, "shared-memory", on_chunk)
+            return _collect(pairs, "shared-memory", on_chunk), len(blob)
     finally:
         segment.close()
         segment.unlink()
 
 
 def _merge(targets: Sequence[Any], outcomes: List[Dict[str, Any]],
-           transport: str, requested: int,
-           effective: int) -> FanOutResult:
+           transport: str, requested: int, effective: int,
+           state_bytes: Optional[int] = None) -> FanOutResult:
     results: Dict[Any, Any] = {}
     extras: List[Any] = []
     for outcome in outcomes:
@@ -518,4 +529,5 @@ def _merge(targets: Sequence[Any], outcomes: List[Dict[str, Any]],
         if outcome["extra"] is not None:
             extras.append(outcome["extra"])
     ordered = {target: results[target] for target in targets}
-    return FanOutResult(ordered, transport, requested, effective, extras)
+    return FanOutResult(ordered, transport, requested, effective, extras,
+                        state_bytes)

@@ -57,6 +57,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple as TypingTuple,
+    cast,
 )
 
 from ..core.api import Explanation
@@ -64,6 +65,8 @@ from ..core.definitions import CausalityMode, Cause, responsibility_value
 from ..core.flow_responsibility import FlowEngine
 from ..exceptions import CausalityError, FanOutWorkerError, NotLinearError
 from ..lineage.boolean_expr import PositiveDNF
+from ..relational.columnar import ConjunctGroup, ValuationBlock, \
+    materialize_conjuncts
 from ..relational.database import Database
 from ..relational.delta import DatabaseDelta
 from ..relational.evaluation import Valuation
@@ -193,9 +196,10 @@ class BatchExplainer:
         # Mutable on purpose: refresh patches membership per changed tuple
         # instead of re-scanning the instance.
         self._exogenous = set(database.exogenous_tuples())
-        # answer -> lineage conjuncts; populated wholesale by the single
-        # open-query pass, or per answer by bound-query evaluation.
-        self._conjuncts: Dict[Answer, List[FrozenSet[Tuple]]] = {}
+        # answer -> lineage conjuncts (or a still-columnar ValuationBlock,
+        # materialised lazily); populated wholesale by the single open-query
+        # pass, or per answer by bound-query evaluation.
+        self._conjuncts: Dict[Answer, ConjunctGroup] = {}
         # tuple -> answers whose group mentions it; built with the full pass
         # (through the session, so it lives where the backend's data lives)
         # and kept in lockstep with ``_conjuncts`` by the delta path.
@@ -232,18 +236,27 @@ class BatchExplainer:
     def _run_full_pass(self) -> None:
         """One evaluation of the open query; group conjuncts by answer.
 
-        When the evaluator can group in the backend (the SQLite one sorts by
-        head columns so each answer's rows arrive contiguously), the groups
-        are consumed run by run off the streamed cursor; otherwise a Python
-        dictionary does the grouping.  Either way the per-answer conjunct
-        sets are identical (:class:`~repro.lineage.boolean_expr.PositiveDNF`
-        canonicalises conjunct order).
+        The memory evaluator runs the columnar valuation pass
+        (``valuations_blocks``): groups stay in block form and lineage
+        conjuncts materialise lazily, per answer, when an explanation or a
+        refresh first touches that answer (:meth:`_conjuncts_for`).  When
+        the evaluator instead groups in the backend (the SQLite one sorts
+        by head columns so each answer's rows arrive contiguously), the
+        groups are consumed run by run off the streamed cursor; the plain
+        backtracking fallback groups through a Python dictionary.  Either
+        way the per-answer conjunct sets are identical
+        (:class:`~repro.lineage.boolean_expr.PositiveDNF` canonicalises
+        conjunct order).
         """
         if self._full_pass_done:
             return
-        grouped: Dict[Answer, List[FrozenSet[Tuple]]] = {}
-        grouped_pass = getattr(self._evaluator, "grouped_valuations", None)
-        if grouped_pass is not None:
+        grouped: Dict[Answer, ConjunctGroup] = {}
+        blocks_pass = getattr(self._evaluator, "valuations_blocks", None)
+        grouped_pass = getattr(self._evaluator, "grouped_valuations", None) \
+            if blocks_pass is None else None
+        if blocks_pass is not None:
+            grouped = blocks_pass(self.query)
+        elif grouped_pass is not None:
             for head, valuations in grouped_pass(self.query):
                 grouped.setdefault(head, []).extend(
                     v.tuples() for v in valuations)
@@ -264,14 +277,21 @@ class BatchExplainer:
 
     def _conjuncts_for(self, answer: Answer) -> List[FrozenSet[Tuple]]:
         if self._full_pass_done:
-            return self._conjuncts.get(answer, [])
+            group = self._conjuncts.get(answer, [])
+            if isinstance(group, ValuationBlock):
+                # Materialise the columnar block into lineage conjuncts on
+                # first touch, in place — answers never explained stay in
+                # (much cheaper) block form.
+                group = group.conjuncts()
+                self._conjuncts[answer] = group
+            return group
         if answer not in self._conjuncts:
             bound = self.query.bind(answer) if not self.query.is_boolean \
                 else self.query
             self._conjuncts[answer] = [
                 v.tuples() for v in self._evaluator.valuations(bound)
             ]
-        return self._conjuncts[answer]
+        return cast(List[FrozenSet[Tuple]], self._conjuncts[answer])
 
     def answers(self) -> List[Answer]:
         """Every answer of the query, in deterministic order (one evaluation)."""
@@ -477,7 +497,8 @@ class BatchExplainer:
             self.cache.merge_entries(entries)
         return FanOutResult({t: self._explanations[t] for t in targets},
                             result.transport, requested,
-                            result.effective_workers, result.extras)
+                            result.effective_workers, result.extras,
+                            result.state_bytes)
 
     # ------------------------------------------------------------------ #
     # incremental re-explanation
@@ -628,7 +649,10 @@ class BatchExplainer:
         dirty = self._index.answers_with(changed)
         stale: set = set()
         for answer in dirty:
-            group = self._conjuncts.get(answer, [])
+            # A dirty answer's group must be filtered conjunct-by-conjunct,
+            # so a still-columnar block materialises here (and stays a list
+            # from now on — exactly the answers the delta touched).
+            group = materialize_conjuncts(self._conjuncts.get(answer, []))
             kept = [conjunct for conjunct in group
                     if not (conjunct & changed)]
             if len(kept) != len(group):
@@ -650,7 +674,12 @@ class BatchExplainer:
         for head, conjunct in self._delta_valuations(present):
             if head not in self._conjuncts and head not in dirty:
                 new_answers.add(head)
-            self._conjuncts.setdefault(head, []).append(conjunct)
+            group = self._conjuncts.get(head)
+            if group is None or isinstance(group, ValuationBlock):
+                group = materialize_conjuncts(group) if group is not None \
+                    else []
+                self._conjuncts[head] = group
+            group.append(conjunct)
             fresh_heads.add(head)
             stale.add(head)
         removed = frozenset(a for a in dirty if a not in self._conjuncts)
@@ -718,16 +747,19 @@ class BatchExplainer:
 class _WhySoFanOutState:
     """What a Why-So fan-out worker inherits from the parent.
 
-    Everything here is the *completed* shared work: the pre-grouped
-    per-answer lineage conjuncts of the open-query pass, the exogenous set,
-    and the read-only database snapshot (needed for partition lookups and
-    the per-answer flow engines) — no backend handles, no bound queries.
+    Everything here is the *completed* shared work: the per-answer groups of
+    the open-query pass (columnar :class:`ValuationBlock` values where the
+    pass ran columnar — blocks pickle as shared row lists plus row-id
+    vectors, far cheaper than per-valuation frozensets — lists of conjuncts
+    otherwise), the exogenous set, and the read-only database snapshot
+    (needed for partition lookups and the per-answer flow engines) — no
+    backend handles, no bound queries.
     """
 
     __slots__ = ("query", "database", "method", "conjuncts", "exogenous")
 
     def __init__(self, query: ConjunctiveQuery, database: Database,
-                 method: str, conjuncts: Dict[Answer, List[FrozenSet[Tuple]]],
+                 method: str, conjuncts: Dict[Answer, ConjunctGroup],
                  exogenous: FrozenSet[Tuple]) -> None:
         self.query = query
         self.database = database

@@ -77,12 +77,35 @@ class LineageIndex:
         """Replace the whole index with the postings of ``groups``.
 
         Called once per full pass; ``groups`` is the engine's
-        ``{answer: [conjunct, ...]}`` valuation grouping.
+        ``{answer: [conjunct, ...]}`` valuation grouping — values are
+        conjunct lists or columnar ``ValuationBlock``\\ s (see
+        :meth:`index_answer`).
+
+        From-scratch indexing skips the per-answer diff of
+        :meth:`index_answer` (there is nothing to diff against) and builds
+        the postings with plain get-or-create — on a 10⁵-valuation pass the
+        rebuild is a large share of the pipeline, so the constant factors
+        here matter (see ``bench_columnar_pass``).
         """
         self._postings.clear()
         self._forward.clear()
+        postings = self._postings
         for answer, conjuncts in groups.items():
-            self.index_answer(answer, conjuncts)
+            lineage = getattr(conjuncts, "lineage_tuples", None)
+            if lineage is not None:
+                tuples = lineage()
+            else:
+                tuples = frozenset(
+                    t for conjunct in conjuncts for t in conjunct)
+            if not tuples:
+                continue
+            self._forward[answer] = tuples
+            for tup in tuples:
+                bucket = postings.get(tup)
+                if bucket is None:
+                    postings[tup] = {answer}
+                else:
+                    bucket.add(answer)
 
     def index_answer(self, answer: Answer,
                      conjuncts: Iterable[FrozenSet[Tuple]]) -> None:
@@ -91,8 +114,18 @@ class LineageIndex:
         Diffs the answer's new tuple set against the previously indexed one
         and patches only the changed postings, so maintaining the index
         after a refresh costs O(lineage of the dirty answers).
+
+        ``conjuncts`` is either an iterable of conjunct frozensets or a
+        still-columnar :class:`~repro.relational.columnar.ValuationBlock` —
+        the block computes its distinct tuple set from row ids directly
+        (``lineage_tuples``), so indexing a columnar pass never materialises
+        per-valuation frozensets.
         """
-        tuples = frozenset(t for conjunct in conjuncts for t in conjunct)
+        lineage = getattr(conjuncts, "lineage_tuples", None)
+        if lineage is not None:
+            tuples = lineage()
+        else:
+            tuples = frozenset(t for conjunct in conjuncts for t in conjunct)
         old = self._forward.get(answer, frozenset())
         for tup in old - tuples:
             bucket = self._postings.get(tup)

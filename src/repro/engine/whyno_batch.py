@@ -73,6 +73,7 @@ from ..core.whyno import whyno_causes_from_n_lineage
 from ..exceptions import CausalityError, FanOutWorkerError
 from ..lineage.boolean_expr import PositiveDNF
 from ..lineage.whyno import batch_candidate_missing_tuples, build_whyno_instance
+from ..relational.columnar import ConjunctGroup, materialize_conjuncts
 from ..relational.database import Database
 from ..relational.delta import DatabaseDelta
 from ..relational.evaluation import evaluate, evaluate_boolean
@@ -740,7 +741,8 @@ class WhyNoBatchExplainer:
         self._explanations.update(result)
         return FanOutResult({t: self._explanations[t] for t in targets},
                             result.transport, requested,
-                            result.effective_workers, result.extras)
+                            result.effective_workers, result.extras,
+                            result.state_bytes)
 
     def close(self) -> None:
         """Release the backend session's resources (e.g. the SQLite load)."""
@@ -764,7 +766,7 @@ class _WhyNoFanOutState:
     __slots__ = ("query", "conjuncts", "exogenous", "per_answer_candidates")
 
     def __init__(self, query: ConjunctiveQuery,
-                 conjuncts: Dict[Answer, List[FrozenSet[Tuple]]],
+                 conjuncts: Dict[Answer, ConjunctGroup],
                  exogenous: FrozenSet[Tuple],
                  per_answer_candidates: Dict[Answer, FrozenSet[Tuple]]
                  ) -> None:
@@ -776,9 +778,13 @@ class _WhyNoFanOutState:
 
 def _whyno_worker_explain(state: _WhyNoFanOutState, key: Answer) -> Explanation:
     """Fan-out worker: restrict the inherited group, read the causes off it."""
-    phi_n = _restricted_n_lineage(state.conjuncts.get(key, []),
-                                  state.per_answer_candidates[key],
-                                  state.exogenous)
+    # The inherited group may still be a columnar ValuationBlock (blocks are
+    # what fan-out chunks ship — cheaper to pickle than conjunct frozensets);
+    # restriction needs per-valuation conjuncts, so materialise here.
+    phi_n = _restricted_n_lineage(
+        materialize_conjuncts(state.conjuncts.get(key, [])),
+        state.per_answer_candidates[key],
+        state.exogenous)
     causes = whyno_causes_from_n_lineage(phi_n)
     return Explanation(state.query, None if state.query.is_boolean else key,
                        CausalityMode.WHY_NO, causes)

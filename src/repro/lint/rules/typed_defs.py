@@ -1,12 +1,13 @@
 """Rule ``typed-defs``: full signatures in the strict-mypy tier.
 
 ``mypy --strict``-style checking (``disallow_untyped_defs``) for
-``engine/`` and ``relational/session.py`` runs in CI, but mypy is not part
-of the runtime container.  This rule enforces the *presence* half of that
-contract locally — every ``def`` in the strict tier annotates all of its
-parameters (``self``/``cls`` excepted) and its return type — so an
-unannotated signature fails ``repro lint`` on the developer's machine, not
-first in CI.
+``engine/``, ``relational/session.py``, ``relational/evaluation.py`` and
+``relational/columnar.py`` runs in CI, but mypy is not part of the runtime
+container.  This rule enforces the *presence* half of that contract
+locally — every ``def`` in the strict tier annotates all of its parameters
+(``self``/``cls`` excepted) and its return type — so an unannotated
+signature fails ``repro lint`` on the developer's machine, not first in
+CI.
 """
 
 from __future__ import annotations
@@ -19,9 +20,11 @@ from ..framework import ModuleContext, Finding, Rule
 
 class TypedDefsRule(Rule):
     id = "typed-defs"
-    summary = ("every def in engine/ and relational/session.py annotates "
-               "all parameters and the return type")
-    scope = ("engine/", "relational/session.py")
+    summary = ("every def in engine/ and the typed relational modules "
+               "(session, evaluation, columnar) annotates all parameters "
+               "and the return type")
+    scope = ("engine/", "relational/session.py",
+             "relational/evaluation.py", "relational/columnar.py")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

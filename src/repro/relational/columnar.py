@@ -1,0 +1,660 @@
+"""Columnar valuation pass: the block-at-a-time twin of the backtracking join.
+
+Every explanation mode funnels through one loop — enumerate the valuations
+of the open query, group them by head tuple (Sect. 3 of the paper makes
+valuations the unit of all downstream lineage work).  The backtracking
+evaluator of :mod:`repro.relational.evaluation` does that tuple-at-a-time:
+one Python :class:`~repro.relational.evaluation.Valuation` object, one
+assignment dict and one ``frozenset`` per valuation.  At 10⁵ valuations the
+per-object overhead dominates the pass.
+
+This module rebuilds the same pass around *columnar batches*:
+
+* a :class:`ValueDictionary` maps every database value to a small integer
+  code, once per evaluator — joins then compare ints, never rich values;
+* a :class:`ColumnStore` per ``(relation, status)`` keeps the dictionary-
+  encoded value column of every queried position, aligned with an
+  insertion-ordered row list, and is patched per tuple by
+  ``QueryEvaluator.apply_changes`` (swap-delete keeps the columns dense) —
+  an unpruned atom reuses the store's columns with **zero** copying;
+* :func:`run_pass` executes the existing greedy plan (``_build_plans`` /
+  ``_atom_order`` stay the planners) as block-at-a-time hash joins: the
+  build side maps key codes to row ids, the probe emits two parallel
+  selection vectors (``out_sel`` repeating probe rows, ``out_match`` naming
+  matched build rows), and gathers replace the shared prefix copying of the
+  backtracking enumeration;
+* head grouping buckets the joined block by head *codes* and emits one
+  :class:`ValuationBlock` per answer — per-atom row-id vectors into shared
+  candidate row lists, **not** per-valuation dicts.  Conjunct ``frozenset``
+  materialisation is deferred until an explanation or a refresh actually
+  needs that answer (:meth:`ValuationBlock.conjuncts`).
+
+The pass stays dependency-free: blocks are plain lists and ``array("q")``
+row-id vectors.  When NumPy is importable the join probe runs vectorised
+(packed int64 keys, stable argsort + ``searchsorted``), differentially
+tested against the pure path; the packed-key width is checked against the
+dictionary size and the pass silently keeps the pure join when codes would
+overflow 63 bits.
+
+Everything downstream is canonical (``PositiveDNF`` is a frozenset of
+frozensets, answers are sorted by value), so block row order — which follows
+the per-process candidate-set iteration order — never reaches an
+explanation; the property suite ``tests/property/test_columnar_pass.py``
+pins columnar ≡ backtracking ≡ SQLite bit-exactly.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple as TypingTuple,
+)
+from typing import AbstractSet, Protocol
+
+from .query import ConjunctiveQuery, Variable
+from .tuples import Tuple
+
+try:  # optional fast path; the pure-python pass is always available
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised where numpy is absent
+    _numpy = None  # type: ignore[assignment]
+
+#: A (non-)answer head tuple, as the batch engines key their maps.
+Answer = TypingTuple[Any, ...]
+
+#: One dictionary-encoded column: value codes, aligned with a row list.
+CodeColumn = List[int]
+
+
+class PassStats:
+    """Per-phase counters of the valuation pass, for ``engine_stats()``.
+
+    All counters are cumulative over the evaluator's lifetime; a refresh
+    keeps counting into the same object so regressions (e.g. a delta that
+    silently forces full passes) show up in ``--cache-stats`` without a
+    profiler.
+    """
+
+    __slots__ = ("plans_built", "semijoin_rounds", "rows_pruned",
+                 "columnar_passes", "blocks_produced", "block_rows",
+                 "python_joins", "numpy_joins", "adapter_valuations")
+
+    def __init__(self) -> None:
+        self.plans_built = 0
+        self.semijoin_rounds = 0
+        self.rows_pruned = 0
+        self.columnar_passes = 0
+        self.blocks_produced = 0
+        self.block_rows = 0
+        self.python_joins = 0
+        self.numpy_joins = 0
+        self.adapter_valuations = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (stable keys, for stats payloads)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"PassStats({inner})"
+
+
+class ValueDictionary:
+    """Bidirectional value ↔ small-int code map, shared per evaluator.
+
+    Codes are append-only: a deleted tuple's values keep their codes (they
+    cost one list slot and stay correct if the value returns), which is what
+    lets ``apply_changes`` patch column stores without re-encoding anything.
+    """
+
+    __slots__ = ("_codes", "_values")
+
+    def __init__(self) -> None:
+        self._codes: Dict[Any, int] = {}
+        self._values: List[Any] = []
+
+    def encode(self, value: Any) -> int:
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._values)
+            self._codes[value] = code
+            self._values.append(value)
+        return code
+
+    def decode(self, code: int) -> Any:
+        return self._values[code]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"ValueDictionary({len(self._values)} value(s))"
+
+
+class ColumnStore:
+    """Dictionary-encoded columns for one ``(relation, status)`` tuple set.
+
+    ``rows`` is insertion-ordered and stays aligned with every built column;
+    deletion swap-moves the last row into the hole so the columns remain
+    dense.  Columns are built lazily per position — only positions some
+    query actually touches are ever encoded.  A position beyond a tuple's
+    arity encodes as ``-1``, which no real code equals.
+    """
+
+    __slots__ = ("dictionary", "rows", "_rowids", "_columns")
+
+    def __init__(self, dictionary: ValueDictionary,
+                 tuples: Iterable[Tuple]) -> None:
+        self.dictionary = dictionary
+        self.rows: List[Tuple] = list(tuples)
+        self._rowids: Dict[Tuple, int] = {
+            tup: index for index, tup in enumerate(self.rows)
+        }
+        self._columns: Dict[int, CodeColumn] = {}
+
+    def column(self, position: int) -> CodeColumn:
+        """The code column of one position, built on first use."""
+        column = self._columns.get(position)
+        if column is None:
+            encode = self.dictionary.encode
+            column = [
+                encode(tup.values[position]) if position < len(tup.values)
+                else -1
+                for tup in self.rows
+            ]
+            self._columns[position] = column
+        return column
+
+    def rowid(self, tup: Tuple) -> int:
+        return self._rowids[tup]
+
+    def update_membership(self, tup: Tuple, present: bool) -> None:
+        """Patch one tuple in or out, keeping every built column aligned."""
+        if present:
+            if tup in self._rowids:
+                return
+            self._rowids[tup] = len(self.rows)
+            self.rows.append(tup)
+            encode = self.dictionary.encode
+            for position, column in self._columns.items():
+                column.append(
+                    encode(tup.values[position])
+                    if position < len(tup.values) else -1)
+        else:
+            index = self._rowids.pop(tup, None)
+            if index is None:
+                return
+            last_index = len(self.rows) - 1
+            if index != last_index:
+                last = self.rows[last_index]
+                self.rows[index] = last
+                self._rowids[last] = index
+                for column in self._columns.values():
+                    column[index] = column[last_index]
+            self.rows.pop()
+            for column in self._columns.values():
+                column.pop()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, tup: Tuple) -> bool:
+        return tup in self._rowids
+
+    def __repr__(self) -> str:
+        return (f"ColumnStore({len(self.rows)} row(s), "
+                f"{len(self._columns)} column(s))")
+
+
+class ValuationBlock:
+    """One answer's valuations in columnar form.
+
+    ``atom_rows[a]`` is the shared candidate row list of query atom ``a``
+    (shared across every block of one pass — it is pickled once per fan-out
+    payload), ``rowids[a]`` the per-valuation indices into it: valuation
+    ``i`` of the block matched ``atom_rows[a][rowids[a][i]]`` at atom ``a``.
+    Tuple-level structures (``frozenset`` conjuncts, ``Valuation`` objects)
+    are only materialised by the accessors below, so the pass itself never
+    pays per-valuation Python-object costs.
+    """
+
+    __slots__ = ("atom_rows", "rowids")
+
+    def __init__(self, atom_rows: Sequence[Sequence[Tuple]],
+                 rowids: Sequence[Sequence[int]]) -> None:
+        self.atom_rows = atom_rows
+        self.rowids = rowids
+
+    def __len__(self) -> int:
+        return len(self.rowids[0]) if self.rowids else 0
+
+    def atom_tuples(self) -> Iterator[TypingTuple[Tuple, ...]]:
+        """Per-valuation matched tuples, in query-atom order."""
+        gathered = [
+            [rows[index] for index in _as_id_list(ids)]
+            for rows, ids in zip(self.atom_rows, self.rowids)
+        ]
+        return zip(*gathered)
+
+    def conjuncts(self) -> List[FrozenSet[Tuple]]:
+        """Materialise the lineage conjuncts (one frozenset per valuation)."""
+        return list(map(frozenset, self.atom_tuples()))
+
+    def lineage_tuples(self) -> FrozenSet[Tuple]:
+        """The distinct tuples of the block, without building conjuncts.
+
+        This is what the lineage inverted index needs per answer — computed
+        from the (much smaller) distinct row-id sets, so rebuilding the
+        index off a columnar pass never materialises frozensets.
+        """
+        distinct: Set[Tuple] = set()
+        for rows, ids in zip(self.atom_rows, self.rowids):
+            distinct.update(rows[index] for index in _distinct_ids(ids))
+        return frozenset(distinct)
+
+    def __getstate__(self) -> TypingTuple[Any, Any]:
+        return (self.atom_rows, self.rowids)
+
+    def __setstate__(self, state: TypingTuple[Any, Any]) -> None:
+        self.atom_rows, self.rowids = state
+
+    def __repr__(self) -> str:
+        return (f"ValuationBlock({len(self)} valuation(s) × "
+                f"{len(self.atom_rows)} atom(s))")
+
+
+def _as_id_list(ids: Sequence[int]) -> Sequence[int]:
+    """Row ids as a plain python sequence (NumPy vectors convert once)."""
+    if _numpy is not None and isinstance(ids, _numpy.ndarray):
+        return ids.tolist()
+    return ids
+
+
+def _distinct_ids(ids: Sequence[int]) -> Iterable[int]:
+    """Distinct row ids, order-stable (C-speed ``np.unique`` when vectors).
+
+    The pure path dedups through ``dict.fromkeys`` — order-stable, and the
+    determinism lint rule bans iterating a ``set()`` call.
+    """
+    if _numpy is not None and isinstance(ids, _numpy.ndarray):
+        return _numpy.unique(ids).tolist()
+    return dict.fromkeys(ids)
+
+
+#: What the engines store per answer: either materialised conjuncts or a
+#: still-columnar block (materialised lazily by ``materialize_conjuncts``).
+ConjunctGroup = Any
+
+
+def materialize_conjuncts(group: ConjunctGroup) -> List[FrozenSet[Tuple]]:
+    """Lineage conjuncts of a group, whichever representation it is in."""
+    if isinstance(group, ValuationBlock):
+        return group.conjuncts()
+    return list(group)
+
+
+class PlanColumns(Protocol):
+    """What :func:`run_pass` reads off a planner's per-atom plan."""
+
+    @property
+    def candidates(self) -> AbstractSet[Tuple]: ...
+
+    @property
+    def var_positions(self) -> Mapping[Variable, int]: ...
+
+
+def _atom_columns(
+        plan: PlanColumns, store: ColumnStore,
+) -> TypingTuple[Sequence[Tuple], Dict[Variable, CodeColumn]]:
+    """Candidate rows and per-variable code columns of one atom.
+
+    An unpruned atom (semi-join and constants removed nothing) reuses the
+    store's rows and columns without copying; a pruned one gathers the
+    surviving rows' codes through the store's row-id map — one hash lookup
+    per row, however many variable positions the atom has.
+    """
+    candidates = plan.candidates
+    if len(candidates) == len(store):
+        return store.rows, {
+            variable: store.column(position)
+            for variable, position in plan.var_positions.items()
+        }
+    rows = list(candidates)
+    ids = [store.rowid(tup) for tup in rows]
+    columns: Dict[Variable, CodeColumn] = {}
+    for variable, position in plan.var_positions.items():
+        full = store.column(position)
+        columns[variable] = [full[index] for index in ids]
+    return rows, columns
+
+
+def _build_hash_table(
+        cols: Mapping[Variable, CodeColumn], shared: Sequence[Variable],
+        n_rows: int,
+) -> Dict[Any, List[int]]:
+    """Build side of one block join: key codes → matching row ids."""
+    table: Dict[Any, List[int]] = {}
+    if len(shared) == 1:
+        for rowid, key in enumerate(cols[shared[0]]):
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [rowid]
+            else:
+                bucket.append(rowid)
+    else:
+        for rowid, key in enumerate(zip(*(cols[v] for v in shared))):
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [rowid]
+            else:
+                bucket.append(rowid)
+    return table
+
+
+def _python_probe(
+        block_vars: Mapping[Variable, CodeColumn],
+        table: Mapping[Any, List[int]], shared: Sequence[Variable],
+        length: int,
+) -> TypingTuple[List[int], List[int]]:
+    """Probe the current block against a build table (pure-python path).
+
+    Returns ``(out_sel, out_match)``: parallel vectors where probe row
+    ``out_sel[k]`` joined with build row ``out_match[k]``.
+    """
+    out_sel: List[int] = []
+    out_match: List[int] = []
+    sel_append, match_extend = out_sel.append, out_match.extend
+    get = table.get
+    if len(shared) == 1:
+        for index, key in enumerate(block_vars[shared[0]]):
+            ids = get(key)
+            if ids is not None:
+                match_extend(ids)
+                for _ in ids:
+                    sel_append(index)
+    else:
+        for index, key in enumerate(
+                zip(*(block_vars[v] for v in shared))):
+            ids = get(key)
+            if ids is not None:
+                match_extend(ids)
+                for _ in ids:
+                    sel_append(index)
+    return out_sel, out_match
+
+
+def _numpy_probe(
+        block_vars: Mapping[Variable, CodeColumn],
+        cols: Mapping[Variable, CodeColumn], shared: Sequence[Variable],
+        code_bits: int,
+) -> Optional[TypingTuple[List[int], List[int]]]:
+    """Vectorised probe: packed int64 keys + stable argsort + searchsorted.
+
+    Returns ``None`` when the packed key would overflow 63 bits (the caller
+    then keeps the pure probe); otherwise the same ``(out_sel, out_match)``
+    contract as :func:`_python_probe`, converted back to plain lists so the
+    rest of the pass is path-independent.
+    """
+    if _numpy is None or code_bits * len(shared) > 62:
+        return None
+    np = _numpy
+
+    def pack(colmap: Mapping[Variable, CodeColumn]) -> Any:
+        key = np.asarray(colmap[shared[0]], dtype=np.int64)
+        for variable in shared[1:]:
+            key = (key << np.int64(code_bits)) \
+                | np.asarray(colmap[variable], dtype=np.int64)
+        return key
+
+    build_key = pack(cols)
+    probe_key = pack(block_vars)
+    sort_index = np.argsort(build_key, kind="stable")
+    sorted_key = build_key[sort_index]
+    left = np.searchsorted(sorted_key, probe_key, side="left")
+    right = np.searchsorted(sorted_key, probe_key, side="right")
+    counts = right - left
+    total = int(counts.sum())
+    out_sel = np.repeat(np.arange(len(probe_key), dtype=np.int64), counts)
+    if total:
+        starts = np.repeat(left, counts)
+        group_offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]))
+        offsets = np.arange(total, dtype=np.int64) \
+            - np.repeat(group_offsets, counts)
+        out_match = sort_index[starts + offsets]
+    else:
+        out_match = np.zeros(0, dtype=np.int64)
+    return out_sel.tolist(), out_match.tolist()
+
+
+def _cross_product(
+        length: int, n_build: int,
+) -> TypingTuple[List[int], List[int]]:
+    """Selection vectors for a disconnected atom (no shared variables)."""
+    out_sel = [index for index in range(length) for _ in range(n_build)]
+    out_match = list(range(n_build)) * length
+    return out_sel, out_match
+
+
+def run_pass(
+        query: ConjunctiveQuery,
+        plans: Sequence[PlanColumns],
+        order: Sequence[int],
+        stores: Sequence[ColumnStore],
+        stats: PassStats,
+        use_numpy: Optional[bool] = None,
+) -> Dict[Answer, ValuationBlock]:
+    """One columnar valuation pass, grouped by head tuple.
+
+    ``plans`` and ``order`` come from the greedy planner of
+    :class:`~repro.relational.evaluation.QueryEvaluator` (``_build_plans``
+    already applied constants, intra-atom repeats and the semi-join
+    fixpoint); ``stores`` is the matching per-atom
+    ``(relation, status)`` column store.  ``use_numpy`` forces the probe
+    path (``None`` auto-detects; forcing ``True`` without NumPy raises).
+    """
+    if use_numpy is True and _numpy is None:
+        raise RuntimeError("use_numpy=True, but numpy is not importable")
+    stats.columnar_passes += 1
+    atom_rows: List[Sequence[Tuple]] = []
+    atom_cols: List[Dict[Variable, CodeColumn]] = []
+    dictionary: Optional[ValueDictionary] = None
+    for plan, store in zip(plans, stores):
+        rows, cols = _atom_columns(plan, store)
+        if rows is store.rows:
+            # Blocks outlive the pass, and ``apply_changes`` swap-deletes
+            # mutate the live store rows — snapshot the (pointer) list so a
+            # block's row ids stay valid across later deltas.  The code
+            # columns need no copy: they are only read during this pass.
+            rows = list(rows)
+        atom_rows.append(rows)
+        atom_cols.append(cols)
+        dictionary = store.dictionary
+
+    first = order[0]
+    length = len(atom_rows[first])
+    block_vars: Dict[Variable, CodeColumn] = {
+        variable: list(column)
+        for variable, column in atom_cols[first].items()
+    }
+    block_rowids: Dict[int, List[int]] = {first: list(range(length))}
+    code_bits = max(1, len(dictionary)).bit_length() if dictionary else 1
+
+    for atom_index in order[1:]:
+        cols = atom_cols[atom_index]
+        shared = sorted((v for v in cols if v in block_vars),
+                        key=lambda variable: variable.name)
+        new_vars = [v for v in cols if v not in block_vars]
+        n_build = len(atom_rows[atom_index])
+        if not shared:
+            out_sel, out_match = _cross_product(length, n_build)
+            stats.python_joins += 1
+        else:
+            probed = None if use_numpy is False else _numpy_probe(
+                block_vars, cols, shared, code_bits)
+            if probed is not None:
+                out_sel, out_match = probed
+                stats.numpy_joins += 1
+            else:
+                table = _build_hash_table(cols, shared, n_build)
+                out_sel, out_match = _python_probe(
+                    block_vars, table, shared, length)
+                stats.python_joins += 1
+        block_vars = {
+            variable: [column[index] for index in out_sel]
+            for variable, column in block_vars.items()
+        }
+        for variable in new_vars:
+            column = cols[variable]
+            block_vars[variable] = [column[index] for index in out_match]
+        block_rowids = {
+            index: [column[i] for i in out_sel]
+            for index, column in block_rowids.items()
+        }
+        block_rowids[atom_index] = out_match
+        length = len(out_sel)
+
+    stats.block_rows += length
+    if not length:
+        return {}
+    rowid_columns = [block_rowids[index] for index in range(len(plans))]
+    head_vars = [term for term in query.head if isinstance(term, Variable)]
+    if head_vars and length > 1 and use_numpy is not False \
+            and _numpy is not None:
+        groups = _group_by_head_numpy(query, head_vars, block_vars,
+                                      rowid_columns, atom_rows, length)
+    else:
+        groups = _group_by_head(query, block_vars, rowid_columns, atom_rows,
+                                length)
+    stats.blocks_produced += len(groups)
+    return groups
+
+
+def _group_by_head(
+        query: ConjunctiveQuery,
+        block_vars: Mapping[Variable, CodeColumn],
+        rowid_columns: Sequence[CodeColumn],
+        atom_rows: Sequence[Sequence[Tuple]],
+        length: int,
+) -> Dict[Answer, ValuationBlock]:
+    """Bucket the joined block by head codes; one block per answer."""
+    head_vars = [term for term in query.head if isinstance(term, Variable)]
+    buckets: Dict[Any, List[int]] = {}
+    if not head_vars:
+        buckets[()] = list(range(length))
+    elif len(head_vars) == 1:
+        for index, code in enumerate(block_vars[head_vars[0]]):
+            bucket = buckets.get(code)
+            if bucket is None:
+                buckets[code] = [index]
+            else:
+                bucket.append(index)
+    else:
+        for index, codes in enumerate(
+                zip(*(block_vars[v] for v in head_vars))):
+            bucket = buckets.get(codes)
+            if bucket is None:
+                buckets[codes] = [index]
+            else:
+                bucket.append(index)
+
+    shared_rows = tuple(atom_rows)
+    groups: Dict[Answer, ValuationBlock] = {}
+    for key, indices in buckets.items():
+        assignment: Dict[Variable, Any] = {}
+        if head_vars:
+            # Decode head values through the matched tuples of any one row
+            # of the bucket rather than through the dictionary: the bucket
+            # key is the code tuple, and every row of the bucket carries
+            # the same head values by construction.
+            assignment = _head_assignment(query, shared_rows, rowid_columns,
+                                          indices[0])
+        head = tuple(
+            assignment[term] if isinstance(term, Variable) else term.value
+            for term in query.head
+        )
+        rowids = tuple(
+            array("q", (column[index] for index in indices))
+            for column in rowid_columns
+        )
+        groups[head] = ValuationBlock(shared_rows, rowids)
+    return groups
+
+
+def _group_by_head_numpy(
+        query: ConjunctiveQuery,
+        head_vars: Sequence[Variable],
+        block_vars: Mapping[Variable, CodeColumn],
+        rowid_columns: Sequence[CodeColumn],
+        atom_rows: Sequence[Sequence[Tuple]],
+        length: int,
+) -> Dict[Answer, ValuationBlock]:
+    """Vectorised head grouping: one stable sort, then boundary slices.
+
+    Sorts the joined block by head codes (stable, so same-head rows stay in
+    join order), finds the bucket boundaries with one vectorised compare,
+    and hands each block *views* into the sorted row-id vectors — no
+    per-valuation python work at all.  Produces the same answer → valuation
+    multiset as :func:`_group_by_head` (the property suite pins it).
+    """
+    np = _numpy
+    cols = [np.asarray(block_vars[variable], dtype=np.int64)
+            for variable in head_vars]
+    if len(cols) == 1:
+        sort_index = np.argsort(cols[0], kind="stable")
+    else:
+        # lexsort keys: last key is primary; reverse for head-order majors.
+        sort_index = np.lexsort(tuple(cols[::-1]))
+    sorted_cols = [column[sort_index] for column in cols]
+    is_boundary = np.zeros(length, dtype=bool)
+    is_boundary[0] = True
+    for column in sorted_cols:
+        is_boundary[1:] |= column[1:] != column[:-1]
+    boundaries = np.flatnonzero(is_boundary)
+    ends = np.append(boundaries[1:], length)
+    rowid_sorted = [
+        np.asarray(column, dtype=np.int64)[sort_index]
+        for column in rowid_columns
+    ]
+    shared_rows = tuple(atom_rows)
+    groups: Dict[Answer, ValuationBlock] = {}
+    for begin, end in zip(boundaries.tolist(), ends.tolist()):
+        assignment = _head_assignment(query, shared_rows, rowid_sorted,
+                                      begin)
+        head = tuple(
+            assignment[term] if isinstance(term, Variable) else term.value
+            for term in query.head
+        )
+        rowids = tuple(column[begin:end] for column in rowid_sorted)
+        groups[head] = ValuationBlock(shared_rows, rowids)
+    return groups
+
+
+def _head_assignment(
+        query: ConjunctiveQuery,
+        atom_rows: Sequence[Sequence[Tuple]],
+        rowid_columns: Sequence[CodeColumn],
+        row: int,
+) -> Dict[Variable, Any]:
+    """Head-variable values of one joined row, read off its matched tuples."""
+    assignment: Dict[Variable, Any] = {}
+    needed = {term for term in query.head if isinstance(term, Variable)}
+    for atom_index, atom in enumerate(query.atoms):
+        if not needed:
+            break
+        tup = atom_rows[atom_index][rowid_columns[atom_index][row]]
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Variable) and term in needed:
+                assignment[term] = tup.values[position]
+                needed.discard(term)
+    return assignment

@@ -30,6 +30,7 @@ reference implementation used as ground truth in tests.
 from __future__ import annotations
 
 from typing import (
+    AbstractSet,
     Any,
     Dict,
     FrozenSet,
@@ -43,9 +44,17 @@ from typing import (
     Tuple as TypingTuple,
 )
 
+from .columnar import (
+    Answer,
+    ColumnStore,
+    PassStats,
+    ValuationBlock,
+    ValueDictionary,
+    run_pass,
+)
 from .database import Database
 from .query import Atom, ConjunctiveQuery, Constant, Variable
-from .tuples import Tuple
+from .tuples import Tuple, value_sort_key
 
 
 class Valuation:
@@ -62,7 +71,7 @@ class Valuation:
     __slots__ = ("assignment", "atom_tuples")
 
     def __init__(self, assignment: Mapping[Variable, Any],
-                 atom_tuples: Sequence[Tuple]):
+                 atom_tuples: Sequence[Tuple]) -> None:
         self.assignment: Dict[Variable, Any] = dict(assignment)
         self.atom_tuples: TypingTuple[Tuple, ...] = tuple(atom_tuples)
 
@@ -89,14 +98,29 @@ class _RelationIndex:
     O(matching tuples), not O(relation).
     """
 
-    __slots__ = ("tuples", "by_position")
+    __slots__ = ("tuples", "by_position", "_snapshot")
 
-    def __init__(self, tuples: Iterable[Tuple]):
+    def __init__(self, tuples: Iterable[Tuple]) -> None:
         self.tuples: Set[Tuple] = set(tuples)
         self.by_position: Dict[int, Dict[Any, Set[Tuple]]] = {}
+        self._snapshot: Optional[FrozenSet[Tuple]] = None
+
+    def snapshot(self) -> FrozenSet[Tuple]:
+        """A read-only view of the full tuple set, cached until a change.
+
+        Unconstrained candidate requests used to copy the whole set per
+        call; the frozen snapshot is shared by every caller (plans never
+        mutate their base set in place — :meth:`_AtomPlan.restrict` builds
+        a fresh set, i.e. copies lazily only on actual pruning) and is
+        invalidated by :meth:`update_membership`.
+        """
+        if self._snapshot is None:
+            self._snapshot = frozenset(self.tuples)
+        return self._snapshot
 
     def update_membership(self, tup: Tuple, present: bool) -> None:
         """Add or remove one tuple, patching the built position indexes."""
+        self._snapshot = None
         if present:
             if tup in self.tuples:
                 return
@@ -116,10 +140,16 @@ class _RelationIndex:
                         if not bucket:
                             del index[tup[position]]
 
-    def candidates(self, constraints: Sequence[TypingTuple[int, Any]]) -> Set[Tuple]:
-        """Tuples matching every ``(position, value)`` constraint."""
+    def candidates(
+            self, constraints: Sequence[TypingTuple[int, Any]],
+    ) -> AbstractSet[Tuple]:
+        """Tuples matching every ``(position, value)`` constraint.
+
+        The result is read-only: unconstrained calls share the cached
+        snapshot instead of copying the full tuple set.
+        """
         if not constraints:
-            return set(self.tuples)
+            return self.snapshot()
         best: Optional[Set[Tuple]] = None
         for position, value in constraints:
             index = self.by_position.get(position)
@@ -146,7 +176,7 @@ class _AtomPlan:
 
     __slots__ = ("atom", "const_positions", "var_positions", "candidates", "index")
 
-    def __init__(self, atom: Atom, relation_index: _RelationIndex):
+    def __init__(self, atom: Atom, relation_index: _RelationIndex) -> None:
         self.atom = atom
         self.const_positions: List[TypingTuple[int, Any]] = []
         # variable -> first position it occupies (repeats checked at build time)
@@ -165,29 +195,36 @@ class _AtomPlan:
         # a heavily-bound atom (e.g. the residual query of an incremental
         # refresh, where delta values appear as constants) costs O(matching
         # tuples) instead of a scan over the whole relation.
+        base: AbstractSet[Tuple]
         if self.const_positions:
             base = relation_index.candidates(self.const_positions)
         else:
-            base = set(relation_index.tuples)
+            # Unconstrained base: share the relation's cached snapshot —
+            # restriction below copies lazily, only when it actually prunes.
+            base = relation_index.snapshot()
         if repeats:
             base = {tup for tup in base
                     if all(tup[a] == tup[b] for a, b in repeats)}
-        self.candidates: Set[Tuple] = base
+        self.candidates: AbstractSet[Tuple] = base
         self.index: Optional[_RelationIndex] = None
 
     def values_of(self, variable: Variable) -> Set[Any]:
         position = self.var_positions[variable]
         return {tup[position] for tup in self.candidates}
 
-    def restrict(self, variable: Variable, allowed: Set[Any]) -> bool:
+    def restrict(self, variable: Variable, allowed: Set[Any]) -> int:
         """Drop candidates whose value for ``variable`` is not allowed.
 
-        Returns ``True`` when anything was removed.
+        Returns the number of candidates removed (0 when nothing changed —
+        in that case the candidate set object is kept as-is, so a shared
+        snapshot is never copied needlessly).
         """
         position = self.var_positions[variable]
-        before = len(self.candidates)
-        self.candidates = {t for t in self.candidates if t[position] in allowed}
-        return len(self.candidates) != before
+        restricted = {t for t in self.candidates if t[position] in allowed}
+        removed = len(self.candidates) - len(restricted)
+        if removed:
+            self.candidates = restricted
+        return removed
 
     def build_index(self) -> _RelationIndex:
         if self.index is None:
@@ -217,11 +254,17 @@ class QueryEvaluator:
     """
 
     def __init__(self, database: Database, respect_annotations: bool = True,
-                 semijoin: bool = True):
+                 semijoin: bool = True) -> None:
         self.database = database
         self.respect_annotations = respect_annotations
         self.semijoin = semijoin
         self._indexes: Dict[TypingTuple[str, Optional[bool]], _RelationIndex] = {}
+        #: Per-phase counters of the valuation pass (cumulative, cheap).
+        self.stats = PassStats()
+        # Columnar state: one value dictionary per evaluator, one column
+        # store per (relation, status) — patched by :meth:`apply_changes`.
+        self._dictionary = ValueDictionary()
+        self._stores: Dict[TypingTuple[str, Optional[bool]], ColumnStore] = {}
 
     # ------------------------------------------------------------------ #
     def _index_for(self, atom: Atom) -> _RelationIndex:
@@ -239,6 +282,21 @@ class QueryEvaluator:
             self._indexes[key] = index
         return index
 
+    def _store_for(self, atom: Atom) -> ColumnStore:
+        """The dictionary-encoded column store backing ``atom``'s tuple set.
+
+        Built lazily from the matching relation index (so both views share
+        one membership source) and patched per tuple by
+        :meth:`apply_changes` — the encodings survive recorded deltas.
+        """
+        status = atom.endogenous if self.respect_annotations else None
+        key = (atom.relation, status)
+        store = self._stores.get(key)
+        if store is None:
+            store = ColumnStore(self._dictionary, self._index_for(atom).tuples)
+            self._stores[key] = store
+        return store
+
     def apply_changes(self, changed: Iterable[Tuple]) -> None:
         """Patch the cached relation indexes after an in-place database change.
 
@@ -253,16 +311,19 @@ class QueryEvaluator:
             present = self.database.contains(tup)
             endogenous = present and self.database.is_endogenous(tup)
             for status in (None, True, False):
-                index = self._indexes.get((tup.relation, status))
-                if index is None:
-                    continue
                 if status is None:
                     belongs = present
                 elif status:
                     belongs = endogenous
                 else:
                     belongs = present and not endogenous
-                index.update_membership(tup, belongs)
+                key = (tup.relation, status)
+                index = self._indexes.get(key)
+                if index is not None:
+                    index.update_membership(tup, belongs)
+                store = self._stores.get(key)
+                if store is not None:
+                    store.update_membership(tup, belongs)
 
     def _build_plans(self, query: ConjunctiveQuery) -> Optional[List[_AtomPlan]]:
         """Per-atom candidate sets, reduced to a semi-join fixpoint.
@@ -272,6 +333,7 @@ class QueryEvaluator:
         """
         plans = [_AtomPlan(atom, self._index_for(atom))
                  for atom in query.atoms]
+        self.stats.plans_built += len(plans)
         if any(not plan.candidates for plan in plans):
             return None
         if not self.semijoin:
@@ -285,10 +347,13 @@ class QueryEvaluator:
         changed = True
         while changed:
             changed = False
+            self.stats.semijoin_rounds += 1
             for variable, sharing in shared:
                 allowed = set.intersection(*(p.values_of(variable) for p in sharing))
                 for plan in sharing:
-                    if plan.restrict(variable, allowed):
+                    removed = plan.restrict(variable, allowed)
+                    if removed:
+                        self.stats.rows_pruned += removed
                         plan.index = None
                         changed = True
                     if not plan.candidates:
@@ -370,6 +435,57 @@ class QueryEvaluator:
                     assignment.pop(var, None)
 
         yield from backtrack(0)
+
+    def valuations_blocks(
+            self, query: ConjunctiveQuery,
+            use_numpy: Optional[bool] = None,
+    ) -> Dict[Answer, ValuationBlock]:
+        """The columnar valuation pass: one :class:`ValuationBlock` per answer.
+
+        Same planner as :meth:`valuations` (``_build_plans`` applies
+        constants, repeats and the semi-join fixpoint; ``_atom_order`` picks
+        the greedy join order), but execution is block-at-a-time — hash
+        joins over dictionary-encoded columns, head grouping on codes.  The
+        valuation *set* is identical to the backtracking enumeration; only
+        the representation differs, and blocks materialise tuple-level
+        structures lazily (:meth:`ValuationBlock.conjuncts`).
+
+        ``use_numpy`` forces the probe path: ``None`` (default) uses the
+        vectorised probe when NumPy is importable, ``False`` pins the pure
+        path (differential-testing baseline), ``True`` requires NumPy.
+        """
+        plans = self._build_plans(query)
+        if plans is None:
+            return {}
+        order = self._atom_order(plans)
+        stores = [self._store_for(plan.atom) for plan in plans]
+        return run_pass(query, plans, order, stores, self.stats,
+                        use_numpy=use_numpy)
+
+    def grouped_valuations(
+            self, query: ConjunctiveQuery,
+    ) -> Iterator[TypingTuple[Answer, List[Valuation]]]:
+        """Yield ``(answer, [valuations])`` off the columnar pass.
+
+        The thin block→:class:`Valuation` adapter: answers stream in
+        deterministic (sorted) order and each block is materialised into
+        tuple-at-a-time :class:`Valuation` objects, so callers keep the
+        exact API (and ordering guarantees) of the SQLite backend's
+        ``grouped_valuations`` while the pass itself runs columnar.
+        """
+        blocks = self.valuations_blocks(query)
+        for head in sorted(blocks, key=value_sort_key):
+            block = blocks[head]
+            valuations: List[Valuation] = []
+            for atom_tuples in block.atom_tuples():
+                assignment: Dict[Variable, Any] = {}
+                for atom, tup in zip(query.atoms, atom_tuples):
+                    for position, term in enumerate(atom.terms):
+                        if isinstance(term, Variable):
+                            assignment[term] = tup.values[position]
+                valuations.append(Valuation(assignment, atom_tuples))
+            self.stats.adapter_valuations += len(valuations)
+            yield head, valuations
 
     def holds(self, query: ConjunctiveQuery) -> bool:
         """``D ⊨ q`` for a Boolean query: does at least one valuation exist?"""

@@ -1,0 +1,22 @@
+"""Known-bad: unannotated signatures in the columnar strict-typing tier.
+
+The file name matters: ``relational/columnar.py`` is one of the
+file-granular scope entries of the ``typed-defs`` rule, so unannotated
+defs here must fire exactly as they do in ``engine/``.
+"""
+
+
+def encode(value):  # expect: typed-defs, typed-defs
+    return repr(value)
+
+
+def run_pass(query, stores, *, use_numpy: bool = False) -> int:  # expect: typed-defs
+    return len(stores) if use_numpy else len(query)
+
+
+class ValuationBlock:
+    def __len__(self) -> int:
+        return 0
+
+    def conjuncts(self):  # expect: typed-defs
+        return []

@@ -1,0 +1,15 @@
+"""Known-good: fully annotated signatures in ``relational/evaluation.py``."""
+
+from typing import Dict, List
+
+
+def valuations_blocks(query: str, use_numpy: bool = False) -> Dict[str, List[int]]:
+    return {query: [int(use_numpy)]}
+
+
+class QueryEvaluator:
+    def __init__(self, database: object) -> None:
+        self.database = database
+
+    def holds(self, query: str) -> bool:
+        return bool(query)

@@ -1,0 +1,10 @@
+"""Out of scope: ``relational/tuples.py`` is not in the strict tier.
+
+Unannotated defs here must produce *no* findings — the ``typed-defs``
+scope within ``relational/`` is file-granular (session, evaluation,
+columnar), not the whole package.
+"""
+
+
+def sort_key(values):
+    return tuple(repr(v) for v in values)

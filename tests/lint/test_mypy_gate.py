@@ -21,7 +21,9 @@ def test_strict_tier_is_mypy_clean():
     result = subprocess.run(
         [sys.executable, "-m", "mypy",
          "--config-file", str(REPO_ROOT / "mypy.ini"),
-         "-p", "repro.engine", "-m", "repro.relational.session"],
+         "-p", "repro.engine", "-m", "repro.relational.session",
+         "-m", "repro.relational.evaluation",
+         "-m", "repro.relational.columnar"],
         cwd=REPO_ROOT,
         capture_output=True,
         text=True,
