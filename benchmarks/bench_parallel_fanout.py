@@ -31,6 +31,14 @@ parallelise *onto*), while the equivalence suite
 (``tests/property/test_parallel_fanout.py``) pins its correctness
 everywhere.
 
+A **big tier** at 100x scale pins the sharded path
+(``explain_all(sharded=True, chunking="stealing")``): answer-partitioned
+workers each run their own restricted valuation pass, so serial's single
+full pass stops being the floor and the speedup is measured against serial
+itself, at 4 and 8 workers.  Its speedup floors are CPU-gated (a runner
+with fewer cores than workers only checks bit-identity) and shrink to
+>= 1x under ``REPRO_BENCH_SMOKE=1``.
+
 The old pool is replicated verbatim at module level below — it no longer
 exists in the library.  Run with
 ``pytest benchmarks/bench_parallel_fanout.py -s`` to see the tables.
@@ -48,6 +56,7 @@ import pytest
 
 from repro.engine import BatchExplainer, WhyNoBatchExplainer
 from repro.relational import Database, parse_query
+from repro.workloads import sharded_fanout_instance
 
 RANKING_QUERY = parse_query("q(x) :- R(x, y), S(y, z)")
 WHYNO_QUERY = parse_query("q(x) :- R(x, y), S(y), T(y)")
@@ -236,6 +245,99 @@ def test_whyno_fanout_beats_rederive_pool(table_printer):
         f"fan-out only {speedup:.1f}x over the re-derive pool "
         f"(wanted >= {MIN_SPEEDUP}x)"
     )
+
+
+# --------------------------------------------------------------------------- #
+# the big tier: sharded passes + work-stealing on the 100x-scale workload
+# --------------------------------------------------------------------------- #
+BIG_ANSWERS = 12 if SMOKE else 80
+BIG_WITNESSES = 4 if SMOKE else 20
+BIG_WORKER_COUNTS = (4, 8)
+# Speedup floors only bind where the cores exist to deliver them; the
+# bit-identity assertions always run, on any machine.
+FULL_TIER_FLOORS = {4: 3.0, 8: 5.0}
+SMOKE_TIER_FLOOR = 1.0
+
+
+def big_sharded_instance(skew_factor: int = 1) -> Database:
+    """The 100x-scale fan-out shape: per-answer disjoint lineage."""
+    return sharded_fanout_instance(BIG_ANSWERS, BIG_WITNESSES, seed=17,
+                                   skew_factor=skew_factor)
+
+
+@needs_fork
+@pytest.mark.parametrize("workers", BIG_WORKER_COUNTS)
+def test_big_tier_sharded_pass_scales(table_printer, workers):
+    """Sharded workers run their *own* restricted passes: serial's single
+    full pass stops being the floor, so the speedup is measured against
+    serial itself (not the old pool).  Floors are CPU-gated — a runner
+    with fewer cores than workers cannot hit them and only checks
+    bit-identity."""
+    db = big_sharded_instance()
+
+    start = time.perf_counter()
+    serial = BatchExplainer(RANKING_QUERY, db).explain_all()
+    serial_s = time.perf_counter() - start
+    assert len(serial) == BIG_ANSWERS
+
+    start = time.perf_counter()
+    explainer = BatchExplainer(RANKING_QUERY, db)
+    sharded = explainer.explain_all(workers=workers, transport="fork",
+                                    sharded=True, chunking="stealing")
+    sharded_s = time.perf_counter() - start
+
+    assert list(sharded) == list(serial)
+    for answer in serial:
+        assert ranking(sharded[answer]) == ranking(serial[answer]), answer
+
+    speedup = serial_s / sharded_s if sharded_s else float("inf")
+    cores = os.cpu_count() or 1
+    table_printer(
+        f"Big tier: sharded pass + stealing at {workers} workers",
+        ("variant", "targets", "seconds"),
+        [("serial explain_all()", len(serial), f"{serial_s:.3f}"),
+         (f"sharded+stealing ({workers}w)", len(sharded), f"{sharded_s:.3f}"),
+         ("sharded vs serial", f"{cores} core(s)", f"{speedup:.1f}x"),
+         ("staged state", "",
+          "n/a" if sharded.state_bytes is None
+          else f"{sharded.state_bytes} bytes")])
+    if SMOKE:
+        if cores >= 2:
+            assert speedup >= SMOKE_TIER_FLOOR, (
+                f"sharded only {speedup:.1f}x over serial "
+                f"(wanted >= {SMOKE_TIER_FLOOR}x in smoke mode)")
+    elif cores >= workers:
+        floor = FULL_TIER_FLOORS[workers]
+        assert speedup >= floor, (
+            f"sharded only {speedup:.1f}x over serial at {workers} workers "
+            f"(wanted >= {floor}x on a {cores}-core machine)")
+
+
+def test_big_tier_sharded_modes_and_backends():
+    """Bit-identity of the sharded path at bench scale: both modes, both
+    backends (the property suite covers the randomized space)."""
+    db = big_sharded_instance()
+    for backend in ("memory", "sqlite"):
+        serial = BatchExplainer(RANKING_QUERY, db,
+                                backend=backend).explain_all()
+        pooled = BatchExplainer(RANKING_QUERY, db, backend=backend).explain_all(
+            workers=2, sharded=True)
+        assert list(pooled) == list(serial), backend
+        for answer in serial:
+            assert ranking(pooled[answer]) == ranking(serial[answer]), \
+                (backend, answer)
+    wdb, domains, targets = whyno_workload()
+    for backend in ("memory", "sqlite"):
+        serial = WhyNoBatchExplainer(WHYNO_QUERY, wdb, non_answers=targets,
+                                     domains=domains,
+                                     backend=backend).explain_all()
+        pooled = WhyNoBatchExplainer(
+            WHYNO_QUERY, wdb, non_answers=targets, domains=domains,
+            backend=backend).explain_all(workers=2, sharded=True)
+        assert list(pooled) == list(serial), backend
+        for target in targets:
+            assert ranking(pooled[target]) == ranking(serial[target]), \
+                (backend, target)
 
 
 def test_transports_agree_on_the_ranking_workload():

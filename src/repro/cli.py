@@ -137,9 +137,12 @@ def _print_fanout_report(args: argparse.Namespace, explanations) -> None:
     """
     if args.workers is None and args.transport == "auto":
         return
+    staged = ("n/a" if explanations.state_bytes is None
+              else f"{explanations.state_bytes} byte(s)")
     print(f"fan-out: transport={explanations.transport}, "
           f"{explanations.requested_workers} requested / "
-          f"{explanations.effective_workers} effective worker(s)")
+          f"{explanations.effective_workers} effective worker(s), "
+          f"staged state {staged}")
 
 
 def _refresh_and_print(explainer, delta_path: str, top: Optional[int],
@@ -179,7 +182,9 @@ def _cmd_explain_batch(args: argparse.Namespace) -> int:
     explainer = BatchExplainer(query, database, method=args.method,
                                backend=args.backend)
     explanations = explainer.explain_all(workers=args.workers,
-                                         transport=args.transport)
+                                         transport=args.transport,
+                                         sharded=args.sharded,
+                                         chunking=args.chunking)
     if not explanations:
         print("the query has no answers on this database")
         return 0
@@ -235,7 +240,9 @@ def _run_whyno_batch(args: argparse.Namespace, query, database: Database) -> int
                                         non_answers=non_answers,
                                         domains=domains, backend=args.backend)
     explanations = explainer.explain_all(workers=args.workers,
-                                         transport=args.transport)
+                                         transport=args.transport,
+                                         sharded=args.sharded,
+                                         chunking=args.chunking)
     if not explanations:
         print("no missing answers to explain "
               "(every candidate head tuple is an answer)")
@@ -432,6 +439,17 @@ def build_parser() -> argparse.ArgumentParser:
                                    "shared-memory segment, or in-process "
                                    "serial (default: auto = fork where "
                                    "available, else shared-memory)")
+    batch_parser.add_argument("--sharded", action="store_true",
+                              help="partition answers by head value and let "
+                                   "each worker run its own shard-restricted "
+                                   "valuation pass instead of inheriting the "
+                                   "parent's finished pass")
+    batch_parser.add_argument("--chunking", default=None,
+                              choices=("contiguous", "stealing"),
+                              help="how the pool assigns targets to workers: "
+                                   "fixed contiguous slices or work-stealing "
+                                   "over fine-grained chunks (default: "
+                                   "stealing when --sharded, else contiguous)")
     batch_parser.add_argument("--top", type=int, default=None,
                               help="print only the K best causes per answer")
     batch_parser.add_argument("--cache-stats", action="store_true",

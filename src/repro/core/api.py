@@ -195,20 +195,27 @@ class ExplanationSession:
                     workers: Optional[int] = None,
                     transport: str = "auto",
                     on_chunk: Optional[Callable[
-                        [List[Any], Dict[Any, Explanation]], None]] = None
+                        [List[Any], Dict[Any, Explanation]], None]] = None,
+                    sharded: bool = False,
+                    chunking: Optional[str] = None
                     ) -> Dict[Any, Explanation]:
         """Why-So explanations for every answer, via the shared engine.
 
         ``workers``/``transport`` select the parallel fan-out of
         :meth:`repro.engine.BatchExplainer.explain_all`; the workers inherit
         the session engine's completed open-query pass, and their cache
-        entries merge back into it.  ``on_chunk`` streams ranked
-        explanations back incrementally as chunks finish (see there) — this
-        is what the explanation service's streaming responses ride on.
+        entries merge back into it.  ``sharded=True`` instead
+        hash-partitions the answer space and has each worker run its own
+        shard-restricted valuation pass (see there); ``chunking`` picks the
+        pool discipline.  ``on_chunk`` streams ranked explanations back
+        incrementally as chunks finish (see there) — this is what the
+        explanation service's streaming responses ride on.
         """
         return self._whyso_engine().explain_all(answers, workers=workers,
                                                 transport=transport,
-                                                on_chunk=on_chunk)
+                                                on_chunk=on_chunk,
+                                                sharded=sharded,
+                                                chunking=chunking)
 
     def for_missing_answers(
         self, domains: Optional[Mapping[str, Iterable[Any]]] = None,
@@ -217,12 +224,15 @@ class ExplanationSession:
         transport: str = "auto",
         on_chunk: Optional[Callable[
             [List[Any], Dict[Any, Explanation]], None]] = None,
+        sharded: bool = False,
+        chunking: Optional[str] = None,
     ) -> Dict[Any, Explanation]:
         """Why-No explanations for every missing answer the domains allow.
 
         The constructed batch becomes the session's live Why-No engine, so a
         later :meth:`refresh` re-evaluates only the touched non-answers.
-        ``on_chunk`` streams results incrementally, as in
+        ``on_chunk`` streams results incrementally, and ``sharded``/
+        ``chunking`` select the shard-parallel pass, as in
         :meth:`explain_all`.
         """
         from ..engine.whyno_batch import WhyNoBatchExplainer
@@ -231,7 +241,8 @@ class ExplanationSession:
             self.query, self.database, domains=domains,
             max_candidates=max_candidates, backend=self.backend)
         return self._whyno.explain_all(workers=workers, transport=transport,
-                                       on_chunk=on_chunk)
+                                       on_chunk=on_chunk, sharded=sharded,
+                                       chunking=chunking)
 
     # -- incremental re-explanation --------------------------------------- #
     def refresh(self, delta) -> Dict[str, Any]:
@@ -318,7 +329,10 @@ class ExplanationSession:
         per-phase counters are included under ``pass_*`` keys (plans built,
         semi-join fixpoint rounds, rows pruned, blocks produced, join-path
         splits, adapter materialisations) — see
-        :class:`~repro.relational.columnar.PassStats`.
+        :class:`~repro.relational.columnar.PassStats`.  The ``pass_*``
+        counters describe the *most recent* pass each engine ran, not a
+        running total across the session's lifetime: resident servers can
+        report them per request without drift.
         """
         stats: Dict[str, Any] = {
             "whyso_memo_hits": 0, "whyso_memo_misses": 0,

@@ -38,6 +38,29 @@ The seam has three pieces:
   workers; the result makes the actual count visible so benchmarks and
   tests can assert on it).
 
+On top of the transport, callers pick a **chunking** discipline:
+
+=================  =========================================================
+``contiguous``     the default: targets split into exactly one balanced
+                   chunk per worker, assigned up front.  Lowest overhead,
+                   but a skewed target (one answer with 100× the lineage)
+                   serialises its whole chunk behind it.
+``stealing``       work-stealing: targets split into fine-grained chunks
+                   (several per worker) and published behind a shared
+                   claim index — a :mod:`multiprocessing` counter shipped
+                   through the pool initializer.  Workers loop: lock,
+                   read-and-increment the index, run the claimed chunk.
+                   Fast workers drain what slow ones never reach, so the
+                   makespan tracks total work, not the worst chunk.  A
+                   worker that claims nothing never runs ``setup`` (and
+                   skips ``finalize``).
+=================  =========================================================
+
+Either chunking yields the *same* :class:`FanOutResult`: results are
+re-keyed in serial target order and per-worker ``finalize`` extras are
+collected in submission order, so outputs stay independent of which worker
+claimed what.
+
 Failures are typed, never hung and never half-merged: a worker that raises
 surfaces as a :class:`~repro.exceptions.FanOutWorkerError` naming the
 offending target; a worker *process* that dies surfaces the same error
@@ -104,6 +127,14 @@ OnChunk = Callable[[List[Any], Dict[Any, Any]], None]
 #: The transports a caller may request (``auto`` resolves to a concrete one).
 TRANSPORTS = ("auto", "serial", "fork", "shared-memory")
 
+#: The chunking disciplines a caller may request (see the module docstring).
+CHUNKINGS = ("contiguous", "stealing")
+
+#: Fine-grained chunks per worker under work-stealing.  Higher values level
+#: skew better but pay one claim-lock round-trip per chunk; 4 keeps the
+#: slowest worker's tail at ~1/4 of an even share while the lock stays cold.
+_STEAL_CHUNK_FACTOR = 4
+
 
 class FanOutSpec:
     """What each fan-out worker runs, as three module-level functions.
@@ -158,12 +189,14 @@ class FanOutResult(Dict[Any, Any]):
         The per-worker ``finalize`` returns, in chunk order (empty when the
         spec has no ``finalize``).
     state_bytes:
-        Size of the pickled shared state actually shipped to workers —
-        the one shared-memory segment's payload.  ``None`` for the serial
-        and fork transports, which ship no pickle (fork inherits the state
-        copy-on-write).  Lets callers observe what a state representation
-        change (e.g. columnar blocks instead of conjunct frozensets) saves
-        on the wire without instrumenting the pool.
+        Pickled size of the staged ``(spec, shared_state)`` pair, reported
+        on **every** transport so ``--cache-stats`` lines stay comparable:
+        the shared-memory transport reports the segment payload it actually
+        shipped, while fork (which stages the same state copy-on-write) and
+        serial (which stages it in-process) measure the identical pickle
+        without shipping it.  ``None`` only when the state is unpicklable
+        (e.g. lambda specs on the serial transport) — or on engine fast
+        paths that never stage state for a pool at all.
     """
 
     def __init__(self, results: Dict[Any, Any], transport: str,
@@ -341,6 +374,11 @@ def _attach_segment(name: str) -> Any:
 
 def _shm_chunk(payload: TypingTuple[str, int, List[Any]]) -> Dict[str, Any]:
     name, size, chunk = payload
+    spec, state = _shm_shared(name, size)
+    return _run_chunk(spec, state, chunk)
+
+
+def _shm_shared(name: str, size: int) -> Any:
     shared = _SHM_CACHE.get(name)
     if shared is None:
         segment = _attach_segment(name)
@@ -350,8 +388,92 @@ def _shm_chunk(payload: TypingTuple[str, int, List[Any]]) -> Dict[str, Any]:
             segment.close()
         _SHM_CACHE.clear()  # one pool per process lifetime; keep it bounded
         _SHM_CACHE[name] = shared
-    spec, state = shared
-    return _run_chunk(spec, state, chunk)
+    return shared
+
+
+# --------------------------------------------------------------------------- #
+# work-stealing chunking
+# --------------------------------------------------------------------------- #
+# The shared claim index: a multiprocessing.Value handed to every worker via
+# the pool initializer (the only channel that reaches both fork and spawn
+# workers — synchronized primitives refuse to travel through submit args).
+_STEAL_CLAIM: Any = None
+
+
+def _steal_init(claim: Any) -> None:
+    global _STEAL_CLAIM
+    _STEAL_CLAIM = claim
+
+
+def _fork_steal_worker(chunks: List[List[Any]]) -> Dict[str, Any]:
+    spec, state = _FORK_SHARED
+    return _steal_loop(spec, state, chunks)
+
+
+def _shm_steal_worker(payload: TypingTuple[str, int, List[List[Any]]]
+                      ) -> Dict[str, Any]:
+    name, size, chunks = payload
+    spec, state = _shm_shared(name, size)
+    return _steal_loop(spec, state, chunks)
+
+
+def _steal_loop(spec: FanOutSpec, state: Any,
+                chunks: List[List[Any]]) -> Dict[str, Any]:
+    """One worker's claim-run loop; never raises — failures return as data.
+
+    The worker repeatedly claims the next unclaimed chunk off the shared
+    index and runs it.  ``setup`` is lazy (first claimed chunk only), so a
+    worker the siblings starve out pays nothing and produces no extra.  On
+    a per-target failure the worker stops claiming and returns early —
+    siblings drain the remaining chunks, and the parent raises with the
+    offending target.  A ``finalize`` failure voids the worker's entire
+    contribution (its per-chunk results cannot be merged without the extra
+    they were computed alongside), reported against every target it ran.
+    """
+    outcomes: List[TypingTuple[int, Dict[str, Any]]] = []
+    context: Any = None
+    started = False
+    claimed: List[Any] = []
+    first_index = len(chunks)
+    while True:
+        with _STEAL_CLAIM.get_lock():
+            index = _STEAL_CLAIM.value
+            if index >= len(chunks):
+                break
+            _STEAL_CLAIM.value = index + 1
+        chunk = chunks[index]
+        first_index = min(first_index, index)
+        if not started:
+            started = True
+            try:
+                context = state if spec.setup is None else spec.setup(state)
+            except Exception as error:
+                outcomes.append((index, _failure(tuple(chunk), error)))
+                return {"outcomes": outcomes}
+        results: Dict[Any, Any] = {}
+        for target in chunk:
+            try:
+                results[target] = spec.compute(context, target)
+            except Exception as error:
+                outcomes.append((index, _failure((target,), error)))
+                return {"outcomes": outcomes}
+        claimed.extend(chunk)
+        outcomes.append((index, {"results": results, "extra": None}))
+    extra = None
+    if started and spec.finalize is not None:
+        try:
+            extra = spec.finalize(context)
+        except Exception as error:
+            return {"outcomes": [(first_index, _failure(tuple(claimed),
+                                                        error))]}
+    return {"outcomes": outcomes, "extra": extra}
+
+
+def _failure(targets: TypingTuple[Any, ...],
+             error: Exception) -> Dict[str, Any]:
+    return {"failed": targets,
+            "detail": f"{type(error).__name__}: {error}\n"
+                      + traceback.format_exc()}
 
 
 def _collect(
@@ -411,6 +533,68 @@ def _collect(
     return outcomes
 
 
+def _collect_stealing(
+    futures: Sequence[Any],
+    chunks: List[List[Any]],
+    transport: str,
+    on_chunk: Optional[OnChunk] = None,
+) -> List[Dict[str, Any]]:
+    """Gather work-stealing worker payloads into ``_merge``-ready outcomes.
+
+    Same contract as :func:`_collect` — every future drained, a per-target
+    failure report wins over a broken pool, nothing merged on failure — but
+    the accounting is per *claimed chunk*: each worker returns the list of
+    ``(chunk_index, outcome)`` pairs it ran, and a chunk no worker ever
+    claimed (possible only when the pool broke or a worker bailed early)
+    is what the broken-pool error names.  With ``on_chunk``, a worker's
+    successful chunks stream the moment its future lands (the claim loop
+    returns them in one batch, so granularity is per worker, in completion
+    order); failed chunks are never streamed.
+    """
+    pending = {future: position for position, future in enumerate(futures)}
+    ran: Dict[int, Dict[str, Any]] = {}
+    extras_slots: List[Any] = [None] * len(futures)
+    broken_error: Optional[BaseException] = None
+    for future in concurrent.futures.as_completed(pending):
+        position = pending[future]
+        try:
+            payload = future.result()
+        except BrokenProcessPool as error:
+            broken_error = error
+            continue
+        for index, outcome in payload["outcomes"]:
+            ran[index] = outcome
+            if on_chunk is not None and "failed" not in outcome:
+                on_chunk(list(chunks[index]), dict(outcome["results"]))
+        extras_slots[position] = payload.get("extra")
+    failures = sorted((index, outcome) for index, outcome in ran.items()
+                      if "failed" in outcome)
+    if failures:
+        _, outcome = failures[0]
+        raise FanOutWorkerError(
+            f"a fan-out worker failed on target "
+            f"{_describe_targets(outcome['failed'])}: "
+            f"{outcome['detail'].splitlines()[0]}",
+            targets=outcome["failed"], transport=transport,
+            detail=outcome["detail"])
+    unclaimed = [target for index, chunk in enumerate(chunks)
+                 if index not in ran for target in chunk]
+    if broken_error is not None:
+        raise FanOutWorkerError(
+            f"a fan-out worker process died; unfinished chunk(s): "
+            f"{_describe_targets(unclaimed)}",
+            targets=unclaimed, transport=transport,
+            detail=repr(broken_error)) from broken_error
+    if unclaimed:  # invariant guard: no error, yet chunks went unrun
+        raise FanOutError(
+            f"work-stealing pool lost chunk(s) without reporting an error: "
+            f"{_describe_targets(unclaimed)}")
+    outcomes = [ran[index] for index in sorted(ran)]
+    outcomes.extend({"results": {}, "extra": extra}
+                    for extra in extras_slots if extra is not None)
+    return outcomes
+
+
 def _describe_targets(targets: Sequence[Any]) -> str:
     listed = ", ".join(repr(t) for t in list(targets)[:5])
     if len(targets) > 5:
@@ -421,14 +605,18 @@ def _describe_targets(targets: Sequence[Any]) -> str:
 def fan_out(targets: Sequence[Key], shared_state: Any, spec: FanOutSpec,
             workers: Optional[int] = None,
             transport: str = "auto",
-            on_chunk: Optional[OnChunk] = None) -> FanOutResult:
+            on_chunk: Optional[OnChunk] = None,
+            chunking: str = "contiguous") -> FanOutResult:
     """Run ``spec`` over ``targets`` with workers sharing ``shared_state``.
 
-    The targets are split into contiguous chunks, one per worker; each
-    worker receives the *whole* shared state through its transport (fork
-    inheritance or the pickle-once shared-memory segment — never one pickle
-    per chunk) plus only its chunk of target keys.  Results come back as a
-    :class:`FanOutResult` keyed in the serial target order.
+    Each worker receives the *whole* shared state through its transport
+    (fork inheritance or the pickle-once shared-memory segment — never one
+    pickle per chunk) plus target keys: under ``chunking="contiguous"`` one
+    balanced chunk assigned up front, under ``chunking="stealing"`` a view
+    of all fine-grained chunks plus the shared claim index to pull them
+    from (skew insurance — see the module docstring).  Results come back as
+    a :class:`FanOutResult` keyed in the serial target order either way;
+    the serial transport ignores ``chunking`` (one process, one chunk).
 
     ``on_chunk`` streams each successful chunk to the parent the moment its
     worker finishes (completion order); the serial transport reports its
@@ -442,23 +630,57 @@ def fan_out(targets: Sequence[Key], shared_state: Any, spec: FanOutSpec,
     concurrently, so the wait is bounded by the slowest one — and the
     successful ones are still streamed before the raise).
     """
+    if chunking not in CHUNKINGS:
+        raise FanOutError(
+            f"unknown chunking {chunking!r} (choose from {CHUNKINGS})"
+        )
     requested = 1 if workers is None else workers
     concrete = resolve_transport(transport, workers, len(targets))
     if concrete == "serial":
         outcomes = _collect_serial(targets, shared_state, spec, on_chunk)
-        return _merge(targets, outcomes, "serial", requested, 1)
+        return _merge(targets, outcomes, "serial", requested, 1,
+                      _measure_staged_bytes(spec, shared_state))
 
     pool_size = min(requested, len(targets))
+    if chunking == "stealing":
+        outcomes, state_bytes = _fan_out_stealing(
+            targets, shared_state, spec, concrete, pool_size, on_chunk)
+        # Every worker participates in the claim loop; report the pool size.
+        return _merge(targets, outcomes, concrete, requested, pool_size,
+                      state_bytes)
+
     chunks = _chunked(targets, pool_size)
-    state_bytes: Optional[int] = None
     if concrete == "fork":
         outcomes = _fan_out_fork(chunks, shared_state, spec, on_chunk)
+        state_bytes = _measure_staged_bytes(spec, shared_state)
     else:
         outcomes, state_bytes = _fan_out_shared_memory(
             chunks, shared_state, spec, on_chunk)
     # One worker per chunk actually runs; report that, not the request.
     return _merge(targets, outcomes, concrete, requested, len(chunks),
                   state_bytes)
+
+
+def _measure_staged_bytes(spec: FanOutSpec, shared_state: Any
+                          ) -> Optional[int]:
+    """Pickled size of the staged state, without shipping it anywhere.
+
+    What the shared-memory transport would put in its segment; measured
+    explicitly for the serial and fork transports so
+    :attr:`FanOutResult.state_bytes` is comparable across all three.
+    Falls back to the state alone when the spec is unpicklable (the serial
+    transport accepts lambda specs), and to ``None`` when even the state
+    will not pickle.
+    """
+    try:
+        return len(pickle.dumps((spec, shared_state),
+                                protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        try:
+            return len(pickle.dumps(shared_state,
+                                    protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:
+            return None
 
 
 def _collect_serial(targets: Sequence[Any], shared_state: Any,
@@ -476,6 +698,59 @@ def _collect_serial(targets: Sequence[Any], shared_state: Any,
     if on_chunk is not None:
         on_chunk(list(targets), dict(outcome["results"]))
     return [outcome]
+
+
+def _fan_out_stealing(targets: Sequence[Any], shared_state: Any,
+                      spec: FanOutSpec, concrete: str, pool_size: int,
+                      on_chunk: Optional[OnChunk] = None
+                      ) -> TypingTuple[List[Dict[str, Any]], Optional[int]]:
+    """Work-stealing fan-out over fine-grained chunks on either transport.
+
+    ``_STEAL_CHUNK_FACTOR`` chunks per worker (capped at one target per
+    chunk) go behind a shared claim index created from the pool's own
+    multiprocessing context and shipped via the pool *initializer* — the
+    one channel that reaches fork and spawn workers alike.  Exactly
+    ``pool_size`` workers are submitted; each loops claiming chunks until
+    the index runs off the end.
+    """
+    n_chunks = min(len(targets), pool_size * _STEAL_CHUNK_FACTOR)
+    chunks = _chunked(targets, n_chunks)
+    method = "fork" if concrete == "fork" else "spawn"
+    context = multiprocessing.get_context(method)
+    claim = context.Value("l", 0)
+    if concrete == "fork":
+        global _FORK_SHARED
+        _FORK_SHARED = (spec, shared_state)
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=pool_size, mp_context=context,
+                    initializer=_steal_init, initargs=(claim,)) as pool:
+                futures = [pool.submit(_fork_steal_worker, chunks)
+                           for _ in range(pool_size)]
+                outcomes = _collect_stealing(futures, chunks, concrete,
+                                             on_chunk)
+        finally:
+            _FORK_SHARED = None
+        return outcomes, _measure_staged_bytes(spec, shared_state)
+
+    from multiprocessing import shared_memory
+
+    blob = pickle.dumps((spec, shared_state),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+    segment = shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
+    try:
+        segment.buf[:len(blob)] = blob
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=pool_size, mp_context=context,
+                initializer=_steal_init, initargs=(claim,)) as pool:
+            futures = [pool.submit(_shm_steal_worker,
+                                   (segment.name, len(blob), chunks))
+                       for _ in range(pool_size)]
+            outcomes = _collect_stealing(futures, chunks, concrete, on_chunk)
+        return outcomes, len(blob)
+    finally:
+        segment.close()
+        segment.unlink()
 
 
 def _fan_out_fork(chunks: List[List[Any]], shared_state: Any,

@@ -69,15 +69,20 @@ from ..relational.columnar import ConjunctGroup, ValuationBlock, \
     materialize_conjuncts
 from ..relational.database import Database
 from ..relational.delta import DatabaseDelta
-from ..relational.evaluation import Valuation
+from ..relational.evaluation import Valuation, shard_variable
 from ..relational.query import ConjunctiveQuery, Constant, Variable, match_atom
 from ..relational.session import BackendSession, open_session
-from ..relational.tuples import Tuple, value_sort_key
+from ..relational.tuples import Tuple, stable_partition, value_sort_key
 from ._pool import FanOutResult, FanOutSpec, OnChunk, fan_out, \
     resolve_transport
-from .cache import LineageCache
+from .cache import CacheShard, LineageCache
 
 Answer = TypingTuple[Any, ...]
+
+#: Answer-hash shards per requested worker under ``sharded=True``.  Several
+#: shards per worker is what gives work-stealing something to steal: with
+#: one shard each, a skewed shard pins its worker for the whole batch.
+_SHARD_FACTOR = 4
 
 
 def _answer_order_key(answer: Answer) -> TypingTuple[Any, ...]:
@@ -396,7 +401,9 @@ class BatchExplainer:
     def explain_all(self, answers: Optional[Iterable[Sequence[Any]]] = None,
                     workers: Optional[int] = None,
                     transport: str = "auto",
-                    on_chunk: Optional[OnChunk] = None) -> FanOutResult:
+                    on_chunk: Optional[OnChunk] = None,
+                    sharded: bool = False,
+                    chunking: Optional[str] = None) -> FanOutResult:
         """Explanations for every answer (or the given subset), keyed by answer.
 
         ``workers`` > 1 fans the answers out over worker processes in
@@ -410,6 +417,26 @@ class BatchExplainer:
         into this explainer, leaving its state exactly as a serial run would
         — bit-identical results, keyed in the serial answer order regardless
         of the worker count.
+
+        ``sharded=True`` additionally parallelises the valuation pass
+        itself: instead of inheriting a parent-finished pass, the answer
+        heads are hash-partitioned on the first head variable
+        (:func:`~repro.relational.tuples.stable_partition`) and every
+        worker runs its own semi-join-pruned ``valuations_blocks`` pass
+        restricted to the shards it claims — the parent never evaluates.
+        Sharding engages only when it can help (no full pass done yet, a
+        head variable to partition on, a non-serial transport); otherwise
+        the call falls back to the inherit path, so results are identical
+        either way.  Workers start from a **pre-seed** of the parent's
+        :class:`~repro.engine.cache.LineageCache` entries and return
+        mergeable :class:`~repro.engine.cache.CacheShard`\\ s, keeping
+        refresh-then-parallel incremental with commutative, lock-free
+        merges.
+
+        ``chunking`` picks the pool discipline (``"contiguous"`` or
+        ``"stealing"``; see :mod:`repro.engine._pool`).  The default is
+        ``"stealing"`` under ``sharded=True`` — shard costs are skewed by
+        construction — and ``"contiguous"`` otherwise.
 
         ``on_chunk`` streams ranked explanations back incrementally instead
         of one dict at the end: the serial path reports each answer as it is
@@ -441,6 +468,21 @@ class BatchExplainer:
         >>> explainer.explain_all().transport
         'serial'
         """
+        if chunking is None:
+            chunking = "stealing" if sharded else "contiguous"
+        if sharded and not self._full_pass_done \
+                and shard_variable(self.query) is not None:
+            explicit = None if answers is None \
+                else [tuple(a) for a in answers]
+            # Probe with the shard count (answers are unknown pre-pass —
+            # counting them would run the very pass sharding avoids).
+            n_probe = len(explicit) if explicit is not None \
+                else max(1, (1 if workers is None else workers)) \
+                * _SHARD_FACTOR
+            if resolve_transport(transport, workers, n_probe) != "serial":
+                return self._explain_all_sharded(explicit, workers,
+                                                 transport, on_chunk,
+                                                 chunking)
         if answers is None:
             targets = self.answers()
         else:
@@ -479,10 +521,12 @@ class BatchExplainer:
                 on_chunk(served, {t: self._explanations[t] for t in served})
         state = _WhySoFanOutState(self.query, self.session.fanout_snapshot(),
                                   self.method, self._conjuncts,
-                                  self._exogenous)
+                                  self._exogenous,
+                                  self.cache.export_entries())
         try:
             result = fan_out(pending, state, _WHYSO_SPEC, workers=workers,
-                             transport=concrete, on_chunk=on_chunk)
+                             transport=concrete, on_chunk=on_chunk,
+                             chunking=chunking)
         except FanOutWorkerError as error:
             # Name the whole batch on the error, so a streaming consumer can
             # mark exactly which targets were requested but never delivered.
@@ -493,10 +537,115 @@ class BatchExplainer:
         # above and merges nothing).
         self.memo_misses += len(pending)
         self._explanations.update(result)
-        for entries in result.extras:
-            self.cache.merge_entries(entries)
+        for shard in result.extras:
+            self.cache.merge_shard(shard)
         return FanOutResult({t: self._explanations[t] for t in targets},
                             result.transport, requested,
+                            result.effective_workers, result.extras,
+                            result.state_bytes)
+
+    def _explain_all_sharded(self, explicit: Optional[List[Answer]],
+                             workers: Optional[int], transport: str,
+                             on_chunk: Optional[OnChunk],
+                             chunking: str) -> FanOutResult:
+        """Fan out answer-partitioned valuation passes (``sharded=True``).
+
+        The fan-out *targets* are shard indices, not answers: each worker
+        claims shards and runs :meth:`QueryEvaluator.valuations_blocks`
+        restricted to that partition of the answer heads, then explains the
+        shard's answers against its own pass.  The shard partition is
+        disjoint and covering (see ``_restrict_plans_to_shard``), so the
+        union of the per-shard explanation dicts equals the serial batch
+        bit-for-bit.  With explicit ``answers``, validation that each
+        target is an answer necessarily moves into the workers (the parent
+        has no pass to check against); a worker marks a non-answer with
+        ``None`` and the parent raises the same
+        :class:`~repro.exceptions.CausalityError` as the serial path,
+        before merging anything.
+        """
+        requested = 1 if workers is None else workers
+        n_shards = max(1, requested) * _SHARD_FACTOR
+        served: Dict[Answer, Explanation] = {}
+        shard_targets: Optional[Dict[int, List[Answer]]] = None
+        if explicit is None:
+            shard_indices: List[int] = list(range(n_shards))
+        else:
+            pending = list(dict.fromkeys(
+                t for t in explicit if t not in self._explanations))
+            served = {t: self._explanations[t] for t in explicit
+                      if t in self._explanations}
+            # Head position of the partition variable — the coordinate of
+            # an answer tuple that determines its shard.
+            position = next(i for i, term in enumerate(self.query.head)
+                            if isinstance(term, Variable))
+            shard_targets = {}
+            for target in pending:
+                shard = stable_partition(target[position], n_shards)
+                shard_targets.setdefault(shard, []).append(target)
+            for bucket in shard_targets.values():
+                bucket.sort(key=_answer_order_key)
+            shard_indices = sorted(shard_targets)
+        if served:
+            self.memo_hits += len(served)
+            if on_chunk is not None:
+                on_chunk(sorted(served, key=_answer_order_key), dict(served))
+        if not shard_indices:
+            return FanOutResult(
+                {t: self._explanations[t] for t in explicit or ()},
+                "serial", requested, 1)
+
+        relay: Optional[OnChunk] = None
+        if on_chunk is not None:
+            def relay(chunk_shards: List[Any],
+                      chunk_results: Dict[Any, Any]) -> None:
+                # Unwrap shard dicts into the per-answer stream the
+                # explanation consumers expect; workers mark explicit
+                # non-answers with None, which never reaches the stream.
+                for shard in chunk_shards:
+                    delivered = {key: value
+                                 for key, value in chunk_results[shard].items()
+                                 if value is not None}
+                    if delivered:
+                        on_chunk(sorted(delivered, key=_answer_order_key),
+                                 delivered)
+
+        state = _ShardedWhySoState(self.query,
+                                   self.session.fanout_snapshot(),
+                                   self.method, frozenset(self._exogenous),
+                                   n_shards, shard_targets,
+                                   self.cache.export_entries())
+        try:
+            result = fan_out(shard_indices, state, _SHARDED_WHYSO_SPEC,
+                             workers=workers, transport=transport,
+                             on_chunk=relay, chunking=chunking)
+        except FanOutWorkerError as error:
+            if explicit is not None:
+                error.requested = tuple(explicit)
+            raise
+        flat: Dict[Answer, Optional[Explanation]] = {}
+        for shard in shard_indices:
+            flat.update(result[shard])
+        if explicit is not None:
+            for target in explicit:
+                if flat.get(target, served.get(target)) is None:
+                    # Same error, same message, as the serial path — just
+                    # detected by the worker that owned the shard.
+                    raise CausalityError(
+                        f"{target!r} is not an answer on this database; "
+                        "use mode='why-no'"
+                    )
+        explained = cast(Dict[Answer, Explanation], flat)
+        self.memo_misses += len(explained)
+        self._explanations.update(explained)
+        for shard_extra in result.extras:
+            self.cache.merge_shard(shard_extra)
+        if explicit is None:
+            ordered = {answer: explained[answer]
+                       for answer in sorted(explained,
+                                            key=_answer_order_key)}
+        else:
+            ordered = {t: self._explanations[t] for t in explicit}
+        return FanOutResult(ordered, result.transport, requested,
                             result.effective_workers, result.extras,
                             result.state_bytes)
 
@@ -756,16 +905,22 @@ class _WhySoFanOutState:
     backend handles, no bound queries.
     """
 
-    __slots__ = ("query", "database", "method", "conjuncts", "exogenous")
+    __slots__ = ("query", "database", "method", "conjuncts", "exogenous",
+                 "cache_seed")
 
     def __init__(self, query: ConjunctiveQuery, database: Database,
                  method: str, conjuncts: Dict[Answer, ConjunctGroup],
-                 exogenous: FrozenSet[Tuple]) -> None:
+                 exogenous: FrozenSet[Tuple],
+                 cache_seed: Optional[Dict[Any, Any]] = None) -> None:
         self.query = query
         self.database = database
         self.method = method
         self.conjuncts = conjuncts
         self.exogenous = exogenous
+        # The parent's LineageCache entries, shipped so workers start warm
+        # (refresh-then-parallel stays incremental) and export only what
+        # they add beyond the seed.
+        self.cache_seed = cache_seed
 
 
 def _whyso_worker_setup(state: _WhySoFanOutState) -> BatchExplainer:
@@ -774,13 +929,17 @@ def _whyso_worker_setup(state: _WhySoFanOutState) -> BatchExplainer:
     The explainer is constructed on the memory backend (workers never touch
     an execution backend) and then handed the parent's grouped valuations,
     so its ``explain`` runs exactly the serial per-answer step — lineage to
-    n-lineage to ranked causes — without any evaluation.
+    n-lineage to ranked causes — without any evaluation.  The parent's
+    cache entries pre-seed the worker cache.
     """
     explainer = BatchExplainer(state.query, state.database,
                                method=state.method)
     explainer._conjuncts = state.conjuncts
     explainer._full_pass_done = True
     explainer._exogenous = state.exogenous
+    if state.cache_seed:
+        explainer.cache.merge_entries(state.cache_seed)
+    explainer._cache_seed = state.cache_seed
     return explainer
 
 
@@ -789,14 +948,95 @@ def _whyso_worker_explain(explainer: BatchExplainer,
     return explainer.explain(answer)
 
 
-def _whyso_worker_export_cache(explainer: BatchExplainer) -> Any:
-    """Ship the worker's lineage-cache entries back for the parent merge."""
-    return explainer.cache.export_entries()
+def _whyso_worker_export_cache(explainer: BatchExplainer) -> CacheShard:
+    """Ship the worker's cache contribution back for the commutative merge.
+
+    Only entries beyond the pre-seed travel; counters are the worker's own
+    (see :meth:`~repro.engine.cache.LineageCache.export_shard`).
+    """
+    return explainer.cache.export_shard(
+        baseline=getattr(explainer, "_cache_seed", None))
 
 
 _WHYSO_SPEC = FanOutSpec(compute=_whyso_worker_explain,
                          setup=_whyso_worker_setup,
                          finalize=_whyso_worker_export_cache)
+
+
+class _ShardedWhySoState:
+    """What a sharded Why-So worker starts from: *no* finished pass.
+
+    Unlike :class:`_WhySoFanOutState` there are no per-answer groups here —
+    each worker derives its own, by running the columnar pass restricted to
+    the shards it claims over the read-only database snapshot.  The state
+    carries the partition geometry (``n_shards``), the optional explicit
+    targets per shard, and the parent's cache pre-seed.
+    """
+
+    __slots__ = ("query", "database", "method", "exogenous", "n_shards",
+                 "shard_targets", "cache_seed")
+
+    def __init__(self, query: ConjunctiveQuery, database: Database,
+                 method: str, exogenous: FrozenSet[Tuple], n_shards: int,
+                 shard_targets: Optional[Dict[int, List[Answer]]],
+                 cache_seed: Optional[Dict[Any, Any]]) -> None:
+        self.query = query
+        self.database = database
+        self.method = method
+        self.exogenous = exogenous
+        self.n_shards = n_shards
+        self.shard_targets = shard_targets
+        self.cache_seed = cache_seed
+
+
+def _sharded_whyso_setup(state: _ShardedWhySoState) -> Any:
+    """One memory-backend explainer per worker, shared across its shards.
+
+    The explainer persists over every shard the worker claims, so the
+    evaluator's relation indexes, the shard bucket cache
+    (``QueryEvaluator._shard_buckets``) and the lineage cache all amortise
+    across claims instead of being rebuilt per shard.
+    """
+    explainer = BatchExplainer(state.query, state.database,
+                               method=state.method)
+    explainer._exogenous = state.exogenous
+    if state.cache_seed:
+        explainer.cache.merge_entries(state.cache_seed)
+    return (explainer, state)
+
+
+def _sharded_whyso_explain(context: Any, shard: int
+                           ) -> Dict[Answer, Optional[Explanation]]:
+    """Run the shard-restricted pass, then explain the shard's answers.
+
+    Returns the full per-answer dict for the shard (all-answers mode) or
+    one entry per assigned explicit target, with ``None`` marking a target
+    that is not an answer — the parent turns that into the serial path's
+    :class:`~repro.exceptions.CausalityError`.
+    """
+    explainer, state = context
+    blocks = explainer.session.evaluator.valuations_blocks(
+        state.query, shard=(shard, state.n_shards))
+    explainer._conjuncts = dict(blocks)
+    explainer._full_pass_done = True
+    if state.shard_targets is None:
+        return {answer: explainer.explain(answer)
+                for answer in sorted(blocks, key=_answer_order_key)}
+    results: Dict[Answer, Optional[Explanation]] = {}
+    for target in state.shard_targets[shard]:
+        results[target] = explainer.explain(target) if target in blocks \
+            else None
+    return results
+
+
+def _sharded_whyso_export(context: Any) -> CacheShard:
+    explainer, state = context
+    return explainer.cache.export_shard(baseline=state.cache_seed)
+
+
+_SHARDED_WHYSO_SPEC = FanOutSpec(compute=_sharded_whyso_explain,
+                                 setup=_sharded_whyso_setup,
+                                 finalize=_sharded_whyso_export)
 
 
 def batch_explain(query: ConjunctiveQuery, database: Database,

@@ -29,11 +29,49 @@ from typing import (
     Mapping,
     Optional,
     Set,
+    Tuple as TypingTuple,
 )
 
 from ..core.responsibility import minimum_contingency_from_lineage
 from ..lineage.boolean_expr import PositiveDNF
 from ..relational.tuples import Tuple
+
+
+class CacheShard:
+    """A worker's contribution to a shared :class:`LineageCache`.
+
+    The shard-parallel engines give every fan-out worker its *own* cache and
+    merge the pieces back commutatively — the split-hot-records treatment
+    applied to the memo table: no lock, no contention, just per-worker maps
+    whose union (and counter sums) is taken on return.  A shard carries the
+    worker's *new* entries (anything beyond the pre-seed it started from)
+    plus its full hit/miss counters, so the parent's merged statistics
+    describe the whole batch rather than just parent-side computes.
+
+    Plain slots holding picklable values — a shard crosses the process
+    boundary as the worker's ``finalize`` payload.
+    """
+
+    __slots__ = ("entries", "hits", "misses")
+
+    def __init__(self, entries: "Mapping[Hashable, Any]",
+                 hits: int = 0, misses: int = 0) -> None:
+        self.entries: "OrderedDict[Hashable, Any]" = OrderedDict(entries)
+        self.hits = int(hits)
+        self.misses = int(misses)
+
+    def __getstate__(self) -> "TypingTuple[Any, int, int]":
+        return (self.entries, self.hits, self.misses)
+
+    def __setstate__(self, state: "TypingTuple[Any, int, int]") -> None:
+        self.entries, self.hits, self.misses = state
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return (f"CacheShard({len(self.entries)} entries, "
+                f"{self.hits} hits / {self.misses} misses)")
 
 
 def _key_mentions(key: Hashable, tuples: FrozenSet[Tuple]) -> bool:
@@ -280,6 +318,64 @@ class LineageCache:
             adopted += 1
             if self.maxsize is not None and len(self._entries) > self.maxsize:
                 self._evict_lru()
+        return adopted
+
+    def export_shard(self, baseline: Optional["Mapping[Hashable, Any]"] = None
+                     ) -> CacheShard:
+        """Package this cache's contribution as a mergeable :class:`CacheShard`.
+
+        ``baseline`` is the pre-seed this cache started from (the parent's
+        entries shipped to the worker): keys already present there are
+        omitted from the shard, so shipping N workers' shards home costs
+        O(new work), not O(cache) per worker.  Counters are always the full
+        local hit/miss tallies — pre-seeded entries served locally *are*
+        this worker's hits.
+
+        Examples
+        --------
+        >>> seed = {"old": 1}
+        >>> worker = LineageCache()
+        >>> _ = worker.merge_entries(seed)
+        >>> worker.get_or_compute("old", lambda: 0)    # hit on the seed
+        1
+        >>> worker.get_or_compute("new", lambda: 2)    # fresh compute
+        2
+        >>> shard = worker.export_shard(baseline=seed)
+        >>> dict(shard.entries), shard.hits, shard.misses
+        ({'new': 2}, 1, 1)
+        """
+        if baseline:
+            entries = OrderedDict(
+                (key, value) for key, value in self._entries.items()
+                if key not in baseline)
+        else:
+            entries = OrderedDict(self._entries)
+        return CacheShard(entries, self.hits, self.misses)
+
+    def merge_shard(self, shard: CacheShard) -> int:
+        """Merge a worker's :class:`CacheShard` back into this cache.
+
+        Entry adoption follows :meth:`merge_entries` (first value wins, LRU
+        and the per-tuple index respected); *unlike* ``merge_entries``, the
+        shard's hit/miss counters are **added** to this cache's, so after a
+        parallel batch :attr:`stats` sums work across every participant.
+        Addition is commutative and shard entry maps are disjoint up to
+        identical values, so merge order across workers cannot change the
+        final cache state.  Returns the number of entries adopted.
+
+        Examples
+        --------
+        >>> worker, parent = LineageCache(), LineageCache()
+        >>> worker.get_or_compute("k", lambda: 3)
+        3
+        >>> parent.merge_shard(worker.export_shard())
+        1
+        >>> parent.hits, parent.misses
+        (0, 1)
+        """
+        adopted = self.merge_entries(shard.entries)
+        self.hits += shard.hits
+        self.misses += shard.misses
         return adopted
 
     # ------------------------------------------------------------------ #

@@ -76,13 +76,14 @@ from ..lineage.whyno import batch_candidate_missing_tuples, build_whyno_instance
 from ..relational.columnar import ConjunctGroup, materialize_conjuncts
 from ..relational.database import Database
 from ..relational.delta import DatabaseDelta
-from ..relational.evaluation import evaluate, evaluate_boolean
+from ..relational.evaluation import QueryEvaluator, evaluate, \
+    evaluate_boolean, shard_variable
 from ..relational.query import ConjunctiveQuery, Variable, match_atom
 from ..relational.session import open_session
-from ..relational.tuples import Tuple, value_sort_key
+from ..relational.tuples import Tuple, stable_partition, value_sort_key
 from ._pool import FanOutResult, FanOutSpec, OnChunk, fan_out, \
     resolve_transport
-from .batch import BatchExplainer, RefreshReport
+from .batch import BatchExplainer, RefreshReport, _SHARD_FACTOR
 
 Answer = TypingTuple[Any, ...]
 
@@ -170,7 +171,8 @@ class WhyNoBatchExplainer:
                  candidates: Optional[Iterable[Tuple]] = None,
                  max_candidates: Optional[int] = None,
                  backend: str = "memory",
-                 _actual_answers: Optional[FrozenSet[Answer]] = None) -> None:
+                 _actual_answers: Optional[FrozenSet[Answer]] = None,
+                 _discover_on_refresh: bool = False) -> None:
         if candidates is not None and domains is not None:
             raise CausalityError(
                 "pass either explicit candidates or generation domains, not both"
@@ -180,6 +182,11 @@ class WhyNoBatchExplainer:
         self.backend = backend
         self.domains = domains
         self.max_candidates = max_candidates
+        # Set by :meth:`for_missing_answers`: this batch means "every
+        # missing answer", so a refresh must re-run discovery — a delta can
+        # *create* non-answers (deletes killing an answer, inserts growing
+        # the active domain) that the original enumeration never saw.
+        self._discover_on_refresh = _discover_on_refresh
         self._explicit_candidates = None if candidates is None \
             else frozenset(candidates)
 
@@ -301,7 +308,8 @@ class WhyNoBatchExplainer:
                        domains=domains, max_candidates=max_candidates,
                        backend=backend,
                        _actual_answers=frozenset([()]) if satisfied
-                       else frozenset())
+                       else frozenset(),
+                       _discover_on_refresh=True)
         adom = sorted(database.active_domain(), key=repr)
         head_variables = sorted(
             {t for t in query.head if isinstance(t, Variable)},
@@ -325,7 +333,7 @@ class WhyNoBatchExplainer:
         # rejection does not repeat the open-query pass just run.
         return cls(query, database, non_answers=targets, domains=domains,
                    max_candidates=max_candidates, backend=backend,
-                   _actual_answers=actual)
+                   _actual_answers=actual, _discover_on_refresh=True)
 
     # ------------------------------------------------------------------ #
     # shared state introspection
@@ -517,6 +525,40 @@ class WhyNoBatchExplainer:
             new_sets[key] = candidates
         return new_sets, frozenset(dirty)
 
+    def _discover_new_non_answers(self) -> List[Answer]:
+        """Head tuples that became non-answers since the batch was built.
+
+        Re-runs the :meth:`for_missing_answers` enumeration against the
+        *post-delta* database — the head-variable domain products (fixed
+        ``domains`` entries, current active domain otherwise) minus the
+        current answer set — and keeps the heads this batch does not
+        already explain.  Sorted by the canonical answer order, so refresh
+        results stay deterministic.
+        """
+        if self.query.is_boolean:
+            if () in self._per_answer_candidates:
+                return []
+            return [] if evaluate_boolean(self.query, self.database) else [()]
+        adom = sorted(self.database.active_domain(), key=repr)
+        head_variables = sorted(
+            {t for t in self.query.head if isinstance(t, Variable)},
+            key=lambda v: v.name)
+        value_lists = []
+        for variable in head_variables:
+            if self.domains is not None and variable.name in self.domains:
+                value_lists.append(list(self.domains[variable.name]))
+            else:
+                value_lists.append(list(adom))
+        actual = evaluate(self.query, self.database)
+        fresh = set()
+        for values in itertools.product(*value_lists):
+            assignment = dict(zip(head_variables, values))
+            head = tuple(assignment[t] if isinstance(t, Variable) else t.value
+                         for t in self.query.head)
+            if head not in actual and head not in self._per_answer_candidates:
+                fresh.add(head)
+        return sorted(fresh, key=value_sort_key)
+
     def refresh(self, delta: DatabaseDelta,
                 _changed: Optional[FrozenSet[Tuple]] = None) -> RefreshReport:
         """Apply one change to the real database; see :meth:`refresh_all`.
@@ -561,8 +603,16 @@ class WhyNoBatchExplainer:
         explanations; targets that *became answers* of the query on the
         mutated database are dropped from the batch and reported in
         ``removed_answers`` (a from-scratch construction would reject them).
-        New non-answers are **not** discovered — the batch keeps explaining
-        the targets it was built for.
+
+        A batch built by :meth:`for_missing_answers` means "every missing
+        answer", so the refresh also re-runs discovery against the
+        post-delta active domain: head tuples that *became* non-answers
+        (an answer's last witness deleted, or an insert growing the domain
+        products) are admitted to the batch — candidates generated, the
+        combined instance extended — and reported in the refresh result's
+        ``new_answers`` (here: newly discovered non-answer targets).
+        Batches built over a caller-fixed non-answer list keep explaining
+        exactly the targets they were built for.
 
         ``_changed`` is internal (:class:`repro.core.api.ExplanationSession`
         shares one database between both engines and pre-applies the
@@ -584,6 +634,17 @@ class WhyNoBatchExplainer:
         try:
             old_dn = self.combined.endogenous_tuples()
             new_sets, candidate_dirty = self._refreshed_candidates(changed)
+            # Discovery (for_missing_answers batches only): tuples that
+            # became non-answers enter the batch here, *before* the union
+            # is taken, so their candidates ride the same combined delta.
+            discovered: List[Answer] = []
+            if self._discover_on_refresh:
+                discovered = self._discover_new_non_answers()
+                if discovered:
+                    new_sets.update(batch_candidate_missing_tuples(
+                        self.query, self.database, discovered,
+                        domains=self.domains,
+                        max_candidates=self.max_candidates))
             raw_union: FrozenSet[Tuple] = \
                 frozenset().union(*new_sets.values()) if new_sets \
                 else frozenset()
@@ -649,13 +710,22 @@ class WhyNoBatchExplainer:
                 self._explanations.pop(key, None)
                 self.non_answers = [t for t in self.non_answers if t != key]
         dirty -= now_answers
+        if discovered:
+            # Admit the discovered targets; re-sorting keeps the batch in
+            # the same canonical order a fresh for_missing_answers build
+            # would produce (discovery only runs for those batches).
+            self.non_answers = sorted(
+                set(self.non_answers) | set(discovered), key=value_sort_key)
         return RefreshReport(changed, frozenset(dirty),
+                             new_answers=frozenset(discovered),
                              removed_answers=frozenset(now_answers))
 
     def explain_all(self, non_answers: Optional[Iterable[Sequence[Any]]] = None,
                     workers: Optional[int] = None,
                     transport: str = "auto",
-                    on_chunk: Optional[OnChunk] = None) -> FanOutResult:
+                    on_chunk: Optional[OnChunk] = None,
+                    sharded: bool = False,
+                    chunking: Optional[str] = None) -> FanOutResult:
         """Explanations for every non-answer (or the given subset).
 
         ``on_chunk`` streams results incrementally exactly as in
@@ -676,6 +746,16 @@ class WhyNoBatchExplainer:
         :class:`~repro.engine._pool.FanOutResult` reports the transport and
         effective worker count that actually ran.
 
+        ``sharded=True`` parallelises the combined-instance pass itself,
+        mirroring :meth:`BatchExplainer.explain_all`: the candidate heads
+        are hash-partitioned on the first head variable and each worker
+        runs its own shard-restricted ``valuations_blocks`` pass over the
+        combined snapshot — the parent never evaluates.  Engages only when
+        no shared pass exists yet, the head has a variable and a process
+        transport resolves; identical results either way.  ``chunking``
+        picks the pool discipline, defaulting to ``"stealing"`` under
+        ``sharded=True`` and ``"contiguous"`` otherwise.
+
         Examples
         --------
         >>> from repro.relational import Database, parse_query
@@ -691,12 +771,22 @@ class WhyNoBatchExplainer:
         """
         if self._poisoned is not None:
             raise CausalityError(self._poisoned)
+        if chunking is None:
+            chunking = "stealing" if sharded else "contiguous"
         if non_answers is None:
             targets = list(self.non_answers)
         else:
             # Validate up front so the serial and fan-out paths reject
             # out-of-batch targets identically.
             targets = [self._key(a) for a in non_answers]
+        if sharded and not self._inner._full_pass_done \
+                and shard_variable(self.query) is not None:
+            pending = [t for t in targets if t not in self._explanations]
+            if resolve_transport(transport, workers, len(pending)) \
+                    != "serial":
+                return self._explain_all_sharded(targets, pending, workers,
+                                                 transport, on_chunk,
+                                                 chunking)
         requested = 1 if workers is None else workers
         concrete = resolve_transport(transport, workers, len(targets))
         pending = targets
@@ -729,7 +819,8 @@ class WhyNoBatchExplainer:
                                   self._per_answer_candidates)
         try:
             result = fan_out(pending, state, _WHYNO_SPEC, workers=workers,
-                             transport=concrete, on_chunk=on_chunk)
+                             transport=concrete, on_chunk=on_chunk,
+                             chunking=chunking)
         except FanOutWorkerError as error:
             # Name the whole batch on the error, so a streaming consumer can
             # mark exactly which targets were requested but never delivered.
@@ -739,6 +830,70 @@ class WhyNoBatchExplainer:
         # above and merges nothing).
         self.memo_misses += len(pending)
         self._explanations.update(result)
+        return FanOutResult({t: self._explanations[t] for t in targets},
+                            result.transport, requested,
+                            result.effective_workers, result.extras,
+                            result.state_bytes)
+
+    def _explain_all_sharded(self, targets: List[Answer],
+                             pending: List[Answer],
+                             workers: Optional[int], transport: str,
+                             on_chunk: Optional[OnChunk],
+                             chunking: str) -> FanOutResult:
+        """Fan out shard-restricted combined-instance passes.
+
+        Mirrors :meth:`BatchExplainer._explain_all_sharded`: the fan-out
+        targets are shard indices, each worker runs ``valuations_blocks``
+        restricted to its shard of the combined snapshot and explains the
+        pending candidate heads assigned there.  Every target was validated
+        against the batch up front, so unlike the Why-So twin there is no
+        not-an-answer marker — an empty shard group is simply a non-answer
+        with no witnessing valuations, exactly as on the serial path.
+        """
+        requested = 1 if workers is None else workers
+        n_shards = max(1, requested) * _SHARD_FACTOR
+        position = next(i for i, term in enumerate(self.query.head)
+                        if isinstance(term, Variable))
+        served = [t for t in targets if t not in pending]
+        if served:
+            self.memo_hits += len(served)
+            if on_chunk is not None:
+                on_chunk(served, {t: self._explanations[t] for t in served})
+        shard_targets: Dict[int, List[Answer]] = {}
+        for target in dict.fromkeys(pending):
+            shard = stable_partition(target[position], n_shards)
+            shard_targets.setdefault(shard, []).append(target)
+        for bucket in shard_targets.values():
+            bucket.sort(key=value_sort_key)
+        shard_indices = sorted(shard_targets)
+
+        relay: Optional[OnChunk] = None
+        if on_chunk is not None:
+            def relay(chunk_shards: List[Any],
+                      chunk_results: Dict[Any, Any]) -> None:
+                # Unwrap the per-shard dicts into the per-answer stream.
+                for shard in chunk_shards:
+                    delivered = dict(chunk_results[shard])
+                    if delivered:
+                        on_chunk(sorted(delivered, key=value_sort_key),
+                                 delivered)
+
+        state = _ShardedWhyNoState(
+            self.query, self._inner.session.fanout_snapshot(),
+            frozenset(self._inner._exogenous), n_shards, shard_targets,
+            {t: self._per_answer_candidates[t] for t in pending})
+        try:
+            result = fan_out(shard_indices, state, _SHARDED_WHYNO_SPEC,
+                             workers=workers, transport=transport,
+                             on_chunk=relay, chunking=chunking)
+        except FanOutWorkerError as error:
+            error.requested = tuple(targets)
+            raise
+        flat: Dict[Answer, Explanation] = {}
+        for shard in shard_indices:
+            flat.update(result[shard])
+        self.memo_misses += len(flat)
+        self._explanations.update(flat)
         return FanOutResult({t: self._explanations[t] for t in targets},
                             result.transport, requested,
                             result.effective_workers, result.extras,
@@ -791,6 +946,62 @@ def _whyno_worker_explain(state: _WhyNoFanOutState, key: Answer) -> Explanation:
 
 
 _WHYNO_SPEC = FanOutSpec(compute=_whyno_worker_explain)
+
+
+class _ShardedWhyNoState:
+    """What a sharded Why-No worker starts from: *no* finished pass.
+
+    Carries the combined-instance snapshot (``Dx ∪ Dn`` with every real
+    tuple exogenous and every candidate endogenous), the partition
+    geometry, the pending targets per shard and their candidate sets.  The
+    worker derives its own shard-restricted valuation groups — the parent
+    never runs the combined pass.
+    """
+
+    __slots__ = ("query", "database", "exogenous", "n_shards",
+                 "shard_targets", "per_answer_candidates")
+
+    def __init__(self, query: ConjunctiveQuery, database: Database,
+                 exogenous: FrozenSet[Tuple], n_shards: int,
+                 shard_targets: Dict[int, List[Answer]],
+                 per_answer_candidates: Dict[Answer, FrozenSet[Tuple]]
+                 ) -> None:
+        self.query = query
+        self.database = database
+        self.exogenous = exogenous
+        self.n_shards = n_shards
+        self.shard_targets = shard_targets
+        self.per_answer_candidates = per_answer_candidates
+
+
+def _sharded_whyno_setup(state: _ShardedWhyNoState) -> Any:
+    # One evaluator per worker, shared across its claimed shards so the
+    # relation indexes and shard buckets amortise (same construction as
+    # MemorySession: respect_annotations=True).
+    return (QueryEvaluator(state.database), state)
+
+
+def _sharded_whyno_explain(context: Any, shard: int
+                           ) -> Dict[Answer, Explanation]:
+    """Shard-restricted pass over the combined snapshot, then restrict+rank."""
+    evaluator, state = context
+    blocks = evaluator.valuations_blocks(state.query,
+                                         shard=(shard, state.n_shards))
+    results: Dict[Answer, Explanation] = {}
+    for key in state.shard_targets[shard]:
+        phi_n = _restricted_n_lineage(
+            materialize_conjuncts(blocks.get(key, [])),
+            state.per_answer_candidates[key],
+            state.exogenous)
+        causes = whyno_causes_from_n_lineage(phi_n)
+        results[key] = Explanation(state.query,
+                                   None if state.query.is_boolean else key,
+                                   CausalityMode.WHY_NO, causes)
+    return results
+
+
+_SHARDED_WHYNO_SPEC = FanOutSpec(compute=_sharded_whyno_explain,
+                                 setup=_sharded_whyno_setup)
 
 
 def batch_explain_whyno(query: ConjunctiveQuery, database: Database,

@@ -79,10 +79,13 @@ CodeColumn = List[int]
 class PassStats:
     """Per-phase counters of the valuation pass, for ``engine_stats()``.
 
-    All counters are cumulative over the evaluator's lifetime; a refresh
-    keeps counting into the same object so regressions (e.g. a delta that
-    silently forces full passes) show up in ``--cache-stats`` without a
-    profiler.
+    The counters describe the **most recent** columnar pass plus whatever
+    incremental work (delta re-derivation, lazy bound-query evaluation)
+    happened since: :meth:`reset` zeroes them at the start of every
+    ``valuations_blocks`` call, so a resident session's ``engine_stats()``
+    reports the pass it just ran instead of an ever-growing lifetime sum —
+    and a delta that silently forces repeated full passes still shows up in
+    ``--cache-stats``, as a non-shrinking ``plans_built`` per refresh.
     """
 
     __slots__ = ("plans_built", "semijoin_rounds", "rows_pruned",
@@ -90,15 +93,12 @@ class PassStats:
                  "python_joins", "numpy_joins", "adapter_valuations")
 
     def __init__(self) -> None:
-        self.plans_built = 0
-        self.semijoin_rounds = 0
-        self.rows_pruned = 0
-        self.columnar_passes = 0
-        self.blocks_produced = 0
-        self.block_rows = 0
-        self.python_joins = 0
-        self.numpy_joins = 0
-        self.adapter_valuations = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter — the start of a new measurement window."""
+        for name in self.__slots__:
+            setattr(self, name, 0)
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dict (stable keys, for stats payloads)."""

@@ -10,6 +10,7 @@ from .generators import (
     random_database_for_query,
     random_two_table_instance,
     scaling_series,
+    sharded_fanout_instance,
     star_instance,
     star_query,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "random_tripartite_hypergraph",
     "random_two_table_instance",
     "scaling_series",
+    "sharded_fanout_instance",
     "star_instance",
     "star_query",
 ]

@@ -149,6 +149,41 @@ def star_instance(rays: int, per_relation: int, domain_size: int,
     return db
 
 
+def sharded_fanout_instance(n_answers: int, witnesses_per_answer: int,
+                            seed: int = 0, skew_factor: int = 1,
+                            exogenous_s: bool = False) -> Database:
+    """A wide instance for ``q(x) :- R(x, y), S(y, z)`` with per-answer lineage.
+
+    Each answer ``x{i}`` gets its *own* join values ``y{i}_{j}``, so lineages
+    are disjoint across answers and the instance shards cleanly by head value:
+    a worker owning ``x{i}`` never needs another answer's rows.  This is the
+    scale shape for the sharded fan-out benchmarks — many answers, each with a
+    non-trivial witness set.
+
+    ``skew_factor`` > 1 inflates the *first* answer's witness count by that
+    factor (the other answers keep ``witnesses_per_answer``), modelling the
+    pathological skew a work-stealing pool must absorb without changing any
+    explanation.  ``exogenous_s`` marks the ``S`` rows exogenous so the causes
+    all live in ``R``.
+    """
+    if n_answers < 1:
+        raise ValueError("need at least one answer")
+    if witnesses_per_answer < 1:
+        raise ValueError("need at least one witness per answer")
+    if skew_factor < 1:
+        raise ValueError("skew_factor must be >= 1")
+    rng = random.Random(seed)
+    db = Database()
+    for i in range(n_answers):
+        count = witnesses_per_answer * (skew_factor if i == 0 else 1)
+        for j in range(count):
+            join_value = f"y{i}_{j}"
+            db.add_fact("R", f"x{i}", join_value)
+            db.add_fact("S", join_value, rng.randrange(8),
+                        endogenous=not exogenous_s)
+    return db
+
+
 def scaling_series(sizes: Sequence[int], make_instance) -> List[TypingTuple[int, Database]]:
     """``[(n, make_instance(n)) for n in sizes]`` — convenience for benchmarks."""
     return [(n, make_instance(n)) for n in sizes]

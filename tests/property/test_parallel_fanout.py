@@ -22,7 +22,9 @@ import pytest
 
 from repro.engine import BatchExplainer, WhyNoBatchExplainer
 from repro.engine._pool import effective_pool_size, resolve_transport
+from repro.exceptions import CausalityError
 from repro.relational import Database, evaluate, parse_query
+from repro.workloads import sharded_fanout_instance
 
 QUERY = parse_query("q(x) :- R(x, y), S(y)")
 BACKENDS = ("memory", "sqlite")
@@ -264,6 +266,137 @@ class TestReporting:
         result = BatchExplainer(QUERY, db).explain_all(workers=4)
         assert result.transport == "serial"
         assert result.effective_workers == 1
+
+
+class TestShardedEquivalence:
+    """``sharded=True``: workers run their own shard-restricted passes.
+
+    Instead of inheriting the parent's finished pass, each worker
+    re-derives the valuation blocks for its hash partition of head
+    values.  The union of disjoint shard passes must be bit-identical to
+    the one serial pass — causes, rankings, key order, memos and merged
+    cache contents alike.
+    """
+
+    @pytest.mark.parametrize("transport", PROCESS_TRANSPORTS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_whyso_sharded_matches_serial(self, backend, transport):
+        rng = random.Random(31)
+        db = random_instance(rng)
+        serial = BatchExplainer(QUERY, db, backend=backend).explain_all()
+        if len(serial) < 2:
+            pytest.skip("random instance too small to fan out")
+        explainer = BatchExplainer(QUERY, db, backend=backend)
+        pooled = explainer.explain_all(workers=2, transport=transport,
+                                       sharded=True)
+        assert_same_explanations(pooled, serial, (backend, transport))
+        assert pooled.transport == transport
+        # The merged memos keep serving exactly what serial computed.
+        for key in serial:
+            assert ranking(explainer.explain(key)) == ranking(serial[key])
+
+    @pytest.mark.parametrize("transport", PROCESS_TRANSPORTS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_whyno_sharded_matches_serial(self, backend, transport):
+        rng = random.Random(47)
+        db = random_instance(rng)
+        actual = evaluate(QUERY, db)
+        targets = [(f"a{i}",) for i in range(9) if (f"a{i}",) not in actual]
+        assert len(targets) >= 2
+        serial = WhyNoBatchExplainer(QUERY, db,
+                                     non_answers=targets).explain_all()
+        explainer = WhyNoBatchExplainer(QUERY, db, non_answers=targets,
+                                        backend=backend)
+        pooled = explainer.explain_all(workers=2, transport=transport,
+                                       sharded=True)
+        assert_same_explanations(pooled, serial, (backend, transport))
+        assert pooled.transport == transport
+        for key in targets:
+            assert ranking(explainer.explain(key)) == ranking(serial[key])
+
+    @pytest.mark.parametrize("workers", (2, 3))
+    def test_whyso_sharded_worker_counts(self, workers):
+        rng = random.Random(53)
+        db = random_instance(rng)
+        serial = BatchExplainer(QUERY, db).explain_all()
+        if len(serial) < 2:
+            pytest.skip("random instance too small to fan out")
+        pooled = BatchExplainer(QUERY, db).explain_all(workers=workers,
+                                                       sharded=True)
+        assert_same_explanations(pooled, serial, workers)
+
+    def test_sharded_explicit_subset_and_validation(self):
+        """Explicit targets shard too, and bad targets raise like serial."""
+        rng = random.Random(61)
+        db = random_instance(rng)
+        serial_explainer = BatchExplainer(QUERY, db)
+        serial = serial_explainer.explain_all()
+        if len(serial) < 3:
+            pytest.skip("random instance too small for a subset")
+        subset = sorted(serial)[:3]
+        explainer = BatchExplainer(QUERY, db)
+        pooled = explainer.explain_all(answers=subset, workers=2,
+                                       sharded=True)
+        assert list(pooled) == subset
+        for key in subset:
+            assert ranking(pooled[key]) == ranking(serial[key])
+        with pytest.raises(CausalityError) as sharded_err:
+            BatchExplainer(QUERY, db).explain_all(
+                answers=[("nope",)], workers=2, sharded=True,
+                transport=PROCESS_TRANSPORTS[0])
+        with pytest.raises(CausalityError) as serial_err:
+            BatchExplainer(QUERY, db).explain_all(answers=[("nope",)])
+        assert str(sharded_err.value) == str(serial_err.value)
+
+    def test_sharded_cache_merge_equals_serial(self):
+        """``method="exact"`` fills the cache; shard merges match serial."""
+        rng = random.Random(11)
+        db = random_instance(rng)
+        serial_explainer = BatchExplainer(QUERY, db, method="exact")
+        serial = serial_explainer.explain_all()
+        if len(serial) < 2:
+            pytest.skip("random instance too small to fan out")
+        explainer = BatchExplainer(QUERY, db, method="exact")
+        pooled = explainer.explain_all(workers=2, sharded=True)
+        assert_same_explanations(pooled, serial, "sharded cache")
+        assert dict(explainer.cache.export_entries()) == \
+            dict(serial_explainer.cache.export_entries())
+
+
+class TestPathologicalSkew:
+    """One answer's lineage is ~100× the rest: stealing must absorb it.
+
+    With contiguous chunking the worker that owns the heavy answer
+    serialises the whole pass; work-stealing re-balances — but however
+    the chunks land, the explanations and their ranked order must not
+    change with the worker count (no ordering or worker-count leak).
+    """
+
+    SKEW_QUERY = parse_query("q(x) :- R(x, y), S(y, z)")
+
+    def test_skewed_lineage_is_bit_identical_across_worker_counts(self):
+        db = sharded_fanout_instance(n_answers=12, witnesses_per_answer=2,
+                                     seed=5, skew_factor=100)
+        serial = BatchExplainer(self.SKEW_QUERY, db).explain_all()
+        assert len(serial) == 12
+        heavy = max(serial.values(), key=lambda e: len(e.causes))
+        light = min(serial.values(), key=lambda e: len(e.causes))
+        assert len(heavy.causes) >= 50 * len(light.causes)
+        for workers in (2, 3, 7):
+            explainer = BatchExplainer(self.SKEW_QUERY, db)
+            pooled = explainer.explain_all(workers=workers, sharded=True,
+                                           chunking="stealing")
+            assert_same_explanations(pooled, serial, workers)
+            assert list(pooled) == list(serial)  # no ordering leak
+
+    def test_skewed_inherit_path_with_stealing(self):
+        """Stealing also applies to the inherit-the-pass fan-out."""
+        db = sharded_fanout_instance(n_answers=8, witnesses_per_answer=2,
+                                     seed=7, skew_factor=100)
+        serial = BatchExplainer(self.SKEW_QUERY, db).explain_all()
+        pooled = BatchExplainer(self.SKEW_QUERY, db).explain_all(
+            workers=3, chunking="stealing")
+        assert_same_explanations(pooled, serial, "inherit+stealing")
 
 
 @pytest.mark.slow
